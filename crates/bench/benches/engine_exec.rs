@@ -1,0 +1,101 @@
+//! Executor benchmarks: the relational substrate's throughput on the
+//! TPC-H two-table queries — generation, scan/filter, join and the full
+//! federated execution path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use midas_cloud::federation::example_federation;
+use midas_engines::ops::execute;
+use midas_engines::sim::{DriftIntensity, SimulationEnv};
+use midas_engines::{EngineKind, Placement};
+use midas_ires::scheduler::{Scheduler, SchedulerConfig};
+use midas_ires::CandidateConfig;
+use midas_tpch::gen::{GenConfig, TpchDb};
+use midas_tpch::queries::{q12, q13, q14, q17, TwoTableQuery};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpch_generate");
+    group.sample_size(10);
+    for &sf in &[0.001f64, 0.005] {
+        group.bench_with_input(BenchmarkId::new("sf", format!("{sf}")), &sf, |b, &sf| {
+            b.iter(|| black_box(TpchDb::generate(GenConfig::new(sf, 1))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let db = TpchDb::generate(GenConfig::new(0.01, 2));
+    let catalog = db.tables().clone();
+    let queries: Vec<(&str, TwoTableQuery)> = vec![
+        ("q12", q12("MAIL", "SHIP", 1994)),
+        ("q13", q13("special", "requests")),
+        ("q14", q14(1995, 9)),
+        ("q17", q17("Brand#23", "MED BOX")),
+    ];
+    let mut group = c.benchmark_group("relational_execution");
+    group.sample_size(10);
+    for (name, q) in &queries {
+        group.bench_function(BenchmarkId::new("prepare_left", *name), |b| {
+            b.iter(|| black_box(execute(&q.left_prepare, &catalog).expect("runs")))
+        });
+    }
+    // Full local pipeline of the heaviest query.
+    let q = &queries[3].1;
+    group.bench_function("q17_full_local", |b| {
+        b.iter(|| {
+            let mut cat = catalog.clone();
+            let (l, _) = execute(&q.left_prepare, &cat).expect("runs");
+            let (r, _) = execute(&q.right_prepare, &cat).expect("runs");
+            cat.insert("@frag0".to_string(), l);
+            cat.insert("@frag1".to_string(), r);
+            black_box(execute(&q.combine, &cat).expect("runs"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_federated_execution(c: &mut Criterion) {
+    let (fed, a, b) = example_federation();
+    let mut placement = Placement::new();
+    placement.place("lineitem", a, EngineKind::Hive);
+    placement.place("orders", b, EngineKind::PostgreSql);
+    let db = TpchDb::generate(GenConfig::new(0.005, 4));
+    let config = CandidateConfig {
+        join_site: a,
+        join_engine: EngineKind::Spark,
+        instance_idx: 2,
+        vm_count: 2,
+    };
+    let mut group = c.benchmark_group("federated_execution");
+    group.sample_size(10);
+    group.bench_function("q12_end_to_end", |bch| {
+        bch.iter(|| {
+            let mut sched = Scheduler::new(
+                &fed,
+                placement.clone(),
+                SchedulerConfig {
+                    seed: 5,
+                    drift: DriftIntensity::Mild,
+                    work_scale: 1.0,
+                },
+            );
+            black_box(
+                sched
+                    .execute_with_config(&q12("MAIL", "SHIP", 1994), &config, db.tables())
+                    .expect("runs"),
+            )
+        })
+    });
+    group.finish();
+    // Keep the env type in use so the bench compiles stand-alone.
+    let _ = SimulationEnv::new();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_operators,
+    bench_federated_execution
+);
+criterion_main!(benches);

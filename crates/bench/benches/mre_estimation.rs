@@ -1,0 +1,74 @@
+//! Bench companion to **Tables 3/4**: fit+predict cost of each estimator
+//! column on a realistic drifting trace — the "low computational cost"
+//! half of the paper's claim (the accuracy half lives in `repro_table3/4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use midas::experiments::EstimatorKind;
+use midas_dream::History;
+use std::hint::black_box;
+
+/// A synthetic drifting trace shaped like the Table 3 histories.
+fn trace(n: usize) -> History {
+    let mut h = History::new(4, 2);
+    let mut load = 1.0;
+    for i in 0..n {
+        if i % 17 == 0 {
+            load = 0.5 + (i % 5) as f64 * 0.5;
+        }
+        let f1 = 0.4 + 0.6 * (i % 20) as f64 / 19.0;
+        let f2 = 0.4 + 0.6 * (i % 13) as f64 / 12.0;
+        let x = [600_000.0 * f1, 150_000.0 * f2, 20_000.0 * f1, 150_000.0 * f2];
+        let t = load * (8.0 + x[0] * 4e-5 + x[1] * 2e-5);
+        h.record(&x, &[t, t * 0.002]).expect("fixed arity");
+    }
+    h
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_fit");
+    group.sample_size(15);
+    let history = trace(60);
+    for kind in EstimatorKind::PAPER_ORDER {
+        group.bench_with_input(
+            BenchmarkId::new("fit60", kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut est = kind.build(2, 30, 0.8);
+                    est.fit(black_box(&history)).expect("trace is fittable");
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predict_18200(c: &mut Criterion) {
+    // Example 3.1's scale: one prediction per equivalent QEP.
+    let mut group = c.benchmark_group("estimator_predict_18200");
+    group.sample_size(10);
+    let history = trace(60);
+    for kind in [EstimatorKind::Dream, EstimatorKind::BmlAll] {
+        let mut est = kind.build(2, 30, 0.8);
+        est.fit(&history).expect("trace is fittable");
+        group.bench_with_input(
+            BenchmarkId::new("qeps", kind.label()),
+            &kind,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in 0..18_200u32 {
+                        let f = i as f64 / 18_200.0;
+                        let x = [600_000.0 * f, 150_000.0, 20_000.0 * f, 150_000.0];
+                        acc += est.predict(black_box(&x)).expect("fitted")[0];
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict_18200);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench companion to **Table 1**: catalog lookups, billing arithmetic and
+//! transfer estimation — the federation substrate's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use midas_cloud::federation::example_federation;
+use midas_cloud::{amazon_a1_catalog, azure_b_catalog, Money, PricingModel};
+use std::hint::black_box;
+
+fn bench_catalog(c: &mut Criterion) {
+    let amazon = amazon_a1_catalog();
+    let azure = azure_b_catalog();
+    let mut group = c.benchmark_group("catalog");
+    group.bench_function("by_name", |b| {
+        b.iter(|| {
+            black_box(amazon.by_name(black_box("a1.2xlarge")));
+            black_box(azure.by_name(black_box("B4MS")));
+        })
+    });
+    group.bench_function("cheapest_fitting", |b| {
+        b.iter(|| black_box(azure.cheapest_fitting(black_box(2), black_box(6.0))))
+    });
+    group.finish();
+}
+
+fn bench_billing(c: &mut Criterion) {
+    let pm = PricingModel::per_second(Money::from_dollars(0.09));
+    let shape = amazon_a1_catalog().instances()[2].clone();
+    let mut group = c.benchmark_group("billing");
+    group.bench_function("instance_cost", |b| {
+        b.iter(|| black_box(pm.instance_cost(black_box(&shape), 4, black_box(137.5))))
+    });
+    group.bench_function("egress_cost", |b| {
+        b.iter(|| black_box(pm.egress_cost(black_box(3 * 1024 * 1024 * 1024))))
+    });
+    group.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let (fed, a, b) = example_federation();
+    let mut group = c.benchmark_group("transfer");
+    group.bench_function("cross_site_estimate", |bch| {
+        bch.iter(|| black_box(fed.transfer(a, b, black_box(256 * 1024 * 1024))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalog, bench_billing, bench_transfer);
+criterion_main!(benches);

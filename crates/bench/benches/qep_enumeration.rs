@@ -1,0 +1,64 @@
+//! Bench companion to **Example 3.1**: enumerating and costing equivalent
+//! QEP configurations at the 18 200-configuration scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use midas_cloud::federation::example_federation;
+use midas_engines::{EngineKind, Placement};
+use midas_ires::{CandidateConfig, EnumerationSpace, PlanCostModel};
+use midas_tpch::gen::{GenConfig, TpchDb};
+use midas_tpch::queries::q12;
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let (fed, a, b) = example_federation();
+    let mut placement = Placement::new();
+    placement.place("lineitem", a, EngineKind::Hive);
+    placement.place("orders", b, EngineKind::PostgreSql);
+    let query = q12("MAIL", "SHIP", 1994);
+
+    let mut group = c.benchmark_group("qep_enumeration");
+    group.sample_size(20);
+    for &max_vms in &[8u32, 32, 64] {
+        let space = EnumerationSpace::for_query(&fed, &placement, &query, max_vms)
+            .expect("tables placed");
+        group.bench_with_input(
+            BenchmarkId::new("enumerate_all", space.len()),
+            &space,
+            |bch, space| bch.iter(|| black_box(space.all())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_costing_18200(c: &mut Criterion) {
+    let (fed, a, b) = example_federation();
+    let mut placement = Placement::new();
+    placement.place("lineitem", a, EngineKind::Hive);
+    placement.place("orders", b, EngineKind::PostgreSql);
+    let db = TpchDb::generate(GenConfig::new(0.005, 3));
+    let query = q12("MAIL", "SHIP", 1994);
+    let model = PlanCostModel::build(&placement, &query, db.tables()).expect("buildable");
+    let n_instances = fed.site(a).catalog.instances().len();
+
+    let mut group = c.benchmark_group("qep_costing");
+    group.sample_size(10);
+    group.bench_function("cost_18200_configs", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..18_200u64 {
+                let config = CandidateConfig {
+                    join_site: a,
+                    join_engine: EngineKind::ALL[(i % 3) as usize],
+                    instance_idx: (i as usize / 3) % n_instances,
+                    vm_count: (i % 16) as u32 + 1,
+                };
+                acc += model.cost(&fed, black_box(&config))[0];
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_costing_18200);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Reproduces **Table 3**: MRE of execution-time estimation on the 100 MiB
+//! TPC-H dataset, queries 12/13/14/17, estimators BML_N/2N/3N/∞ vs DREAM.
+//!
+//! ```text
+//! cargo run --release -p midas-bench --bin repro_table3 [seed] [--full]
+//! ```
+//!
+//! `--full` runs the uncapped SF 0.1 database (slower, same shape).
+
+use midas::experiments::{run_mre, MreConfig};
+use midas_bench::{print_table, write_json};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args
+        .iter()
+        .filter_map(|a| a.parse().ok())
+        .next()
+        .unwrap_or(42);
+    let full = args.iter().any(|a| a == "--full");
+    let cfg = if full {
+        MreConfig::table3_full(seed)
+    } else {
+        MreConfig::table3(seed)
+    };
+
+    eprintln!(
+        "Table 3 — MRE with the 100 MiB TPC-H dataset (seed {seed}, {} warmup + {} test runs per query){}",
+        cfg.warmup_runs,
+        cfg.test_runs,
+        if full { ", full physical rows" } else { "" }
+    );
+    let report = run_mre(&cfg)?;
+
+    println!(
+        "\nTable 3: Comparison of mean relative error with 100MiB TPC-H dataset \
+         (nominal {} MiB generated)",
+        report.db_bytes / (1024 * 1024)
+    );
+    let headers = ["Query", "BMLN", "BML2N", "BML3N", "BML", "DREAM", "DREAM window"];
+    let mut rows = Vec::new();
+    for row in &report.rows {
+        let mut cells = vec![row.query.number().to_string()];
+        for (_, mre) in &row.mre {
+            cells.push(format!("{mre:.3}"));
+        }
+        cells.push(format!("{:.1}", row.dream_mean_window));
+        rows.push(cells);
+    }
+    print_table(&headers, &rows);
+
+    let wins = report
+        .rows
+        .iter()
+        .filter(|r| {
+            let dream = r.mre.last().map(|(_, m)| *m).unwrap_or(f64::NAN);
+            r.mre[..r.mre.len() - 1].iter().all(|(_, m)| dream <= *m)
+        })
+        .count();
+    println!(
+        "\nDREAM has the smallest MRE in {wins}/{} queries (paper: 4/4).",
+        report.rows.len()
+    );
+
+    write_json(
+        "table3",
+        &serde_json::json!({
+            "seed": seed,
+            "full": full,
+            "db_nominal_bytes": report.db_bytes,
+            "rows": report.rows.iter().map(|r| {
+                serde_json::json!({
+                    "query": r.query.number(),
+                    "mre": r.mre.iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>(),
+                    "dream_mean_window": r.dream_mean_window,
+                })
+            }).collect::<Vec<_>>(),
+        }),
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Reproduces **Table 4**: MRE of execution-time estimation on the 1 GiB
+//! TPC-H dataset — the same protocol as Table 3 at SF 1.0.
+//!
+//! ```text
+//! cargo run --release -p midas-bench --bin repro_table4 [seed] [--full]
+//! ```
+
+use midas::experiments::{run_mre, MreConfig};
+use midas_bench::{print_table, write_json};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args
+        .iter()
+        .filter_map(|a| a.parse().ok())
+        .next()
+        .unwrap_or(42);
+    let full = args.iter().any(|a| a == "--full");
+    let cfg = if full {
+        MreConfig::table4_full(seed)
+    } else {
+        MreConfig::table4(seed)
+    };
+
+    eprintln!(
+        "Table 4 — MRE with the 1 GiB TPC-H dataset (seed {seed}, {} warmup + {} test runs per query)",
+        cfg.warmup_runs, cfg.test_runs
+    );
+    let report = run_mre(&cfg)?;
+
+    println!(
+        "\nTable 4: Comparison of mean relative error with 1GiB TPC-H dataset \
+         (nominal {} MiB generated, physical rows capped and rescaled)",
+        report.db_bytes / (1024 * 1024)
+    );
+    let headers = ["Query", "BMLN", "BML2N", "BML3N", "BML", "DREAM", "DREAM window"];
+    let mut rows = Vec::new();
+    for row in &report.rows {
+        let mut cells = vec![row.query.number().to_string()];
+        for (_, mre) in &row.mre {
+            cells.push(format!("{mre:.3}"));
+        }
+        cells.push(format!("{:.1}", row.dream_mean_window));
+        rows.push(cells);
+    }
+    print_table(&headers, &rows);
+
+    write_json(
+        "table4",
+        &serde_json::json!({
+            "seed": seed,
+            "full": full,
+            "db_nominal_bytes": report.db_bytes,
+            "rows": report.rows.iter().map(|r| {
+                serde_json::json!({
+                    "query": r.query.number(),
+                    "mre": r.mre.iter().map(|(k, v)| (k.to_string(), v)).collect::<Vec<_>>(),
+                    "dream_mean_window": r.dream_mean_window,
+                })
+            }).collect::<Vec<_>>(),
+        }),
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! # midas-bench
+//!
+//! Criterion benchmarks plus the `repro_*` binaries that regenerate every
+//! table and figure of the paper. This tiny library holds the shared
+//! formatting/reporting helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{print_table, write_json};

@@ -1,0 +1,90 @@
+//! Table formatting and machine-readable result output.
+
+use std::fs;
+use std::path::Path;
+
+/// Prints an aligned text table: a header row then data rows.
+///
+/// Column widths adapt to the longest cell; numeric alignment is the
+/// caller's business (format values before passing them in).
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |sep: char| {
+        let mut s = String::new();
+        for w in &widths {
+            s.push('+');
+            s.extend(std::iter::repeat_n(sep, w + 2));
+        }
+        s.push('+');
+        s
+    };
+    println!("{}", line('-'));
+    let mut head = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        head.push_str(&format!("| {h:<w$} "));
+    }
+    head.push('|');
+    println!("{head}");
+    println!("{}", line('='));
+    for row in rows {
+        let mut s = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            s.push_str(&format!("| {cell:<w$} "));
+        }
+        s.push('|');
+        println!("{s}");
+    }
+    println!("{}", line('-'));
+}
+
+/// Writes a JSON value under `target/repro/<name>.json` (created on
+/// demand) so EXPERIMENTS.md can be regenerated from machine-readable
+/// results. Errors are reported, not fatal — the printed table is the
+/// primary artifact.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = Path::new("target/repro");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: cannot write {path:?}: {e}");
+            } else {
+                println!("(json: {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into()], vec!["22".into(), "333".into(), "extra".into()]],
+        );
+    }
+
+    #[test]
+    fn write_json_smoke() {
+        write_json(
+            "unit_test_artifact",
+            &serde_json::json!({"ok": true, "n": 3}),
+        );
+    }
+}

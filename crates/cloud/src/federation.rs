@@ -1,0 +1,175 @@
+//! Sites and the federation graph.
+
+use crate::catalog::Catalog;
+use crate::network::{Link, TransferEstimate};
+use crate::pricing::PricingModel;
+use crate::provider::ResourcePool;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Opaque handle of one site within a [`Federation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub usize);
+
+/// One cloud deployment participating in the federation: a provider region
+/// with an instance catalog, a billing policy and a bounded resource pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Human-readable name ("cloud-A", "aws-eu-west-1", …).
+    pub name: String,
+    /// What can be bought here.
+    pub catalog: Catalog,
+    /// How it is billed.
+    pub pricing: PricingModel,
+    /// How much of it this tenant may use.
+    pub pool: ResourcePool,
+}
+
+/// A cloud federation: sites plus the links joining them.
+///
+/// Links are directed; [`Federation::connect_symmetric`] installs both
+/// directions at once. Intra-site transfers use [`Link::local`] implicitly.
+#[derive(Debug, Clone, Default)]
+pub struct Federation {
+    sites: Vec<Site>,
+    links: HashMap<(SiteId, SiteId), Link>,
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Self {
+        Federation::default()
+    }
+
+    /// Registers a site, returning its handle.
+    pub fn add_site(&mut self, site: Site) -> SiteId {
+        self.sites.push(site);
+        SiteId(self.sites.len() - 1)
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Site lookup; panics on a foreign handle (handles are only minted by
+    /// `add_site`, so this indicates a programming error).
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.0]
+    }
+
+    /// All site handles in registration order.
+    pub fn site_ids(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.sites.len()).map(SiteId)
+    }
+
+    /// Finds a site by name.
+    pub fn site_by_name(&self, name: &str) -> Option<SiteId> {
+        self.sites.iter().position(|s| s.name == name).map(SiteId)
+    }
+
+    /// Installs a directed link.
+    pub fn connect(&mut self, from: SiteId, to: SiteId, link: Link) {
+        self.links.insert((from, to), link);
+    }
+
+    /// Installs the same link in both directions.
+    pub fn connect_symmetric(&mut self, a: SiteId, b: SiteId, link: Link) {
+        self.connect(a, b, link);
+        self.connect(b, a, link);
+    }
+
+    /// The link from `from` to `to`: the installed WAN link, or
+    /// [`Link::local`] when both ends are the same site, or a default
+    /// [`Link::wan`] when the federation has no explicit entry.
+    pub fn link(&self, from: SiteId, to: SiteId) -> Link {
+        if from == to {
+            return Link::local();
+        }
+        self.links.get(&(from, to)).copied().unwrap_or_else(Link::wan)
+    }
+
+    /// Estimates moving `bytes` from one site to another.
+    pub fn transfer(&self, from: SiteId, to: SiteId, bytes: u64) -> TransferEstimate {
+        self.link(from, to).transfer(bytes)
+    }
+
+    /// Egress fee for the transfer (charged by the sending site).
+    pub fn transfer_cost(&self, from: SiteId, _to: SiteId, bytes: u64) -> crate::Money {
+        self.site(from).pricing.egress_cost(bytes)
+    }
+}
+
+/// Builds the two-site federation of the paper's running example
+/// (Example 2.1): cloud A with the Amazon catalog, cloud B with the Azure
+/// catalog, joined by a WAN link.
+pub fn example_federation() -> (Federation, SiteId, SiteId) {
+    use crate::catalog::{amazon_a1_catalog, azure_b_catalog};
+    use crate::money::Money;
+
+    let mut fed = Federation::new();
+    let a = fed.add_site(Site {
+        name: "cloud-A".to_string(),
+        catalog: amazon_a1_catalog(),
+        pricing: PricingModel::per_second(Money::from_dollars(0.09)),
+        pool: ResourcePool::new(70, 260),
+    });
+    let b = fed.add_site(Site {
+        name: "cloud-B".to_string(),
+        catalog: azure_b_catalog(),
+        pricing: PricingModel::per_second(Money::from_dollars(0.087)),
+        pool: ResourcePool::new(32, 128),
+    });
+    fed.connect_symmetric(a, b, Link::new(60.0, 35.0));
+    (fed, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Money;
+
+    #[test]
+    fn example_federation_shape() {
+        let (fed, a, b) = example_federation();
+        assert_eq!(fed.n_sites(), 2);
+        assert_eq!(fed.site(a).name, "cloud-A");
+        assert_eq!(fed.site(b).name, "cloud-B");
+        assert_eq!(fed.site_by_name("cloud-B"), Some(b));
+        assert_eq!(fed.site_by_name("cloud-Z"), None);
+        assert_eq!(fed.site(a).pool.configuration_count(), 18_200);
+    }
+
+    #[test]
+    fn intra_site_link_is_local() {
+        let (fed, a, _) = example_federation();
+        let same = fed.transfer(a, a, 1024 * 1024);
+        let cross = fed.transfer(a, fed.site_by_name("cloud-B").unwrap(), 1024 * 1024);
+        assert!(same.seconds < cross.seconds);
+    }
+
+    #[test]
+    fn missing_link_defaults_to_wan() {
+        let mut fed = Federation::new();
+        let (f0, a0, _) = example_federation();
+        let s1 = fed.add_site(f0.site(a0).clone());
+        let s2 = fed.add_site(f0.site(a0).clone());
+        let link = fed.link(s1, s2);
+        assert_eq!(link, Link::wan());
+    }
+
+    #[test]
+    fn transfer_cost_uses_sender_egress() {
+        let (fed, a, b) = example_federation();
+        let gib = 1024 * 1024 * 1024u64;
+        assert_eq!(fed.transfer_cost(a, b, gib), Money::from_dollars(0.09));
+        assert_eq!(fed.transfer_cost(b, a, gib), Money::from_dollars(0.087));
+    }
+
+    #[test]
+    fn site_ids_enumerates_in_order() {
+        let (fed, a, b) = example_federation();
+        let ids: Vec<SiteId> = fed.site_ids().collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

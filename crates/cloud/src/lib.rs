@@ -1,0 +1,38 @@
+//! # midas-cloud
+//!
+//! The cloud-federation substrate MIDAS runs on (paper Section 2.2).
+//!
+//! A federation interconnects sites hosted by different Cloud Service
+//! Providers — Amazon, Microsoft, Google, a private cloud — each with its own
+//! instance catalog, pricing model and resource pool, joined by wide-area
+//! links of varying bandwidth. The paper's Table 1 lists the exact instance
+//! pricing of two providers; [`catalog::amazon_a1_catalog`] and
+//! [`catalog::azure_b_catalog`] reproduce it verbatim and feed the
+//! `repro_table1` binary.
+//!
+//! Modules:
+//!
+//! * [`money`] — a currency newtype with micro-dollar precision.
+//! * [`provider`] — providers, instance types, resource pools (including the
+//!   Example 3.1 configuration counting).
+//! * [`catalog`] — instance catalogs, with Table 1 as constants.
+//! * [`pricing`] — billing granularities, instance-hours, egress fees.
+//! * [`network`] — link model and transfer-time estimation.
+//! * [`federation`] — sites and the federation graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod federation;
+pub mod money;
+pub mod network;
+pub mod pricing;
+pub mod provider;
+
+pub use catalog::{amazon_a1_catalog, azure_b_catalog, Catalog};
+pub use federation::{Federation, Site, SiteId};
+pub use money::Money;
+pub use network::{Link, TransferEstimate};
+pub use pricing::{BillingGranularity, PricingModel};
+pub use provider::{InstanceType, Provider, ResourcePool, Storage};

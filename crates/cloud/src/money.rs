@@ -1,0 +1,142 @@
+//! Monetary values with micro-dollar integer precision.
+//!
+//! Cloud list prices go down to fractions of a cent per hour (Table 1's
+//! a1.medium is $0.0049/h), and federated query costs accumulate thousands of
+//! tiny charges, so floating-point dollars would drift. `Money` stores
+//! signed micro-dollars (1e-6 USD) and only converts to `f64` at the edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A signed amount of money in micro-dollars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Money(i64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// From whole dollars.
+    pub fn from_dollars(d: f64) -> Money {
+        Money((d * 1e6).round() as i64)
+    }
+
+    /// From micro-dollars.
+    pub const fn from_micros(m: i64) -> Money {
+        Money(m)
+    }
+
+    /// As fractional dollars.
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As micro-dollars.
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Scales by a non-negative factor, rounding to the nearest micro-dollar.
+    pub fn scale(self, factor: f64) -> Money {
+        Money((self.0 as f64 * factor).round() as i64)
+    }
+
+    /// True when the amount is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<u64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: u64) -> Money {
+        Money(self.0 * rhs as i64)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dollars = self.0 as f64 / 1e6;
+        write!(f, "${dollars:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let m = Money::from_dollars(0.0049);
+        assert_eq!(m.as_micros(), 4900);
+        assert!((m.as_dollars() - 0.0049).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_dollars(1.5);
+        let b = Money::from_dollars(0.25);
+        assert_eq!((a + b).as_dollars(), 1.75);
+        assert_eq!((a - b).as_dollars(), 1.25);
+        assert_eq!((-b).as_dollars(), -0.25);
+        assert_eq!((b * 4).as_dollars(), 1.0);
+        let total: Money = vec![a, b, b].into_iter().sum();
+        assert_eq!(total.as_dollars(), 2.0);
+    }
+
+    #[test]
+    fn scaling_rounds_to_micros() {
+        // 0.0049 $/h for 1 second = 0.0049/3600 ≈ $0.0000013611 → 1 micro$.
+        let hourly = Money::from_dollars(0.0049);
+        let second = hourly.scale(1.0 / 3600.0);
+        assert_eq!(second.as_micros(), 1);
+    }
+
+    #[test]
+    fn ordering_and_zero() {
+        assert!(Money::from_dollars(1.0) > Money::from_dollars(0.5));
+        assert!(Money::ZERO.is_zero());
+        assert!(!Money::from_micros(1).is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Money::from_dollars(0.0049).to_string(), "$0.0049");
+        assert_eq!(Money::from_dollars(12.3).to_string(), "$12.3000");
+    }
+}

@@ -1,0 +1,88 @@
+//! Wide-area links between federation sites.
+//!
+//! Optimizing across a federation is hard precisely because of "wide-range
+//! communications" (Section 1): moving a table between clouds can dwarf the
+//! local scan cost. The link model is deliberately simple — latency plus
+//! bandwidth — because that is what the cost features expose to DREAM.
+
+use serde::{Deserialize, Serialize};
+
+/// A directed network link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sustained throughput in MiB/s.
+    pub bandwidth_mib_s: f64,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl Link {
+    /// A new link; bandwidth must be positive.
+    ///
+    /// Panics when `bandwidth_mib_s <= 0`.
+    pub fn new(bandwidth_mib_s: f64, latency_ms: f64) -> Self {
+        assert!(bandwidth_mib_s > 0.0, "bandwidth must be positive");
+        Link {
+            bandwidth_mib_s,
+            latency_ms,
+        }
+    }
+
+    /// Typical same-datacenter connectivity (10 GiB/s, 0.2 ms).
+    pub fn local() -> Self {
+        Link::new(10.0 * 1024.0, 0.2)
+    }
+
+    /// Typical inter-cloud WAN (50 MiB/s, 40 ms).
+    pub fn wan() -> Self {
+        Link::new(50.0, 40.0)
+    }
+
+    /// Transfer estimate for `bytes` over this link.
+    pub fn transfer(&self, bytes: u64) -> TransferEstimate {
+        let seconds =
+            self.latency_ms / 1000.0 + bytes as f64 / (self.bandwidth_mib_s * 1024.0 * 1024.0);
+        TransferEstimate { bytes, seconds }
+    }
+}
+
+/// The result of a transfer-time estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferEstimate {
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Wall-clock seconds, latency included.
+    pub seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let link = Link::new(100.0, 50.0); // 100 MiB/s, 50ms
+        let est = link.transfer(100 * 1024 * 1024); // 100 MiB
+        assert!((est.seconds - (0.05 + 1.0)).abs() < 1e-9);
+        assert_eq!(est.bytes, 100 * 1024 * 1024);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let link = Link::wan();
+        let est = link.transfer(0);
+        assert!((est.seconds - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_beats_wan() {
+        let bytes = 10 * 1024 * 1024;
+        assert!(Link::local().transfer(bytes).seconds < Link::wan().transfer(bytes).seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = Link::new(0.0, 1.0);
+    }
+}

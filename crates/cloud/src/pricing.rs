@@ -1,0 +1,146 @@
+//! Pay-as-you-go billing: instance-time and egress charges.
+
+use crate::money::Money;
+use crate::provider::InstanceType;
+use serde::{Deserialize, Serialize};
+
+/// How a provider meters instance time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BillingGranularity {
+    /// Bill whole hours, rounding any started hour up (classic EC2).
+    PerHourRoundedUp,
+    /// Bill by the second with a minimum billable duration in seconds.
+    PerSecond {
+        /// Minimum seconds charged per launch (e.g. 60 on most clouds).
+        minimum_seconds: u64,
+    },
+}
+
+/// A provider's billing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricingModel {
+    /// Instance-time metering.
+    pub granularity: BillingGranularity,
+    /// Outbound (egress) transfer fee per GiB leaving the site.
+    pub egress_per_gib: Money,
+}
+
+impl PricingModel {
+    /// Fine-grained per-second billing (1-second floor) — the default for
+    /// all sites in the experiments, so the monetary metric tracks actual
+    /// usage instead of collapsing onto a floor.
+    pub fn per_second(egress_per_gib: Money) -> Self {
+        PricingModel {
+            granularity: BillingGranularity::PerSecond { minimum_seconds: 1 },
+            egress_per_gib,
+        }
+    }
+
+    /// Per-second billing with a minimum billable duration (e.g. the
+    /// 60-second floor several providers apply).
+    pub fn per_second_with_floor(minimum_seconds: u64, egress_per_gib: Money) -> Self {
+        PricingModel {
+            granularity: BillingGranularity::PerSecond { minimum_seconds },
+            egress_per_gib,
+        }
+    }
+
+    /// Classic hourly billing.
+    pub fn per_hour(egress_per_gib: Money) -> Self {
+        PricingModel {
+            granularity: BillingGranularity::PerHourRoundedUp,
+            egress_per_gib,
+        }
+    }
+
+    /// Cost of running `count` instances of `shape` for `seconds`.
+    pub fn instance_cost(&self, shape: &InstanceType, count: u32, seconds: f64) -> Money {
+        let billable_seconds = match self.granularity {
+            BillingGranularity::PerHourRoundedUp => {
+                let hours = (seconds / 3600.0).ceil().max(1.0);
+                hours * 3600.0
+            }
+            BillingGranularity::PerSecond { minimum_seconds } => {
+                seconds.max(minimum_seconds as f64)
+            }
+        };
+        shape
+            .price_per_hour
+            .scale(billable_seconds / 3600.0)
+            .mul_count(count)
+    }
+
+    /// Egress fee for moving `bytes` out of the site.
+    pub fn egress_cost(&self, bytes: u64) -> Money {
+        let gib = bytes as f64 / (1024.0 * 1024.0 * 1024.0);
+        self.egress_per_gib.scale(gib)
+    }
+}
+
+/// Small helper so `instance_cost` reads naturally.
+trait MulCount {
+    fn mul_count(self, count: u32) -> Money;
+}
+
+impl MulCount for Money {
+    fn mul_count(self, count: u32) -> Money {
+        self * count as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::Storage;
+
+    fn shape() -> InstanceType {
+        InstanceType::new(
+            "a1.medium",
+            1,
+            2.0,
+            Storage::EbsOnly,
+            Money::from_dollars(0.0049),
+        )
+    }
+
+    #[test]
+    fn hourly_rounds_up() {
+        let pm = PricingModel::per_hour(Money::ZERO);
+        // 30 minutes bills a full hour.
+        let c = pm.instance_cost(&shape(), 1, 1800.0);
+        assert_eq!(c, Money::from_dollars(0.0049));
+        // 1 hour 1 second bills two hours.
+        let c = pm.instance_cost(&shape(), 1, 3601.0);
+        assert_eq!(c, Money::from_dollars(0.0098));
+    }
+
+    #[test]
+    fn per_second_with_minimum() {
+        let pm = PricingModel::per_second_with_floor(60, Money::ZERO);
+        // 10 seconds bills the 60-second floor.
+        let c10 = pm.instance_cost(&shape(), 1, 10.0);
+        let c60 = pm.instance_cost(&shape(), 1, 60.0);
+        assert_eq!(c10, c60);
+        // 2x duration (above the floor) = 2x cost, up to the 1-micro-dollar
+        // rounding each metered charge performs.
+        let c120 = pm.instance_cost(&shape(), 1, 120.0);
+        assert!((c120.as_micros() - c60.as_micros() * 2).abs() <= 1);
+    }
+
+    #[test]
+    fn instance_count_scales_linearly() {
+        let pm = PricingModel::per_second(Money::ZERO);
+        let one = pm.instance_cost(&shape(), 1, 600.0);
+        let five = pm.instance_cost(&shape(), 5, 600.0);
+        assert_eq!(five.as_micros(), one.as_micros() * 5);
+    }
+
+    #[test]
+    fn egress_fee() {
+        let pm = PricingModel::per_second(Money::from_dollars(0.09));
+        let half_gib = 512 * 1024 * 1024u64;
+        let c = pm.egress_cost(half_gib);
+        assert_eq!(c, Money::from_dollars(0.045));
+        assert_eq!(pm.egress_cost(0), Money::ZERO);
+    }
+}

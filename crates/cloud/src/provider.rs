@@ -1,0 +1,187 @@
+//! Cloud providers, instance types and per-site resource pools.
+
+use crate::money::Money;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Cloud Service Provider (paper Section 2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provider {
+    /// Amazon Web Services.
+    Amazon,
+    /// Microsoft Azure.
+    Azure,
+    /// Google Cloud Platform.
+    Google,
+    /// A private/on-premise cloud (the paper's Galactica testbed).
+    Private,
+    /// Any other provider.
+    Other(String),
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provider::Amazon => write!(f, "Amazon"),
+            Provider::Azure => write!(f, "Microsoft"),
+            Provider::Google => write!(f, "Google"),
+            Provider::Private => write!(f, "Private"),
+            Provider::Other(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// Local storage attached to an instance type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Storage {
+    /// No local disk; network block storage only (Amazon's "EBS-Only").
+    EbsOnly,
+    /// A local disk of the given size in GiB.
+    Local(f64),
+}
+
+impl fmt::Display for Storage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Storage::EbsOnly => write!(f, "EBS-Only"),
+            Storage::Local(gib) => write!(f, "{gib:.0}"),
+        }
+    }
+}
+
+/// A purchasable virtual-machine shape with its hourly list price.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceType {
+    /// Provider-assigned name ("a1.medium", "B2S", …).
+    pub name: String,
+    /// Virtual CPU count.
+    pub vcpus: u32,
+    /// Memory in GiB.
+    pub memory_gib: f64,
+    /// Attached storage.
+    pub storage: Storage,
+    /// Hourly list price.
+    pub price_per_hour: Money,
+}
+
+impl InstanceType {
+    /// Convenience constructor.
+    pub fn new(
+        name: &str,
+        vcpus: u32,
+        memory_gib: f64,
+        storage: Storage,
+        price_per_hour: Money,
+    ) -> Self {
+        InstanceType {
+            name: name.to_string(),
+            vcpus,
+            memory_gib,
+            storage,
+            price_per_hour,
+        }
+    }
+
+    /// Price per vCPU-hour — a rough value-for-money indicator used by plan
+    /// enumeration heuristics.
+    pub fn price_per_vcpu_hour(&self) -> Money {
+        self.price_per_hour.scale(1.0 / self.vcpus.max(1) as f64)
+    }
+}
+
+/// The resource pool of one site: how much compute a tenant may allocate.
+///
+/// Example 3.1: a pool of 70 vCPU and 260 GB of memory yields
+/// `70 × 260 = 18 200` distinct `(vcpu, memory)` configurations for a single
+/// query — the combinatorial pressure that makes cheap estimation essential.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourcePool {
+    /// Allocatable vCPUs.
+    pub vcpus: u32,
+    /// Allocatable memory in GiB.
+    pub memory_gib: u32,
+}
+
+impl ResourcePool {
+    /// A new pool.
+    pub fn new(vcpus: u32, memory_gib: u32) -> Self {
+        ResourcePool { vcpus, memory_gib }
+    }
+
+    /// Number of distinct `(vcpu, memory)` configurations — Example 3.1's
+    /// count (each dimension chosen at integer granularity, at least 1).
+    pub fn configuration_count(&self) -> u64 {
+        self.vcpus as u64 * self.memory_gib as u64
+    }
+
+    /// True when `count` instances of `shape` fit in the pool.
+    pub fn fits(&self, shape: &InstanceType, count: u32) -> bool {
+        shape.vcpus * count <= self.vcpus
+            && shape.memory_gib * count as f64 <= self.memory_gib as f64
+    }
+
+    /// Largest count of `shape` that fits.
+    pub fn max_instances(&self, shape: &InstanceType) -> u32 {
+        if shape.vcpus == 0 {
+            return 0;
+        }
+        let by_cpu = self.vcpus / shape.vcpus;
+        let by_mem = if shape.memory_gib <= 0.0 {
+            u32::MAX
+        } else {
+            (self.memory_gib as f64 / shape.memory_gib) as u32
+        };
+        by_cpu.min(by_mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a1_large() -> InstanceType {
+        InstanceType::new(
+            "a1.large",
+            2,
+            4.0,
+            Storage::EbsOnly,
+            Money::from_dollars(0.0098),
+        )
+    }
+
+    #[test]
+    fn example_3_1_configuration_count() {
+        let pool = ResourcePool::new(70, 260);
+        assert_eq!(pool.configuration_count(), 18_200);
+    }
+
+    #[test]
+    fn pool_fit_logic() {
+        let pool = ResourcePool::new(8, 16);
+        let shape = a1_large(); // 2 vcpu / 4 GiB
+        assert!(pool.fits(&shape, 4));
+        assert!(!pool.fits(&shape, 5));
+        assert_eq!(pool.max_instances(&shape), 4);
+    }
+
+    #[test]
+    fn memory_bound_pool() {
+        let pool = ResourcePool::new(100, 8);
+        let shape = a1_large();
+        assert_eq!(pool.max_instances(&shape), 2); // memory-limited
+    }
+
+    #[test]
+    fn price_per_vcpu() {
+        let shape = a1_large();
+        assert_eq!(shape.price_per_vcpu_hour(), Money::from_dollars(0.0049));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Provider::Azure.to_string(), "Microsoft");
+        assert_eq!(Provider::Other("OVH".into()).to_string(), "OVH");
+        assert_eq!(Storage::EbsOnly.to_string(), "EBS-Only");
+        assert_eq!(Storage::Local(8.0).to_string(), "8");
+    }
+}

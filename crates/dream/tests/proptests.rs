@@ -1,0 +1,148 @@
+//! Property-based tests for the MLR core and Algorithm 1.
+
+use midas_dream::{
+    estimate_cost_value, mlr, DreamConfig, History, SolveMethod,
+};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned regression problem with L features and
+/// M >= L+2 rows, plus true coefficients.
+fn regression_problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>, Vec<f64>)> {
+    (1usize..4).prop_flat_map(|l| {
+        let m = (l + 2)..24usize;
+        m.prop_flat_map(move |m| {
+            (
+                proptest::collection::vec(
+                    proptest::collection::vec(-10.0..10.0f64, l),
+                    m,
+                ),
+                proptest::collection::vec(-5.0..5.0f64, l + 1),
+            )
+                .prop_map(|(feats, coefs)| {
+                    let targets: Vec<f64> = feats
+                        .iter()
+                        .map(|row| {
+                            coefs[0]
+                                + row
+                                    .iter()
+                                    .zip(&coefs[1..])
+                                    .map(|(x, b)| x * b)
+                                    .sum::<f64>()
+                        })
+                        .collect();
+                    (feats, coefs, targets)
+                })
+        })
+    })
+}
+
+proptest! {
+    /// On noise-free linear data the fit is exact: R² = 1 (unless the target
+    /// is ~constant, where our convention still yields 1 on an exact fit) and
+    /// predictions reproduce the generating function.
+    #[test]
+    fn exact_fit_on_linear_data((feats, coefs, targets) in regression_problem()) {
+        let refs: Vec<&[f64]> = feats.iter().map(|r| r.as_slice()).collect();
+        if let Ok(model) = mlr::fit(&refs, &targets, SolveMethod::Qr) {
+            prop_assert!(model.r_squared > 1.0 - 1e-6,
+                "R² = {} on noise-free data", model.r_squared);
+            // Spot-check a prediction at a fresh point.
+            let probe: Vec<f64> = (0..feats[0].len()).map(|i| 0.5 + i as f64).collect();
+            let want = coefs[0] + probe.iter().zip(&coefs[1..]).map(|(x, b)| x * b).sum::<f64>();
+            let got = model.predict(&probe).unwrap();
+            prop_assert!((got - want).abs() < 1e-4 * (1.0 + want.abs()),
+                "predict {} vs true {}", got, want);
+        }
+    }
+
+    /// R² never exceeds 1 (by definition 1 - SSE/SST with SSE >= 0) on any
+    /// data, noisy or not.
+    #[test]
+    fn r_squared_at_most_one(
+        feats in proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, 2), 4..20),
+        noise in proptest::collection::vec(-50.0..50.0f64, 20),
+    ) {
+        let refs: Vec<&[f64]> = feats.iter().map(|r| r.as_slice()).collect();
+        let targets: Vec<f64> = feats.iter().enumerate()
+            .map(|(i, r)| r[0] - r[1] + noise[i % noise.len()])
+            .collect();
+        if let Ok(model) = mlr::fit(&refs, &targets, SolveMethod::NormalEquations) {
+            prop_assert!(model.r_squared <= 1.0 + 1e-9);
+            prop_assert!(model.sse >= -1e-9);
+            prop_assert!(model.sst >= -1e-9);
+        }
+    }
+
+    /// The two solvers agree on well-conditioned problems.
+    #[test]
+    fn solvers_agree((feats, _coefs, mut targets) in regression_problem()) {
+        // Perturb targets so the problem is not exactly singular-friendly.
+        for (i, t) in targets.iter_mut().enumerate() {
+            *t += (i as f64 * 0.7).sin() * 0.1;
+        }
+        let refs: Vec<&[f64]> = feats.iter().map(|r| r.as_slice()).collect();
+        let ne = mlr::fit(&refs, &targets, SolveMethod::NormalEquations);
+        let qr = mlr::fit(&refs, &targets, SolveMethod::Qr);
+        if let (Ok(a), Ok(b)) = (ne, qr) {
+            // Compare fitted values rather than raw coefficients: collinear
+            // designs admit many coefficient vectors with identical fits.
+            let probe: Vec<f64> = feats[0].clone();
+            let pa = a.predict(&probe).unwrap();
+            let pb = b.predict(&probe).unwrap();
+            let scale = 1.0 + pa.abs().max(pb.abs());
+            prop_assert!((pa - pb).abs() / scale < 1e-3, "{} vs {}", pa, pb);
+        }
+    }
+
+    /// Algorithm 1 invariants: the window is within [L+2, min(Mmax, M)], and
+    /// when `satisfied` every metric's R² meets the requirement.
+    #[test]
+    fn dream_window_invariants(
+        n_obs in 6usize..60,
+        m_max in 4usize..80,
+        r2_req in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let mut h = History::new(1, 1);
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        for i in 0..n_obs {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let noise = ((s % 2000) as f64 / 1000.0) - 1.0;
+            h.record(&[i as f64], &[3.0 + 0.5 * i as f64 + noise]).unwrap();
+        }
+        let cfg = DreamConfig {
+            r2_required: vec![r2_req],
+            m_max,
+            ..DreamConfig::uniform(r2_req, 1, m_max)
+        };
+        if h.len() >= h.minimum_window() {
+            let out = estimate_cost_value(&h, &cfg).unwrap();
+            prop_assert!(out.window >= h.minimum_window());
+            prop_assert!(out.window <= m_max.max(h.minimum_window()));
+            prop_assert!(out.window <= h.len());
+            if out.satisfied {
+                for model in &out.models {
+                    prop_assert!(model.r_squared >= r2_req - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// DREAM is idempotent: re-running on the same history yields the same
+    /// window and coefficients (determinism requirement of the trait).
+    #[test]
+    fn dream_is_deterministic(n_obs in 6usize..40, seed in 0u64..500) {
+        let mut h = History::new(1, 1);
+        let mut s = seed | 1;
+        for i in 0..n_obs {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let noise = ((s % 2000) as f64 / 1000.0) - 1.0;
+            h.record(&[i as f64], &[2.0 * i as f64 + noise]).unwrap();
+        }
+        let cfg = DreamConfig::uniform(0.9, 1, 30);
+        let a = estimate_cost_value(&h, &cfg).unwrap();
+        let b = estimate_cost_value(&h, &cfg).unwrap();
+        prop_assert_eq!(a.window, b.window);
+        prop_assert_eq!(a.models[0].coefficients.clone(), b.models[0].coefficients.clone());
+    }
+}

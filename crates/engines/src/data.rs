@@ -1,0 +1,477 @@
+//! Typed columnar tables.
+//!
+//! Storage is column-major with an optional validity mask per column (nulls
+//! appear once left-outer joins enter the picture). The scales here are
+//! moderate — the TPC-H generator caps physical rows — so the priority is
+//! clarity and correctness over SIMD.
+
+use crate::error::EngineError;
+use std::fmt;
+
+/// Logical data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit float.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Date as days since 1970-01-01.
+    Date,
+    /// Boolean.
+    Bool,
+}
+
+/// A single scalar value (used by literals and row extraction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit float.
+    Float64(f64),
+    /// UTF-8 string.
+    Utf8(String),
+    /// Date as days since the epoch.
+    Date(i32),
+    /// Boolean.
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// The value's type; `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Utf8(_) => Some(DataType::Utf8),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Null => None,
+        }
+    }
+
+    /// Numeric view (ints and dates widen to f64); `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            Value::Date(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Utf8(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "date#{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// The typed backing store of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit ints.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// Strings.
+    Utf8(Vec<String>),
+    /// Dates (days since epoch).
+    Date(Vec<i32>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Utf8(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The logical type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Utf8(_) => DataType::Utf8,
+            ColumnData::Date(_) => DataType::Date,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+}
+
+/// One named column: data plus an optional validity mask (`false` = NULL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Typed values.
+    pub data: ColumnData,
+    /// `None` means all rows valid.
+    pub validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// A fully valid column.
+    pub fn new(name: &str, data: ColumnData) -> Self {
+        Column {
+            name: name.to_string(),
+            data,
+            validity: None,
+        }
+    }
+
+    /// A column with explicit validity.
+    pub fn with_validity(name: &str, data: ColumnData, validity: Vec<bool>) -> Self {
+        Column {
+            name: name.to_string(),
+            data,
+            validity: Some(validity),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True when row `i` is non-NULL.
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v[i])
+    }
+
+    /// Extracts row `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int64(v) => Value::Int64(v[i]),
+            ColumnData::Float64(v) => Value::Float64(v[i]),
+            ColumnData::Utf8(v) => Value::Utf8(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Approximate in-memory size of one value of this column, in bytes.
+    /// Strings use their average length; everything else its fixed width.
+    pub fn avg_value_bytes(&self) -> f64 {
+        match &self.data {
+            ColumnData::Int64(_) | ColumnData::Float64(_) => 8.0,
+            ColumnData::Date(_) => 4.0,
+            ColumnData::Bool(_) => 1.0,
+            ColumnData::Utf8(v) => {
+                if v.is_empty() {
+                    8.0
+                } else {
+                    v.iter().map(|s| s.len()).sum::<usize>() as f64 / v.len() as f64
+                }
+            }
+        }
+    }
+
+    /// Builds a new column keeping only rows where `mask[i]` is true.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
+            v.iter()
+                .zip(mask.iter())
+                .filter(|(_, &m)| m)
+                .map(|(x, _)| x.clone())
+                .collect()
+        }
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(keep(v, mask)),
+            ColumnData::Float64(v) => ColumnData::Float64(keep(v, mask)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(keep(v, mask)),
+            ColumnData::Date(v) => ColumnData::Date(keep(v, mask)),
+            ColumnData::Bool(v) => ColumnData::Bool(keep(v, mask)),
+        };
+        let validity = self.validity.as_ref().map(|v| keep(v, mask));
+        Column {
+            name: self.name.clone(),
+            data,
+            validity,
+        }
+    }
+
+    /// Builds a new column from the rows at `indices` (gather).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        fn gather<T: Clone>(v: &[T], idx: &[usize]) -> Vec<T> {
+            idx.iter().map(|&i| v[i].clone()).collect()
+        }
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(gather(v, indices)),
+            ColumnData::Float64(v) => ColumnData::Float64(gather(v, indices)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(gather(v, indices)),
+            ColumnData::Date(v) => ColumnData::Date(gather(v, indices)),
+            ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
+        };
+        let validity = self.validity.as_ref().map(|v| gather(v, indices));
+        Column {
+            name: self.name.clone(),
+            data,
+            validity,
+        }
+    }
+
+    /// Like [`Column::take`] but `None` indices produce NULL rows — needed
+    /// for the unmatched side of left-outer joins.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Column {
+        let mut validity = Vec::with_capacity(indices.len());
+        macro_rules! gather_opt {
+            ($v:expr, $default:expr) => {
+                indices
+                    .iter()
+                    .map(|idx| match idx {
+                        Some(i) => {
+                            validity.push(self.is_valid(*i));
+                            $v[*i].clone()
+                        }
+                        None => {
+                            validity.push(false);
+                            $default
+                        }
+                    })
+                    .collect()
+            };
+        }
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(gather_opt!(v, 0)),
+            ColumnData::Float64(v) => ColumnData::Float64(gather_opt!(v, 0.0)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(gather_opt!(v, String::new())),
+            ColumnData::Date(v) => ColumnData::Date(gather_opt!(v, 0)),
+            ColumnData::Bool(v) => ColumnData::Bool(gather_opt!(v, false)),
+        };
+        Column {
+            name: self.name.clone(),
+            data,
+            validity: Some(validity),
+        }
+    }
+}
+
+/// A named, schema-checked collection of equal-length columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Builds a table, validating that all columns share one length.
+    pub fn new(name: &str, columns: Vec<Column>) -> Result<Self, EngineError> {
+        let n_rows = columns.first().map_or(0, |c| c.len());
+        if columns.iter().any(|c| c.len() != n_rows) {
+            return Err(EngineError::RaggedTable {
+                table: name.to_string(),
+            });
+        }
+        Ok(Table {
+            name: name.to_string(),
+            columns,
+            n_rows,
+        })
+    }
+
+    /// An empty, zero-column table.
+    pub fn empty(name: &str) -> Self {
+        Table {
+            name: name.to_string(),
+            columns: Vec::new(),
+            n_rows: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> Result<&Column, EngineError> {
+        self.columns.get(i).ok_or(EngineError::ColumnIndex {
+            index: i,
+            width: self.columns.len(),
+        })
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize, EngineError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, EngineError> {
+        self.column(self.column_index(name)?)
+    }
+
+    /// Estimated in-memory size of the table's data in bytes.
+    pub fn estimated_bytes(&self) -> u64 {
+        let per_row: f64 = self.columns.iter().map(|c| c.avg_value_bytes()).sum();
+        (per_row * self.n_rows as f64) as u64
+    }
+
+    /// Keeps the rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Table {
+        let columns = self.columns.iter().map(|c| c.filter(mask)).collect();
+        let n_rows = mask.iter().filter(|&&m| m).count();
+        Table {
+            name: self.name.clone(),
+            columns,
+            n_rows,
+        }
+    }
+
+    /// Gathers the rows at `indices`.
+    pub fn take(&self, indices: &[usize]) -> Table {
+        let columns = self.columns.iter().map(|c| c.take(indices)).collect();
+        Table {
+            name: self.name.clone(),
+            columns,
+            n_rows: indices.len(),
+        }
+    }
+
+    /// Extracts row `i` as values (for tests and display).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("id", ColumnData::Int64(vec![1, 2, 3])),
+                Column::new(
+                    "name",
+                    ColumnData::Utf8(vec!["a".into(), "bb".into(), "ccc".into()]),
+                ),
+                Column::new("score", ColumnData::Float64(vec![0.5, 1.5, 2.5])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_lengths() {
+        let bad = Table::new(
+            "bad",
+            vec![
+                Column::new("a", ColumnData::Int64(vec![1])),
+                Column::new("b", ColumnData::Int64(vec![1, 2])),
+            ],
+        );
+        assert!(matches!(bad, Err(EngineError::RaggedTable { .. })));
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_columns(), 3);
+        assert_eq!(t.column_index("score").unwrap(), 2);
+        assert!(t.column_index("nope").is_err());
+        assert!(t.column(9).is_err());
+        assert_eq!(t.column_by_name("id").unwrap().value(1), Value::Int64(2));
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let t = sample().filter(&[true, false, true]);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.row(1)[0], Value::Int64(3));
+    }
+
+    #[test]
+    fn take_gathers_and_duplicates() {
+        let t = sample().take(&[2, 0, 2]);
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.row(0)[0], Value::Int64(3));
+        assert_eq!(t.row(2)[0], Value::Int64(3));
+    }
+
+    #[test]
+    fn take_opt_produces_nulls() {
+        let t = sample();
+        let c = t.column_by_name("name").unwrap().take_opt(&[Some(0), None]);
+        assert_eq!(c.value(0), Value::Utf8("a".into()));
+        assert_eq!(c.value(1), Value::Null);
+        assert!(!c.is_valid(1));
+    }
+
+    #[test]
+    fn estimated_bytes_reflects_strings() {
+        let t = sample();
+        // 8 (id) + 2 (avg name len) + 8 (score) = 18 bytes/row * 3 rows.
+        assert_eq!(t.estimated_bytes(), 54);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Date(10).as_f64(), Some(10.0));
+        assert_eq!(Value::Utf8("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Bool(true).data_type(), Some(DataType::Bool));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::empty("e");
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.estimated_bytes(), 0);
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Date(3).to_string(), "date#3");
+    }
+}

@@ -1,0 +1,145 @@
+//! Engine kinds and their performance profiles.
+//!
+//! The paper's multi-engine environment runs Hive, PostgreSQL and Spark side
+//! by side. For cost purposes an engine is characterized by a handful of
+//! coefficients: job-startup latency (large for YARN-scheduled Hive, tiny for
+//! PostgreSQL), per-tuple operator costs, how much of the work parallelizes
+//! (Amdahl fraction), and scan throughput. The numbers are order-of-magnitude
+//! calibrations, not measurements — what matters for the experiments is that
+//! the engines *differ* and that costs scale linearly in the work profile.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The execution engines of the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Apache Hive on Hadoop/YARN.
+    Hive,
+    /// PostgreSQL.
+    PostgreSql,
+    /// Apache Spark.
+    Spark,
+}
+
+impl EngineKind {
+    /// All supported engines.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Hive, EngineKind::PostgreSql, EngineKind::Spark];
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Hive => write!(f, "Hive"),
+            EngineKind::PostgreSql => write!(f, "PostgreSQL"),
+            EngineKind::Spark => write!(f, "Spark"),
+        }
+    }
+}
+
+/// Cost coefficients of one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineProfile {
+    /// Fixed job startup/teardown latency in seconds.
+    pub startup_s: f64,
+    /// CPU cost to scan one tuple, in microseconds.
+    pub scan_us_per_tuple: f64,
+    /// CPU cost per tuple entering a join, in microseconds.
+    pub join_us_per_tuple: f64,
+    /// CPU cost per tuple entering an aggregation, in microseconds.
+    pub agg_us_per_tuple: f64,
+    /// CPU cost per tuple for sorts (times log2 n), in microseconds.
+    pub sort_us_per_tuple: f64,
+    /// Scan I/O throughput in MiB/s per worker.
+    pub io_mib_s: f64,
+    /// Fraction of the work that parallelizes across workers (Amdahl).
+    pub parallel_fraction: f64,
+}
+
+impl EngineProfile {
+    /// Calibrated profile for an engine kind.
+    pub fn for_engine(kind: EngineKind) -> Self {
+        match kind {
+            // Hive: heavy startup (YARN containers), slow MapReduce-era
+            // per-tuple path (materializes between stages), parallelizes
+            // well.
+            EngineKind::Hive => EngineProfile {
+                startup_s: 4.0,
+                scan_us_per_tuple: 9.0,
+                join_us_per_tuple: 24.0,
+                agg_us_per_tuple: 14.0,
+                sort_us_per_tuple: 5.0,
+                io_mib_s: 80.0,
+                parallel_fraction: 0.92,
+            },
+            // PostgreSQL: near-zero startup, fast single-threaded tuples,
+            // but (classic single-process query) parallelizes poorly.
+            EngineKind::PostgreSql => EngineProfile {
+                startup_s: 0.08,
+                scan_us_per_tuple: 1.6,
+                join_us_per_tuple: 4.5,
+                agg_us_per_tuple: 2.5,
+                sort_us_per_tuple: 1.5,
+                io_mib_s: 250.0,
+                parallel_fraction: 0.25,
+            },
+            // Spark: moderate startup, decent tuples, excellent scaling.
+            EngineKind::Spark => EngineProfile {
+                startup_s: 2.5,
+                scan_us_per_tuple: 4.0,
+                join_us_per_tuple: 11.0,
+                agg_us_per_tuple: 6.5,
+                sort_us_per_tuple: 2.5,
+                io_mib_s: 160.0,
+                parallel_fraction: 0.95,
+            },
+        }
+    }
+
+    /// Amdahl speedup with `workers` parallel workers.
+    pub fn speedup(&self, workers: u32) -> f64 {
+        let w = workers.max(1) as f64;
+        1.0 / ((1.0 - self.parallel_fraction) + self.parallel_fraction / w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_in_character() {
+        let hive = EngineProfile::for_engine(EngineKind::Hive);
+        let pg = EngineProfile::for_engine(EngineKind::PostgreSql);
+        let spark = EngineProfile::for_engine(EngineKind::Spark);
+        // Startup ordering: PostgreSQL << Spark << Hive.
+        assert!(pg.startup_s < spark.startup_s);
+        assert!(spark.startup_s < hive.startup_s);
+        // Per-tuple speed: PostgreSQL fastest single-threaded.
+        assert!(pg.scan_us_per_tuple < spark.scan_us_per_tuple);
+        // Scaling: Spark ~ Hive >> PostgreSQL.
+        assert!(spark.parallel_fraction > 0.9);
+        assert!(pg.parallel_fraction < 0.5);
+    }
+
+    #[test]
+    fn amdahl_speedup() {
+        let spark = EngineProfile::for_engine(EngineKind::Spark);
+        assert!((spark.speedup(1) - 1.0).abs() < 1e-12);
+        let s8 = spark.speedup(8);
+        assert!(s8 > 4.0 && s8 < 8.0, "8-worker speedup {s8}");
+        // Monotone and saturating below 1/(1-p).
+        assert!(spark.speedup(16) > s8);
+        assert!(spark.speedup(1_000) < 1.0 / (1.0 - spark.parallel_fraction) + 1e-9);
+        // Workers=0 is clamped.
+        assert_eq!(spark.speedup(0), 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EngineKind::Hive.to_string(), "Hive");
+        assert_eq!(EngineKind::PostgreSql.to_string(), "PostgreSQL");
+        assert_eq!(EngineKind::Spark.to_string(), "Spark");
+        assert_eq!(EngineKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the executor and simulator.
+
+use std::fmt;
+
+/// Errors raised while building or executing plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A column index was out of bounds for the table.
+    ColumnIndex {
+        /// Index requested.
+        index: usize,
+        /// Columns available.
+        width: usize,
+    },
+    /// An expression mixed incompatible types.
+    TypeMismatch {
+        /// Description of the offending operation.
+        context: String,
+    },
+    /// Columns of one table disagree on row count.
+    RaggedTable {
+        /// Table in question.
+        table: String,
+    },
+    /// A referenced table is missing from the catalog.
+    UnknownTable(String),
+    /// Division by zero during expression evaluation.
+    DivisionByZero,
+    /// The operation is undefined on an empty input.
+    EmptyInput(String),
+    /// Site or engine referenced by a plan is not available.
+    Unavailable(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            EngineError::ColumnIndex { index, width } => {
+                write!(f, "column index {index} out of bounds for width {width}")
+            }
+            EngineError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            EngineError::RaggedTable { table } => {
+                write!(f, "table {table} has columns of differing lengths")
+            }
+            EngineError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            EngineError::DivisionByZero => write!(f, "division by zero"),
+            EngineError::EmptyInput(op) => write!(f, "{op} is undefined on empty input"),
+            EngineError::Unavailable(what) => write!(f, "unavailable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,551 @@
+//! The federated executor: run fragments, simulate time and money.
+//!
+//! A federated query is a sequence of *fragments*, each pinned to a site,
+//! engine and VM allocation. Fragments exchange data by name: a fragment's
+//! output is visible to later fragments as the table `@frag<N>`. Running a
+//! fragment does real row processing (through [`crate::ops::execute`]) and
+//! then converts the measured [`WorkProfile`] into simulated wall-clock time
+//! under the engine profile, VM parallelism, current site load and noise —
+//! plus billed money under the site's pricing model, including egress for
+//! cross-site fragment inputs.
+
+use crate::engine::{EngineKind, EngineProfile};
+use crate::error::EngineError;
+use crate::ops::{execute, OpKind, PhysicalPlan, WorkProfile};
+use crate::sim::SimulationEnv;
+use crate::data::Table;
+use midas_cloud::{Federation, Money, SiteId};
+use std::collections::HashMap;
+
+/// One unit of site-pinned work.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The operator tree; scans may reference base tables or `@frag<N>`.
+    pub plan: PhysicalPlan,
+    /// Where it runs.
+    pub site: SiteId,
+    /// Which engine runs it.
+    pub engine: EngineKind,
+    /// Instance-type name from the site's catalog.
+    pub instance: String,
+    /// Number of VMs allocated.
+    pub vm_count: u32,
+}
+
+/// A whole federated query: fragments in execution (topological) order.
+#[derive(Debug, Clone)]
+pub struct FederatedQuery {
+    /// The fragments; fragment `i` may read the outputs of fragments `< i`.
+    pub fragments: Vec<Fragment>,
+}
+
+/// Per-fragment accounting.
+#[derive(Debug, Clone)]
+pub struct FragmentOutcome {
+    /// Simulated seconds, transfers included.
+    pub elapsed_s: f64,
+    /// Money billed for VMs plus egress.
+    pub money: Money,
+    /// Bytes shipped into this fragment from other sites.
+    pub ingress_bytes: u64,
+    /// The work the fragment performed.
+    pub work: WorkProfile,
+}
+
+/// The result of executing a federated query.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// The final fragment's output table.
+    pub result: Table,
+    /// Total simulated wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Total billed money.
+    pub money: Money,
+    /// Total intermediate bytes produced across fragments.
+    pub intermediate_bytes: u64,
+    /// Per-fragment breakdown.
+    pub fragments: Vec<FragmentOutcome>,
+}
+
+impl ExecutionOutcome {
+    /// The cost vector `(time, money)` the experiments feed estimators.
+    pub fn cost_vector(&self) -> Vec<f64> {
+        vec![self.elapsed_s, self.money.as_dollars()]
+    }
+}
+
+/// A convenience bundle describing the canonical two-table QEP
+/// configuration: where to join and what to buy there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QepConfig {
+    /// Join/aggregate site.
+    pub join_site: SiteId,
+    /// Engine performing the join.
+    pub join_engine: EngineKind,
+    /// Instance type purchased at the join site.
+    pub instance: String,
+    /// How many VMs.
+    pub vm_count: u32,
+}
+
+/// The federated executor.
+pub struct Executor<'a> {
+    federation: &'a Federation,
+    env: SimulationEnv,
+}
+
+impl<'a> Executor<'a> {
+    /// Binds an executor to a federation with a fresh simulation
+    /// environment.
+    pub fn new(federation: &'a Federation, env: SimulationEnv) -> Self {
+        Executor { federation, env }
+    }
+
+    /// Read access to the simulation environment (for tests/experiments).
+    pub fn env(&self) -> &SimulationEnv {
+        &self.env
+    }
+
+    /// Mutable access, e.g. to advance drift between queries.
+    pub fn env_mut(&mut self) -> &mut SimulationEnv {
+        &mut self.env
+    }
+
+    /// Executes a federated query against base tables.
+    pub fn run(
+        &mut self,
+        query: &FederatedQuery,
+        base_tables: &HashMap<String, Table>,
+    ) -> Result<ExecutionOutcome, EngineError> {
+        self.run_with_scale(query, base_tables, 1.0)
+    }
+
+    /// Like [`Executor::run`] but treating every physical row as
+    /// `work_scale` logical rows.
+    ///
+    /// Row-capped datasets (see the TPC-H generator's uniform rescale) carry
+    /// fewer physical rows than the scale factor nominally implies; passing
+    /// `work_scale = 1 / rescale` makes the *simulated* time, transfer and
+    /// billing reflect the nominal data volume while the relational work
+    /// stays cheap.
+    pub fn run_with_scale(
+        &mut self,
+        query: &FederatedQuery,
+        base_tables: &HashMap<String, Table>,
+        work_scale: f64,
+    ) -> Result<ExecutionOutcome, EngineError> {
+        let work_scale = if work_scale.is_finite() && work_scale > 0.0 {
+            work_scale
+        } else {
+            1.0
+        };
+        let mut catalog: HashMap<String, Table> = base_tables.clone();
+        let mut outcomes: Vec<FragmentOutcome> = Vec::with_capacity(query.fragments.len());
+        // Remember where each fragment output lives and how big it is.
+        let mut frag_sites: Vec<SiteId> = Vec::new();
+        let mut frag_bytes: Vec<u64> = Vec::new();
+        let mut last_table = Table::empty("empty");
+        let mut total_elapsed = 0.0;
+        let mut total_money = Money::ZERO;
+        let mut total_intermediate = 0u64;
+
+        for (idx, fragment) in query.fragments.iter().enumerate() {
+            // Transfers: every upstream fragment output this fragment scans
+            // that lives on a different site must be shipped in.
+            let mut transfer_s = 0.0;
+            let mut transfer_money = Money::ZERO;
+            let mut ingress = 0u64;
+            for dep in referenced_fragments(&fragment.plan) {
+                if dep >= idx {
+                    return Err(EngineError::Unavailable(format!(
+                        "fragment {idx} references later fragment {dep}"
+                    )));
+                }
+                let from = frag_sites[dep];
+                if from != fragment.site {
+                    let bytes = (frag_bytes[dep] as f64 * work_scale) as u64;
+                    let est = self.federation.transfer(from, fragment.site, bytes);
+                    transfer_s += est.seconds;
+                    transfer_money += self.federation.transfer_cost(from, fragment.site, bytes);
+                    ingress += bytes;
+                }
+            }
+
+            // Real execution over the accumulated catalog.
+            let (table, work) = execute(&fragment.plan, &catalog)?;
+
+            // Simulated processing time.
+            let shape = self
+                .federation
+                .site(fragment.site)
+                .catalog
+                .by_name(&fragment.instance)
+                .ok_or_else(|| {
+                    EngineError::Unavailable(format!(
+                        "instance {} at site {}",
+                        fragment.instance,
+                        self.federation.site(fragment.site).name
+                    ))
+                })?
+                .clone();
+            let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);
+            let profile = EngineProfile::for_engine(fragment.engine);
+            let load = self.env.load(fragment.site);
+            let noise = self.env.noise(fragment.site);
+            let compute_s =
+                simulate_fragment_seconds_scaled(&work, &profile, workers, load, noise, work_scale);
+            let elapsed = compute_s + transfer_s;
+
+            // Billing: VMs for the fragment duration plus the egress already
+            // accounted.
+            let site = self.federation.site(fragment.site);
+            let vm_money = site
+                .pricing
+                .instance_cost(&shape, fragment.vm_count.max(1), elapsed);
+            let money = vm_money + transfer_money;
+
+            let bytes_out = table.estimated_bytes();
+            catalog.insert(format!("@frag{idx}"), table.clone());
+            frag_sites.push(fragment.site);
+            frag_bytes.push(bytes_out);
+            total_intermediate += work.total_intermediate_bytes();
+            total_elapsed += elapsed;
+            total_money += money;
+            last_table = table;
+
+            outcomes.push(FragmentOutcome {
+                elapsed_s: elapsed,
+                money,
+                ingress_bytes: ingress,
+                work,
+            });
+
+            // The world moves on while the fragment runs.
+            self.env.tick(elapsed);
+        }
+
+        Ok(ExecutionOutcome {
+            result: last_table,
+            elapsed_s: total_elapsed,
+            money: total_money,
+            intermediate_bytes: total_intermediate,
+            fragments: outcomes,
+        })
+    }
+}
+
+/// Scan names of the form `@frag<N>` referenced by a plan.
+fn referenced_fragments(plan: &PhysicalPlan) -> Vec<usize> {
+    let mut deps = Vec::new();
+    collect_refs(plan, &mut deps);
+    deps.sort_unstable();
+    deps.dedup();
+    deps
+}
+
+fn collect_refs(plan: &PhysicalPlan, out: &mut Vec<usize>) {
+    match plan {
+        PhysicalPlan::Scan { table } | PhysicalPlan::PrunedScan { table, .. } => {
+            if let Some(rest) = table.strip_prefix("@frag") {
+                if let Ok(idx) = rest.parse::<usize>() {
+                    out.push(idx);
+                }
+            }
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Aggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. } => collect_refs(input, out),
+        PhysicalPlan::HashJoin { left, right, .. } => {
+            collect_refs(left, out);
+            collect_refs(right, out);
+        }
+    }
+}
+
+/// Converts a work profile into simulated seconds for one fragment.
+pub fn simulate_fragment_seconds(
+    work: &WorkProfile,
+    profile: &EngineProfile,
+    workers: u32,
+    load: f64,
+    noise: f64,
+) -> f64 {
+    simulate_fragment_seconds_scaled(work, profile, workers, load, noise, 1.0)
+}
+
+/// [`simulate_fragment_seconds`] with each physical row standing in for
+/// `work_scale` logical rows.
+pub fn simulate_fragment_seconds_scaled(
+    work: &WorkProfile,
+    profile: &EngineProfile,
+    workers: u32,
+    load: f64,
+    noise: f64,
+    work_scale: f64,
+) -> f64 {
+    let mut cpu_us = 0.0;
+    for op in &work.ops {
+        let n = op.rows_in as f64 * work_scale;
+        cpu_us += match op.kind {
+            OpKind::Scan => n * profile.scan_us_per_tuple,
+            OpKind::Join => n * profile.join_us_per_tuple,
+            OpKind::Aggregate => n * profile.agg_us_per_tuple,
+            OpKind::Sort => n * profile.sort_us_per_tuple * (n.max(2.0)).log2(),
+            // Filters/projections/limits stream: charge a light per-tuple touch.
+            OpKind::Filter | OpKind::Project | OpKind::Limit => n * 0.15,
+        };
+    }
+    let io_s =
+        work.scanned_bytes() as f64 * work_scale / (profile.io_mib_s * 1024.0 * 1024.0);
+    let speedup = profile.speedup(workers);
+    // Load and noise scale the *whole* fragment: a busy cluster delays
+    // container startup (YARN queueing) just as it slows the work itself.
+    load * noise * (profile.startup_s + (cpu_us / 1e6 + io_s) / speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Column, ColumnData};
+    use crate::expr::Expr;
+    use crate::ops::JoinType;
+    use crate::sim::DriftIntensity;
+    use midas_cloud::federation::example_federation;
+
+    fn base_tables(rows: usize) -> HashMap<String, Table> {
+        let left = Table::new(
+            "left",
+            vec![
+                Column::new("k", ColumnData::Int64((0..rows as i64).collect())),
+                Column::new(
+                    "v",
+                    ColumnData::Float64((0..rows).map(|i| i as f64 * 0.5).collect()),
+                ),
+            ],
+        )
+        .unwrap();
+        let right = Table::new(
+            "right",
+            vec![Column::new(
+                "k",
+                ColumnData::Int64((0..rows as i64 / 2).collect()),
+            )],
+        )
+        .unwrap();
+        let mut m = HashMap::new();
+        m.insert("left".to_string(), left);
+        m.insert("right".to_string(), right);
+        m
+    }
+
+    fn two_fragment_query(a: SiteId, b: SiteId) -> FederatedQuery {
+        // Fragment 0: scan+filter `right` at site B.
+        // Fragment 1: join with `left` at site A (ships frag0 across).
+        FederatedQuery {
+            fragments: vec![
+                Fragment {
+                    plan: PhysicalPlan::Filter {
+                        input: Box::new(PhysicalPlan::Scan {
+                            table: "right".to_string(),
+                        }),
+                        predicate: Expr::col(0).ge(Expr::int(0)),
+                    },
+                    site: b,
+                    engine: EngineKind::PostgreSql,
+                    instance: "B2S".to_string(),
+                    vm_count: 1,
+                },
+                Fragment {
+                    plan: PhysicalPlan::HashJoin {
+                        left: Box::new(PhysicalPlan::Scan {
+                            table: "left".to_string(),
+                        }),
+                        right: Box::new(PhysicalPlan::Scan {
+                            table: "@frag0".to_string(),
+                        }),
+                        left_keys: vec![0],
+                        right_keys: vec![0],
+                        join_type: JoinType::Inner,
+                    },
+                    site: a,
+                    engine: EngineKind::Hive,
+                    instance: "a1.large".to_string(),
+                    vm_count: 2,
+                },
+            ],
+        }
+    }
+
+    fn executor(fed: &Federation) -> Executor<'_> {
+        let mut env = SimulationEnv::new();
+        for site in fed.site_ids() {
+            env.register_site(site, 42, DriftIntensity::Mild);
+        }
+        Executor::new(fed, env)
+    }
+
+    #[test]
+    fn runs_and_joins_across_sites() {
+        let (fed, a, b) = example_federation();
+        let mut ex = executor(&fed);
+        let out = ex.run(&two_fragment_query(a, b), &base_tables(100)).unwrap();
+        assert_eq!(out.result.n_rows(), 50);
+        assert!(out.elapsed_s > 0.0);
+        assert!(out.money > Money::ZERO);
+        assert_eq!(out.fragments.len(), 2);
+        // The join fragment ingested the shipped fragment output.
+        assert!(out.fragments[1].ingress_bytes > 0);
+        assert_eq!(out.fragments[0].ingress_bytes, 0);
+    }
+
+    #[test]
+    fn hive_startup_dominates_small_queries() {
+        let (fed, a, b) = example_federation();
+        let mut ex = executor(&fed);
+        let out = ex.run(&two_fragment_query(a, b), &base_tables(10)).unwrap();
+        // Fragment 1 runs on Hive: on a 10-row input its startup latency is
+        // essentially the whole cost (Mild drift keeps load within ~0.3 of
+        // nominal, so 4 s x load stays well above 2 s).
+        assert!(out.fragments[1].elapsed_s >= 2.0, "{}", out.fragments[1].elapsed_s);
+        // Fragment 0 on PostgreSQL has near-zero startup.
+        assert!(out.fragments[0].elapsed_s < 1.0);
+    }
+
+    #[test]
+    fn more_data_costs_more_time() {
+        let (fed, a, b) = example_federation();
+        let small = executor(&fed)
+            .run(&two_fragment_query(a, b), &base_tables(100))
+            .unwrap();
+        let big = executor(&fed)
+            .run(&two_fragment_query(a, b), &base_tables(100_000))
+            .unwrap();
+        assert!(big.elapsed_s > small.elapsed_s);
+        assert!(big.money >= small.money);
+    }
+
+    #[test]
+    fn unknown_instance_is_reported() {
+        let (fed, a, b) = example_federation();
+        let mut q = two_fragment_query(a, b);
+        q.fragments[1].instance = "m5.mega".to_string();
+        let err = executor(&fed).run(&q, &base_tables(10));
+        assert!(matches!(err, Err(EngineError::Unavailable(_))));
+    }
+
+    #[test]
+    fn forward_reference_is_rejected() {
+        let (fed, a, _) = example_federation();
+        let q = FederatedQuery {
+            fragments: vec![Fragment {
+                plan: PhysicalPlan::Scan {
+                    table: "@frag5".to_string(),
+                },
+                site: a,
+                engine: EngineKind::Spark,
+                instance: "a1.medium".to_string(),
+                vm_count: 1,
+            }],
+        };
+        let err = executor(&fed).run(&q, &HashMap::new());
+        assert!(matches!(err, Err(EngineError::Unavailable(_))));
+    }
+
+    #[test]
+    fn cost_vector_shape() {
+        let (fed, a, b) = example_federation();
+        let out = executor(&fed)
+            .run(&two_fragment_query(a, b), &base_tables(50))
+            .unwrap();
+        let v = out.cost_vector();
+        assert_eq!(v.len(), 2);
+        assert!(v[0] > 0.0 && v[1] > 0.0);
+    }
+
+    #[test]
+    fn clock_advances_with_execution() {
+        let (fed, a, b) = example_federation();
+        let mut ex = executor(&fed);
+        assert_eq!(ex.env().clock_s, 0.0);
+        let out = ex.run(&two_fragment_query(a, b), &base_tables(50)).unwrap();
+        assert!((ex.env().clock_s - out.elapsed_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_scale_inflates_simulated_costs_only() {
+        let (fed, a, b) = example_federation();
+        let tables = base_tables(20_000);
+        let q = two_fragment_query(a, b);
+        let mk_env = || {
+            let mut env = SimulationEnv::new();
+            for site in fed.site_ids() {
+                env.register_site(site, 2, DriftIntensity::None);
+            }
+            env
+        };
+        let out1 = Executor::new(&fed, mk_env())
+            .run_with_scale(&q, &tables, 1.0)
+            .unwrap();
+        let out50 = Executor::new(&fed, mk_env())
+            .run_with_scale(&q, &tables, 50.0)
+            .unwrap();
+        // Same relational result...
+        assert_eq!(out1.result.n_rows(), out50.result.n_rows());
+        // ...but much more variable time on the low-startup PostgreSQL
+        // fragment (Hive's fixed 12 s startup masks the join fragment at
+        // this size), plus more money and ingress bytes.
+        assert!(
+            out50.fragments[0].elapsed_s > out1.fragments[0].elapsed_s * 3.0,
+            "scaled {} vs base {}",
+            out50.fragments[0].elapsed_s,
+            out1.fragments[0].elapsed_s
+        );
+        assert!(out50.elapsed_s > out1.elapsed_s);
+        assert!(out50.money >= out1.money);
+        assert_eq!(
+            out50.fragments[1].ingress_bytes,
+            out1.fragments[1].ingress_bytes * 50
+        );
+        // Degenerate scales are clamped to 1.0.
+        let bad = Executor::new(&fed, mk_env())
+            .run_with_scale(&q, &tables, f64::NAN)
+            .unwrap();
+        assert!((bad.elapsed_s - out1.elapsed_s).abs() < out1.elapsed_s * 0.5);
+    }
+
+    #[test]
+    fn more_vms_speed_up_parallel_engines() {
+        let (fed, a, b) = example_federation();
+        let mut q = two_fragment_query(a, b);
+        q.fragments[1].engine = EngineKind::Spark; // parallel-friendly
+        let tables = base_tables(200_000);
+
+        let out1 = {
+            let mut q1 = q.clone();
+            q1.fragments[1].vm_count = 1;
+            // Drift disabled so the comparison is clean.
+            let mut env = SimulationEnv::new();
+            for site in fed.site_ids() {
+                env.register_site(site, 1, DriftIntensity::None);
+            }
+            Executor::new(&fed, env).run(&q1, &tables).unwrap()
+        };
+        let out8 = {
+            let mut q8 = q.clone();
+            q8.fragments[1].vm_count = 8;
+            let mut env = SimulationEnv::new();
+            for site in fed.site_ids() {
+                env.register_site(site, 1, DriftIntensity::None);
+            }
+            Executor::new(&fed, env).run(&q8, &tables).unwrap()
+        };
+        assert!(
+            out8.fragments[1].elapsed_s < out1.fragments[1].elapsed_s,
+            "8 VMs {} should beat 1 VM {}",
+            out8.fragments[1].elapsed_s,
+            out1.fragments[1].elapsed_s
+        );
+    }
+}

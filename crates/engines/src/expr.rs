@@ -1,0 +1,473 @@
+//! Scalar expressions evaluated against table rows.
+//!
+//! The expression language covers what the TPC-H two-table queries need:
+//! column references, literals, arithmetic, comparisons, boolean logic, an
+//! `IN`-list, and `BETWEEN`-style range checks built from comparisons.
+//! NULL propagates Kleene-style through comparisons and arithmetic; `AND`
+//! and `OR` use three-valued logic collapsed to "NULL is not true".
+
+use crate::data::{Table, Value};
+use crate::error::EngineError;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by position.
+    Col(usize),
+    /// A literal value.
+    Lit(Value),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Membership in a literal list (`col IN (a, b, c)`).
+    InList {
+        /// The probed expression.
+        expr: Box<Expr>,
+        /// The candidate values.
+        list: Vec<Value>,
+    },
+    /// True when the operand is NULL.
+    IsNull(Box<Expr>),
+    /// Substring containment — SQL `expr LIKE '%needle%'`.
+    Contains {
+        /// The probed string expression.
+        expr: Box<Expr>,
+        /// The literal substring.
+        needle: String,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // builder API mirrors SQL, not std::ops
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Value::Int64(v))
+    }
+
+    /// Float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Lit(Value::Float64(v))
+    }
+
+    /// String literal.
+    pub fn str(v: &str) -> Expr {
+        Expr::Lit(Value::Utf8(v.to_string()))
+    }
+
+    /// Date literal (days since epoch).
+    pub fn date(days: i32) -> Expr {
+        Expr::Lit(Value::Date(days))
+    }
+
+    fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+    /// `self = rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, rhs)
+    }
+    /// `self <> rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, rhs)
+    }
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, rhs)
+    }
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, rhs)
+    }
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, rhs)
+    }
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, rhs)
+    }
+    /// `self AND rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+    /// `self OR rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, rhs)
+    }
+    /// `NOT self`.
+    pub fn negate(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// `self IN (list)`.
+    pub fn in_list(self, list: Vec<Value>) -> Expr {
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+        }
+    }
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+    /// `self LIKE '%needle%'`.
+    pub fn contains(self, needle: &str) -> Expr {
+        Expr::Contains {
+            expr: Box::new(self),
+            needle: needle.to_string(),
+        }
+    }
+
+    /// Evaluates the expression at row `row` of `table`.
+    pub fn eval(&self, table: &Table, row: usize) -> Result<Value, EngineError> {
+        match self {
+            Expr::Col(i) => Ok(table.column(*i)?.value(row)),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Not(e) => match e.eval(table, row)? {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                other => Err(EngineError::TypeMismatch {
+                    context: format!("NOT on {other:?}"),
+                }),
+            },
+            Expr::IsNull(e) => Ok(Value::Bool(matches!(e.eval(table, row)?, Value::Null))),
+            Expr::Contains { expr, needle } => match expr.eval(table, row)? {
+                Value::Utf8(s) => Ok(Value::Bool(s.contains(needle.as_str()))),
+                Value::Null => Ok(Value::Null),
+                other => Err(EngineError::TypeMismatch {
+                    context: format!("CONTAINS on {other:?}"),
+                }),
+            },
+            Expr::InList { expr, list } => {
+                let v = expr.eval(table, row)?;
+                if matches!(v, Value::Null) {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(list.iter().any(|cand| values_equal(&v, cand))))
+            }
+            Expr::Bin { op, left, right } => {
+                let l = left.eval(table, row)?;
+                let r = right.eval(table, row)?;
+                eval_bin(*op, l, r)
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate over every row, producing a
+    /// selection mask (NULL counts as not-selected, as in SQL `WHERE`).
+    pub fn eval_mask(&self, table: &Table) -> Result<Vec<bool>, EngineError> {
+        (0..table.n_rows())
+            .map(|row| match self.eval(table, row)? {
+                Value::Bool(b) => Ok(b),
+                Value::Null => Ok(false),
+                other => Err(EngineError::TypeMismatch {
+                    context: format!("predicate produced {other:?}"),
+                }),
+            })
+            .collect()
+    }
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Utf8(x), Value::Utf8(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+    }
+}
+
+fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
+    use BinOp::*;
+    // Three-valued logic for AND/OR must look at non-NULL operands first.
+    if matches!(op, And | Or) {
+        let lb = as_bool_opt(&l)?;
+        let rb = as_bool_opt(&r)?;
+        return Ok(match (op, lb, rb) {
+            (And, Some(false), _) | (And, _, Some(false)) => Value::Bool(false),
+            (And, Some(true), Some(true)) => Value::Bool(true),
+            (Or, Some(true), _) | (Or, _, Some(true)) => Value::Bool(true),
+            (Or, Some(false), Some(false)) => Value::Bool(false),
+            _ => Value::Null,
+        });
+    }
+    if matches!(l, Value::Null) || matches!(r, Value::Null) {
+        return Ok(Value::Null);
+    }
+    match op {
+        Add | Sub | Mul | Div => {
+            let (x, y) = numeric_pair(&l, &r, op)?;
+            let out = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => {
+                    if y == 0.0 {
+                        return Err(EngineError::DivisionByZero);
+                    }
+                    x / y
+                }
+                _ => unreachable!(),
+            };
+            // Integer arithmetic stays integral except division.
+            match (&l, &r, op) {
+                (Value::Int64(_), Value::Int64(_), Add | Sub | Mul) => {
+                    Ok(Value::Int64(out as i64))
+                }
+                _ => Ok(Value::Float64(out)),
+            }
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = compare_values(&l, &r)?;
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                Ne => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        And | Or => unreachable!("handled above"),
+    }
+}
+
+fn as_bool_opt(v: &Value) -> Result<Option<bool>, EngineError> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        other => Err(EngineError::TypeMismatch {
+            context: format!("boolean operand expected, got {other:?}"),
+        }),
+    }
+}
+
+fn numeric_pair(l: &Value, r: &Value, op: BinOp) -> Result<(f64, f64), EngineError> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(x), Some(y)) => Ok((x, y)),
+        _ => Err(EngineError::TypeMismatch {
+            context: format!("{op:?} on {l:?} and {r:?}"),
+        }),
+    }
+}
+
+fn compare_values(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EngineError> {
+    match (l, r) {
+        (Value::Utf8(a), Value::Utf8(b)) => Ok(a.cmp(b)),
+        (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+        _ => match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b).ok_or(EngineError::TypeMismatch {
+                context: "NaN comparison".to_string(),
+            }),
+            _ => Err(EngineError::TypeMismatch {
+                context: format!("compare {l:?} with {r:?}"),
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Column, ColumnData};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("a", ColumnData::Int64(vec![1, 2, 3, 4])),
+                Column::new("b", ColumnData::Float64(vec![1.5, 0.5, 3.5, 2.0])),
+                Column::new(
+                    "s",
+                    ColumnData::Utf8(vec!["x".into(), "y".into(), "x".into(), "z".into()]),
+                ),
+                Column::with_validity(
+                    "n",
+                    ColumnData::Int64(vec![10, 0, 30, 0]),
+                    vec![true, false, true, false],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = table();
+        let e = Expr::col(0).add(Expr::int(10));
+        assert_eq!(e.eval(&t, 0).unwrap(), Value::Int64(11));
+        let e = Expr::col(0).mul(Expr::col(1));
+        assert_eq!(e.eval(&t, 2).unwrap(), Value::Float64(10.5));
+        let e = Expr::col(0).div(Expr::int(2));
+        assert_eq!(e.eval(&t, 3).unwrap(), Value::Float64(2.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let t = table();
+        let e = Expr::col(0).div(Expr::int(0));
+        assert_eq!(e.eval(&t, 0), Err(EngineError::DivisionByZero));
+    }
+
+    #[test]
+    fn comparisons_and_mask() {
+        let t = table();
+        let e = Expr::col(0).ge(Expr::int(3));
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![false, false, true, true]);
+        let e = Expr::col(2).eq(Expr::str("x"));
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn boolean_logic() {
+        let t = table();
+        let e = Expr::col(0)
+            .gt(Expr::int(1))
+            .and(Expr::col(1).lt(Expr::float(3.0)));
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![false, true, false, true]);
+        let e = Expr::col(0).eq(Expr::int(1)).or(Expr::col(2).eq(Expr::str("z")));
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, false, true]);
+        let e = Expr::col(0).gt(Expr::int(1)).negate();
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn null_propagation() {
+        let t = table();
+        // n > 5: NULL rows must not be selected.
+        let e = Expr::col(3).gt(Expr::int(5));
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, true, false]);
+        // IS NULL.
+        let e = Expr::col(3).is_null();
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![false, true, false, true]);
+        // NULL AND false = false (Kleene).
+        let e = Expr::col(3).gt(Expr::int(5)).and(Expr::col(0).gt(Expr::int(99)));
+        assert_eq!(e.eval(&t, 1).unwrap(), Value::Bool(false));
+        // NULL OR true = true.
+        let e = Expr::col(3).gt(Expr::int(5)).or(Expr::col(0).ge(Expr::int(1)));
+        assert_eq!(e.eval(&t, 1).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list() {
+        let t = table();
+        let e = Expr::col(2).in_list(vec![Value::Utf8("x".into()), Value::Utf8("z".into())]);
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, true, true]);
+        // NULL IN (...) is NULL -> not selected.
+        let e = Expr::col(3).in_list(vec![Value::Int64(10)]);
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let t = table();
+        let e = Expr::col(2).add(Expr::int(1));
+        assert!(matches!(
+            e.eval(&t, 0),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+        let e = Expr::col(0); // not a predicate
+        assert!(e.eval_mask(&t).is_err());
+    }
+
+    #[test]
+    fn contains_like_pattern() {
+        let t = table();
+        let e = Expr::col(2).contains("x");
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![true, false, true, false]);
+        // NULL stays NULL -> unselected; non-strings are type errors.
+        let e = Expr::col(3).contains("1");
+        assert!(matches!(
+            e.eval(&t, 0),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+        let t2 = Table::new(
+            "s",
+            vec![Column::with_validity(
+                "s",
+                ColumnData::Utf8(vec!["abc".into(), String::new()]),
+                vec![true, false],
+            )],
+        )
+        .unwrap();
+        let e = Expr::col(0).contains("b");
+        assert_eq!(e.eval_mask(&t2).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn date_comparisons() {
+        let t = Table::new(
+            "d",
+            vec![Column::new("d", ColumnData::Date(vec![100, 200, 300]))],
+        )
+        .unwrap();
+        let e = Expr::col(0).ge(Expr::date(150)).and(Expr::col(0).lt(Expr::date(300)));
+        assert_eq!(e.eval_mask(&t).unwrap(), vec![false, true, false]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # midas-engines
+//!
+//! The multi-engine execution substrate standing in for the paper's testbed
+//! (Hadoop/Hive + PostgreSQL + Spark on a private cloud).
+//!
+//! Two cleanly separated halves:
+//!
+//! 1. **A real relational executor** ([`data`], [`expr`], [`ops`]): typed
+//!    columnar tables, scalar expressions, and physical operators (scan,
+//!    filter, project, hash join, left-outer join, aggregation, sort, limit)
+//!    that actually process rows. Running a plan yields both its result table
+//!    and a [`ops::WorkProfile`] — the tuple and byte counts each operator
+//!    touched.
+//! 2. **A performance simulator** ([`engine`], [`sim`], [`exec`]): per-engine
+//!    cost profiles (startup latency, per-tuple costs, parallel fraction),
+//!    per-site load that *drifts over time* (regime shifts + noise — the
+//!    cloud-federation variance that motivates DREAM), and a translator from
+//!    a work profile + VM configuration to wall-clock seconds and money.
+//!
+//! The split is the substitution documented in DESIGN.md: estimators only
+//! ever see `(features, observed cost)` pairs, so a simulator that produces
+//! per-regime-linear, drifting, engine-dependent costs exercises exactly the
+//! same estimation problem as the authors' physical cluster.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod ops;
+pub mod placement;
+pub mod sim;
+
+pub use data::{Column, ColumnData, DataType, Table, Value};
+pub use engine::{EngineKind, EngineProfile};
+pub use error::EngineError;
+pub use exec::{ExecutionOutcome, Executor, QepConfig};
+pub use expr::Expr;
+pub use ops::{AggExpr, JoinType, PhysicalPlan, WorkProfile};
+pub use placement::Placement;
+pub use sim::{LoadModel, SimulationEnv};

@@ -1,0 +1,966 @@
+//! Physical operators and the plan executor.
+//!
+//! Plans are trees of materializing operators: each node consumes whole input
+//! tables and produces an output table. Besides the result, execution yields
+//! a [`WorkProfile`] — per-operator tuple/byte counts — which the simulator
+//! in [`crate::exec`] converts into engine-dependent time and money.
+
+use crate::data::{Column, ColumnData, DataType, Table, Value};
+use crate::error::EngineError;
+use crate::expr::Expr;
+use std::collections::HashMap;
+
+/// Join flavours needed by the TPC-H two-table queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner equi-join.
+    Inner,
+    /// Left-outer equi-join (Q13's `customer LEFT OUTER JOIN orders`).
+    LeftOuter,
+}
+
+/// Aggregate expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggExpr {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum(Expr),
+    /// `AVG(expr)`.
+    Avg(Expr),
+    /// `MIN(expr)` (numeric).
+    Min(Expr),
+    /// `MAX(expr)` (numeric).
+    Max(Expr),
+    /// `SUM(CASE WHEN pred THEN 1 ELSE 0 END)` — Q12's priority counters.
+    CountIf(Expr),
+    /// `SUM(CASE WHEN pred THEN value ELSE 0 END)` — Q14's promo revenue.
+    SumIf {
+        /// Value summed when the predicate holds.
+        value: Expr,
+        /// The predicate.
+        predicate: Expr,
+    },
+}
+
+/// A physical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Leaf: read a named base table.
+    Scan {
+        /// Base-table name resolved against the execution catalog.
+        table: String,
+    },
+    /// Leaf: read a base table with a predicate pushed into the storage
+    /// layer (index range scan / partition pruning). Semantically identical
+    /// to `Filter(Scan)`, but the work profile charges only the *selected*
+    /// rows — storage-side selection never materializes the rejected ones.
+    PrunedScan {
+        /// Base-table name.
+        table: String,
+        /// Storage-evaluable predicate.
+        predicate: Expr,
+    },
+    /// Row selection.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Selection predicate.
+        predicate: Expr,
+    },
+    /// Column computation / pruning.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Output columns as (name, expression).
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Hash equi-join on single key columns.
+    HashJoin {
+        /// Build side (left).
+        left: Box<PhysicalPlan>,
+        /// Probe side (right).
+        right: Box<PhysicalPlan>,
+        /// Key column positions in the left input.
+        left_keys: Vec<usize>,
+        /// Key column positions in the right input.
+        right_keys: Vec<usize>,
+        /// Inner or left-outer.
+        join_type: JoinType,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Group-by key column positions (empty = one global group).
+        group_by: Vec<usize>,
+        /// Aggregates as (output name, expression).
+        aggs: Vec<(String, AggExpr)>,
+    },
+    /// Sort by column positions; `true` = descending.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort keys as (column, descending).
+        by: Vec<(usize, bool)>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+/// What kind of work an operator performed (for the cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Table scan.
+    Scan,
+    /// Filter.
+    Filter,
+    /// Projection.
+    Project,
+    /// Hash join.
+    Join,
+    /// Aggregation.
+    Aggregate,
+    /// Sort.
+    Sort,
+    /// Limit.
+    Limit,
+}
+
+/// Tuple/byte accounting for one executed operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpWork {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Input tuples (both sides summed for joins).
+    pub rows_in: u64,
+    /// Output tuples.
+    pub rows_out: u64,
+    /// Estimated output bytes.
+    pub bytes_out: u64,
+}
+
+/// Work accounting for a whole plan execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkProfile {
+    /// Per-operator entries in execution (post-order) sequence.
+    pub ops: Vec<OpWork>,
+}
+
+impl WorkProfile {
+    /// Total tuples read by scans.
+    pub fn scanned_rows(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Scan)
+            .map(|o| o.rows_in)
+            .sum()
+    }
+
+    /// Total bytes read by scans.
+    pub fn scanned_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Scan)
+            .map(|o| o.bytes_out)
+            .sum()
+    }
+
+    /// Total tuples entering joins.
+    pub fn join_input_rows(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Join)
+            .map(|o| o.rows_in)
+            .sum()
+    }
+
+    /// Total tuples entering aggregations.
+    pub fn agg_input_rows(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == OpKind::Aggregate)
+            .map(|o| o.rows_in)
+            .sum()
+    }
+
+    /// Bytes of the largest intermediate result (a memory-pressure proxy).
+    pub fn peak_intermediate_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.bytes_out).max().unwrap_or(0)
+    }
+
+    /// Total bytes produced across all operators (the "intermediate data"
+    /// cost metric some user policies optimize).
+    pub fn total_intermediate_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.bytes_out).sum()
+    }
+
+    /// Rows of the final operator's output (the plan's result size).
+    pub fn output_rows(&self) -> u64 {
+        self.ops.last().map_or(0, |o| o.rows_out)
+    }
+
+    /// Bytes of the final operator's output.
+    pub fn output_bytes(&self) -> u64 {
+        self.ops.last().map_or(0, |o| o.bytes_out)
+    }
+}
+
+/// Hashable key for joins and group-by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyVal {
+    Int(i64),
+    Str(String),
+    Date(i32),
+    Bool(bool),
+    /// Floats keyed by bit pattern.
+    Float(u64),
+    Null,
+}
+
+fn key_of(v: &Value) -> KeyVal {
+    match v {
+        Value::Int64(x) => KeyVal::Int(*x),
+        Value::Utf8(s) => KeyVal::Str(s.clone()),
+        Value::Date(d) => KeyVal::Date(*d),
+        Value::Bool(b) => KeyVal::Bool(*b),
+        Value::Float64(f) => KeyVal::Float(f.to_bits()),
+        Value::Null => KeyVal::Null,
+    }
+}
+
+/// Executes a plan against a catalog of base tables.
+///
+/// Returns the result table and the work profile. Base tables are shared
+/// (`&Table`), never copied for scans beyond what operators materialize.
+pub fn execute(
+    plan: &PhysicalPlan,
+    catalog: &HashMap<String, Table>,
+) -> Result<(Table, WorkProfile), EngineError> {
+    let mut profile = WorkProfile::default();
+    let table = run(plan, catalog, &mut profile)?;
+    Ok((table, profile))
+}
+
+fn record(profile: &mut WorkProfile, kind: OpKind, rows_in: u64, out: &Table) {
+    profile.ops.push(OpWork {
+        kind,
+        rows_in,
+        rows_out: out.n_rows() as u64,
+        bytes_out: out.estimated_bytes(),
+    });
+}
+
+fn run(
+    plan: &PhysicalPlan,
+    catalog: &HashMap<String, Table>,
+    profile: &mut WorkProfile,
+) -> Result<Table, EngineError> {
+    match plan {
+        PhysicalPlan::Scan { table } => {
+            let t = catalog
+                .get(table)
+                .ok_or_else(|| EngineError::UnknownTable(table.clone()))?
+                .clone();
+            let rows = t.n_rows() as u64;
+            record(profile, OpKind::Scan, rows, &t);
+            Ok(t)
+        }
+        PhysicalPlan::PrunedScan { table, predicate } => {
+            let base = catalog
+                .get(table)
+                .ok_or_else(|| EngineError::UnknownTable(table.clone()))?;
+            let mask = predicate.eval_mask(base)?;
+            let out = base.filter(&mask);
+            // Storage-side pruning: only the surviving rows are charged.
+            let rows = out.n_rows() as u64;
+            record(profile, OpKind::Scan, rows, &out);
+            Ok(out)
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let t = run(input, catalog, profile)?;
+            let mask = predicate.eval_mask(&t)?;
+            let out = t.filter(&mask);
+            record(profile, OpKind::Filter, t.n_rows() as u64, &out);
+            Ok(out)
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let t = run(input, catalog, profile)?;
+            let out = project(&t, exprs)?;
+            record(profile, OpKind::Project, t.n_rows() as u64, &out);
+            Ok(out)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => {
+            let lt = run(left, catalog, profile)?;
+            let rt = run(right, catalog, profile)?;
+            let out = hash_join(&lt, &rt, left_keys, right_keys, *join_type)?;
+            record(
+                profile,
+                OpKind::Join,
+                (lt.n_rows() + rt.n_rows()) as u64,
+                &out,
+            );
+            Ok(out)
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let t = run(input, catalog, profile)?;
+            let out = aggregate(&t, group_by, aggs)?;
+            record(profile, OpKind::Aggregate, t.n_rows() as u64, &out);
+            Ok(out)
+        }
+        PhysicalPlan::Sort { input, by } => {
+            let t = run(input, catalog, profile)?;
+            let out = sort(&t, by)?;
+            record(profile, OpKind::Sort, t.n_rows() as u64, &out);
+            Ok(out)
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let t = run(input, catalog, profile)?;
+            let indices: Vec<usize> = (0..t.n_rows().min(*n)).collect();
+            let out = t.take(&indices);
+            record(profile, OpKind::Limit, t.n_rows() as u64, &out);
+            Ok(out)
+        }
+    }
+}
+
+fn project(t: &Table, exprs: &[(String, Expr)]) -> Result<Table, EngineError> {
+    let n = t.n_rows();
+    let mut columns = Vec::with_capacity(exprs.len());
+    for (name, expr) in exprs {
+        // Evaluate row-wise and infer the column type from the first
+        // non-NULL value; all-NULL columns default to Int64.
+        let mut values = Vec::with_capacity(n);
+        for row in 0..n {
+            values.push(expr.eval(t, row)?);
+        }
+        columns.push(column_from_values(name, values)?);
+    }
+    Table::new(&t.name, columns)
+}
+
+fn column_from_values(name: &str, values: Vec<Value>) -> Result<Column, EngineError> {
+    let dtype = values
+        .iter()
+        .find_map(|v| v.data_type())
+        .unwrap_or(DataType::Int64);
+    let mut validity = Vec::with_capacity(values.len());
+    macro_rules! build {
+        ($variant:ident, $extract:expr, $default:expr) => {{
+            let mut out = Vec::with_capacity(values.len());
+            for v in &values {
+                match $extract(v) {
+                    Some(x) => {
+                        validity.push(true);
+                        out.push(x);
+                    }
+                    None => {
+                        validity.push(false);
+                        out.push($default);
+                    }
+                }
+            }
+            ColumnData::$variant(out)
+        }};
+    }
+    let data = match dtype {
+        DataType::Int64 => build!(
+            Int64,
+            |v: &Value| match v {
+                Value::Int64(x) => Some(*x),
+                _ => None,
+            },
+            0
+        ),
+        DataType::Float64 => build!(
+            Float64,
+            |v: &Value| v.as_f64(),
+            0.0
+        ),
+        DataType::Utf8 => build!(
+            Utf8,
+            |v: &Value| match v {
+                Value::Utf8(s) => Some(s.clone()),
+                _ => None,
+            },
+            String::new()
+        ),
+        DataType::Date => build!(
+            Date,
+            |v: &Value| match v {
+                Value::Date(d) => Some(*d),
+                _ => None,
+            },
+            0
+        ),
+        DataType::Bool => build!(
+            Bool,
+            |v: &Value| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            },
+            false
+        ),
+    };
+    if validity.iter().all(|&v| v) {
+        Ok(Column::new(name, data))
+    } else {
+        Ok(Column::with_validity(name, data, validity))
+    }
+}
+
+fn row_key(t: &Table, keys: &[usize], row: usize) -> Result<Vec<KeyVal>, EngineError> {
+    keys.iter()
+        .map(|&k| Ok(key_of(&t.column(k)?.value(row))))
+        .collect()
+}
+
+fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+) -> Result<Table, EngineError> {
+    if left_keys.len() != right_keys.len() {
+        return Err(EngineError::TypeMismatch {
+            context: "join key arity mismatch".to_string(),
+        });
+    }
+    // Build on the right side, probe from the left so LeftOuter preserves
+    // every left row naturally.
+    let mut build: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
+    for row in 0..right.n_rows() {
+        let key = row_key(right, right_keys, row)?;
+        if key.iter().any(|k| matches!(k, KeyVal::Null)) {
+            continue; // NULL keys never match
+        }
+        build.entry(key).or_default().push(row);
+    }
+
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<Option<usize>> = Vec::new();
+    for row in 0..left.n_rows() {
+        let key = row_key(left, left_keys, row)?;
+        let matches = if key.iter().any(|k| matches!(k, KeyVal::Null)) {
+            None
+        } else {
+            build.get(&key)
+        };
+        match matches {
+            Some(rows) => {
+                for &r in rows {
+                    left_idx.push(row);
+                    right_idx.push(Some(r));
+                }
+            }
+            None => {
+                if join_type == JoinType::LeftOuter {
+                    left_idx.push(row);
+                    right_idx.push(None);
+                }
+            }
+        }
+    }
+
+    // Assemble output columns: all left columns then all right columns.
+    let mut columns = Vec::with_capacity(left.n_columns() + right.n_columns());
+    for c in left.columns() {
+        columns.push(c.take(&left_idx));
+    }
+    for c in right.columns() {
+        columns.push(c.take_opt(&right_idx));
+    }
+    // Disambiguate duplicated names with a right-side prefix.
+    let left_names: Vec<String> = left.columns().iter().map(|c| c.name.clone()).collect();
+    for col in columns.iter_mut().skip(left.n_columns()) {
+        if left_names.contains(&col.name) {
+            col.name = format!("r.{}", col.name);
+        }
+    }
+    Table::new("join", columns)
+}
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    Sum { total: f64, seen: bool },
+    Avg { total: f64, count: u64 },
+    Min(Option<f64>),
+    Max(Option<f64>),
+}
+
+fn aggregate(
+    t: &Table,
+    group_by: &[usize],
+    aggs: &[(String, AggExpr)],
+) -> Result<Table, EngineError> {
+    // Group rows.
+    let mut groups: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
+    let mut first_seen: Vec<Vec<KeyVal>> = Vec::new();
+    for row in 0..t.n_rows() {
+        let key = row_key(t, group_by, row)?;
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                first_seen.push(key);
+                Vec::new()
+            })
+            .push(row);
+    }
+    // Global aggregation over empty input still yields one group.
+    if group_by.is_empty() && groups.is_empty() {
+        groups.insert(Vec::new(), Vec::new());
+        first_seen.push(Vec::new());
+    }
+
+    // Deterministic output order: first-seen group order.
+    let ordered_keys = first_seen;
+
+    // Compute aggregates per group.
+    let mut agg_values: Vec<Vec<Value>> = vec![Vec::with_capacity(ordered_keys.len()); aggs.len()];
+    let mut group_rows: Vec<usize> = Vec::with_capacity(ordered_keys.len());
+    for key in &ordered_keys {
+        let rows = &groups[key];
+        group_rows.push(rows.first().copied().unwrap_or(0));
+        for (slot, (_, agg)) in aggs.iter().enumerate() {
+            let mut state = match agg {
+                AggExpr::Count | AggExpr::CountIf(_) => AggState::Count(0),
+                AggExpr::Sum(_) | AggExpr::SumIf { .. } => AggState::Sum {
+                    total: 0.0,
+                    seen: false,
+                },
+                AggExpr::Avg(_) => AggState::Avg {
+                    total: 0.0,
+                    count: 0,
+                },
+                AggExpr::Min(_) => AggState::Min(None),
+                AggExpr::Max(_) => AggState::Max(None),
+            };
+            for &row in rows {
+                step_agg(&mut state, agg, t, row)?;
+            }
+            agg_values[slot].push(finish_agg(state));
+        }
+    }
+
+    // Assemble: group-key columns (gathered from representative rows) then
+    // aggregate columns.
+    let mut columns = Vec::with_capacity(group_by.len() + aggs.len());
+    for &g in group_by {
+        let src = t.column(g)?;
+        columns.push(src.take(&group_rows));
+    }
+    for (slot, (name, _)) in aggs.iter().enumerate() {
+        columns.push(column_from_values(name, std::mem::take(&mut agg_values[slot]))?);
+    }
+    Table::new("agg", columns)
+}
+
+fn step_agg(state: &mut AggState, agg: &AggExpr, t: &Table, row: usize) -> Result<(), EngineError> {
+    match (state, agg) {
+        (AggState::Count(c), AggExpr::Count) => *c += 1,
+        (AggState::Count(c), AggExpr::CountIf(pred)) => {
+            if matches!(pred.eval(t, row)?, Value::Bool(true)) {
+                *c += 1;
+            }
+        }
+        (AggState::Sum { total, seen }, AggExpr::Sum(e)) => {
+            if let Some(x) = e.eval(t, row)?.as_f64() {
+                *total += x;
+                *seen = true;
+            }
+        }
+        (AggState::Sum { total, seen }, AggExpr::SumIf { value, predicate }) => {
+            *seen = true;
+            if matches!(predicate.eval(t, row)?, Value::Bool(true)) {
+                if let Some(x) = value.eval(t, row)?.as_f64() {
+                    *total += x;
+                }
+            }
+        }
+        (AggState::Avg { total, count }, AggExpr::Avg(e)) => {
+            if let Some(x) = e.eval(t, row)?.as_f64() {
+                *total += x;
+                *count += 1;
+            }
+        }
+        (AggState::Min(m), AggExpr::Min(e)) => {
+            if let Some(x) = e.eval(t, row)?.as_f64() {
+                *m = Some(m.map_or(x, |cur: f64| cur.min(x)));
+            }
+        }
+        (AggState::Max(m), AggExpr::Max(e)) => {
+            if let Some(x) = e.eval(t, row)?.as_f64() {
+                *m = Some(m.map_or(x, |cur: f64| cur.max(x)));
+            }
+        }
+        _ => unreachable!("state/agg pairing is fixed at construction"),
+    }
+    Ok(())
+}
+
+fn finish_agg(state: AggState) -> Value {
+    match state {
+        AggState::Count(c) => Value::Int64(c as i64),
+        AggState::Sum { total, seen } => {
+            if seen {
+                Value::Float64(total)
+            } else {
+                Value::Null
+            }
+        }
+        AggState::Avg { total, count } => {
+            if count > 0 {
+                Value::Float64(total / count as f64)
+            } else {
+                Value::Null
+            }
+        }
+        AggState::Min(m) => m.map_or(Value::Null, Value::Float64),
+        AggState::Max(m) => m.map_or(Value::Null, Value::Float64),
+    }
+}
+
+fn sort(t: &Table, by: &[(usize, bool)]) -> Result<Table, EngineError> {
+    let mut indices: Vec<usize> = (0..t.n_rows()).collect();
+    // Validate columns up-front so sort_by can't panic mid-way.
+    for &(c, _) in by {
+        t.column(c)?;
+    }
+    indices.sort_by(|&a, &b| {
+        for &(c, desc) in by {
+            let col = t.column(c).expect("validated above");
+            let ord = cmp_values(&col.value(a), &col.value(b));
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(t.take(&indices))
+}
+
+/// Total order over values for sorting: NULLs first, then by type.
+fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Null, _) => Ordering::Less,
+        (_, Value::Null) => Ordering::Greater,
+        (Value::Utf8(x), Value::Utf8(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            _ => Ordering::Equal,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Column, ColumnData};
+
+    fn catalog() -> HashMap<String, Table> {
+        let orders = Table::new(
+            "orders",
+            vec![
+                Column::new("o_orderkey", ColumnData::Int64(vec![1, 2, 3, 4])),
+                Column::new("o_custkey", ColumnData::Int64(vec![10, 20, 10, 30])),
+                Column::new(
+                    "o_priority",
+                    ColumnData::Utf8(vec![
+                        "1-URGENT".into(),
+                        "3-MEDIUM".into(),
+                        "2-HIGH".into(),
+                        "5-LOW".into(),
+                    ]),
+                ),
+            ],
+        )
+        .unwrap();
+        let customer = Table::new(
+            "customer",
+            vec![
+                Column::new("c_custkey", ColumnData::Int64(vec![10, 20, 40])),
+                Column::new(
+                    "c_name",
+                    ColumnData::Utf8(vec!["alice".into(), "bob".into(), "carol".into()]),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut cat = HashMap::new();
+        cat.insert("orders".to_string(), orders);
+        cat.insert("customer".to_string(), customer);
+        cat
+    }
+
+    fn scan(t: &str) -> PhysicalPlan {
+        PhysicalPlan::Scan {
+            table: t.to_string(),
+        }
+    }
+
+    #[test]
+    fn scan_unknown_table() {
+        let res = execute(&scan("nope"), &catalog());
+        assert!(matches!(res, Err(EngineError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn pruned_scan_equals_filter_scan_but_charges_less() {
+        let predicate = Expr::col(1).eq(Expr::int(10));
+        let pruned = PhysicalPlan::PrunedScan {
+            table: "orders".to_string(),
+            predicate: predicate.clone(),
+        };
+        let filtered = PhysicalPlan::Filter {
+            input: Box::new(scan("orders")),
+            predicate,
+        };
+        let (out_p, prof_p) = execute(&pruned, &catalog()).unwrap();
+        let (out_f, _) = execute(&filtered, &catalog()).unwrap();
+        // Same semantics…
+        assert_eq!(out_p.columns(), out_f.columns());
+        // …but the pruned scan charges only the selected rows.
+        assert_eq!(prof_p.scanned_rows(), 2);
+        assert_eq!(prof_p.ops.len(), 1);
+    }
+
+    #[test]
+    fn pruned_scan_unknown_table() {
+        let plan = PhysicalPlan::PrunedScan {
+            table: "nope".to_string(),
+            predicate: Expr::col(0).ge(Expr::int(0)),
+        };
+        assert!(matches!(
+            execute(&plan, &catalog()),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn filter_and_profile() {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan("orders")),
+            predicate: Expr::col(1).eq(Expr::int(10)),
+        };
+        let (out, profile) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(profile.ops.len(), 2);
+        assert_eq!(profile.scanned_rows(), 4);
+        assert_eq!(profile.ops[1].kind, OpKind::Filter);
+        assert_eq!(profile.ops[1].rows_out, 2);
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let plan = PhysicalPlan::Project {
+            input: Box::new(scan("orders")),
+            exprs: vec![
+                ("key2".to_string(), Expr::col(0).mul(Expr::int(2))),
+                ("is_urgent".to_string(), Expr::col(2).eq(Expr::str("1-URGENT"))),
+            ],
+        };
+        let (out, _) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(out.n_columns(), 2);
+        assert_eq!(out.row(0), vec![Value::Int64(2), Value::Bool(true)]);
+        assert_eq!(out.row(1), vec![Value::Int64(4), Value::Bool(false)]);
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan("customer")),
+            right: Box::new(scan("orders")),
+            left_keys: vec![0],
+            right_keys: vec![1],
+            join_type: JoinType::Inner,
+        };
+        let (out, profile) = execute(&plan, &catalog()).unwrap();
+        // alice(10) x 2 orders + bob(20) x 1 = 3 rows; carol unmatched.
+        assert_eq!(out.n_rows(), 3);
+        assert_eq!(profile.join_input_rows(), 7);
+        // Right-side duplicate of c_custkey is prefixed... names differ here,
+        // so both originals survive.
+        assert!(out.column_by_name("o_orderkey").is_ok());
+    }
+
+    #[test]
+    fn left_outer_join_preserves_unmatched() {
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan("customer")),
+            right: Box::new(scan("orders")),
+            left_keys: vec![0],
+            right_keys: vec![1],
+            join_type: JoinType::LeftOuter,
+        };
+        let (out, _) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(out.n_rows(), 4); // 3 matches + carol with NULLs
+        let carol_row = (0..out.n_rows())
+            .find(|&i| out.row(i)[1] == Value::Utf8("carol".into()))
+            .unwrap();
+        assert_eq!(out.row(carol_row)[2], Value::Null);
+    }
+
+    #[test]
+    fn aggregate_count_per_group() {
+        // COUNT(orders) per custkey.
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(scan("orders")),
+            group_by: vec![1],
+            aggs: vec![("n".to_string(), AggExpr::Count)],
+        };
+        let (out, _) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(out.n_rows(), 3);
+        // First-seen order: 10, 20, 30.
+        assert_eq!(out.row(0), vec![Value::Int64(10), Value::Int64(2)]);
+        assert_eq!(out.row(1), vec![Value::Int64(20), Value::Int64(1)]);
+    }
+
+    #[test]
+    fn global_aggregates_and_countif() {
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(scan("orders")),
+            group_by: vec![],
+            aggs: vec![
+                ("n".to_string(), AggExpr::Count),
+                (
+                    "high".to_string(),
+                    AggExpr::CountIf(Expr::col(2).in_list(vec![
+                        Value::Utf8("1-URGENT".into()),
+                        Value::Utf8("2-HIGH".into()),
+                    ])),
+                ),
+                ("sum_key".to_string(), AggExpr::Sum(Expr::col(0))),
+                ("avg_key".to_string(), AggExpr::Avg(Expr::col(0))),
+                ("min_key".to_string(), AggExpr::Min(Expr::col(0))),
+                ("max_key".to_string(), AggExpr::Max(Expr::col(0))),
+            ],
+        };
+        let (out, _) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(
+            out.row(0),
+            vec![
+                Value::Int64(4),
+                Value::Int64(2),
+                Value::Float64(10.0),
+                Value::Float64(2.5),
+                Value::Float64(1.0),
+                Value::Float64(4.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn sumif_conditional_total() {
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(scan("orders")),
+            group_by: vec![],
+            aggs: vec![(
+                "urgent_keys".to_string(),
+                AggExpr::SumIf {
+                    value: Expr::col(0),
+                    predicate: Expr::col(2).eq(Expr::str("1-URGENT")),
+                },
+            )],
+        };
+        let (out, _) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(out.row(0), vec![Value::Float64(1.0)]);
+    }
+
+    #[test]
+    fn empty_global_aggregate_has_one_row() {
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan("orders")),
+                predicate: Expr::col(0).gt(Expr::int(99)),
+            }),
+            group_by: vec![],
+            aggs: vec![("n".to_string(), AggExpr::Count)],
+        };
+        let (out, _) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(out.n_rows(), 1);
+        assert_eq!(out.row(0), vec![Value::Int64(0)]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(scan("orders")),
+                by: vec![(1, false), (0, true)],
+            }),
+            n: 2,
+        };
+        let (out, _) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(out.n_rows(), 2);
+        // custkey 10 group first, orderkey desc inside: 3 then 1.
+        assert_eq!(out.row(0)[0], Value::Int64(3));
+        assert_eq!(out.row(1)[0], Value::Int64(1));
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let mut cat = catalog();
+        let t = Table::new(
+            "nullkey",
+            vec![Column::with_validity(
+                "k",
+                ColumnData::Int64(vec![10, 0]),
+                vec![true, false],
+            )],
+        )
+        .unwrap();
+        cat.insert("nullkey".to_string(), t);
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan("nullkey")),
+            right: Box::new(scan("customer")),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+        };
+        let (out, _) = execute(&plan, &cat).unwrap();
+        assert_eq!(out.n_rows(), 1); // only the non-NULL 10 matches
+    }
+
+    #[test]
+    fn work_profile_aggregates() {
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::HashJoin {
+                left: Box::new(scan("customer")),
+                right: Box::new(scan("orders")),
+                left_keys: vec![0],
+                right_keys: vec![1],
+                join_type: JoinType::Inner,
+            }),
+            group_by: vec![0],
+            aggs: vec![("n".to_string(), AggExpr::Count)],
+        };
+        let (_, profile) = execute(&plan, &catalog()).unwrap();
+        assert_eq!(profile.scanned_rows(), 7);
+        assert!(profile.agg_input_rows() > 0);
+        assert!(profile.peak_intermediate_bytes() > 0);
+        assert!(profile.total_intermediate_bytes() >= profile.peak_intermediate_bytes());
+    }
+}

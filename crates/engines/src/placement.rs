@@ -1,0 +1,94 @@
+//! Data placement: which site and engine hosts each base table.
+//!
+//! In Example 2.1 the `Patient` table lives in cloud A under Hive while
+//! `GeneralInfo` lives in cloud B under PostgreSQL. Placement is an input to
+//! plan enumeration — scans are pinned to the hosting site, and only the
+//! shuffle/join location is a degree of freedom.
+
+use crate::engine::EngineKind;
+use crate::error::EngineError;
+use midas_cloud::SiteId;
+use std::collections::HashMap;
+
+/// Where one table lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableLocation {
+    /// Hosting federation site.
+    pub site: SiteId,
+    /// Engine managing the table there.
+    pub engine: EngineKind,
+}
+
+/// The federation-wide table → location map.
+#[derive(Debug, Clone, Default)]
+pub struct Placement {
+    locations: HashMap<String, TableLocation>,
+}
+
+impl Placement {
+    /// An empty placement.
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    /// Registers (or moves) a table.
+    pub fn place(&mut self, table: &str, site: SiteId, engine: EngineKind) {
+        self.locations
+            .insert(table.to_string(), TableLocation { site, engine });
+    }
+
+    /// Looks a table up.
+    pub fn locate(&self, table: &str) -> Result<TableLocation, EngineError> {
+        self.locations
+            .get(table)
+            .copied()
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))
+    }
+
+    /// All placed table names.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.locations.keys().map(|s| s.as_str())
+    }
+
+    /// The distinct sites hosting at least one table.
+    pub fn sites(&self) -> Vec<SiteId> {
+        let mut sites: Vec<SiteId> = self.locations.values().map(|l| l.site).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_and_locate() {
+        let mut p = Placement::new();
+        p.place("patient", SiteId(0), EngineKind::Hive);
+        p.place("generalinfo", SiteId(1), EngineKind::PostgreSql);
+        let loc = p.locate("patient").unwrap();
+        assert_eq!(loc.site, SiteId(0));
+        assert_eq!(loc.engine, EngineKind::Hive);
+        assert!(p.locate("nope").is_err());
+    }
+
+    #[test]
+    fn replacement_moves_the_table() {
+        let mut p = Placement::new();
+        p.place("t", SiteId(0), EngineKind::Hive);
+        p.place("t", SiteId(1), EngineKind::Spark);
+        assert_eq!(p.locate("t").unwrap().site, SiteId(1));
+    }
+
+    #[test]
+    fn sites_are_deduped() {
+        let mut p = Placement::new();
+        p.place("a", SiteId(1), EngineKind::Hive);
+        p.place("b", SiteId(0), EngineKind::Spark);
+        p.place("c", SiteId(1), EngineKind::PostgreSql);
+        assert_eq!(p.sites(), vec![SiteId(0), SiteId(1)]);
+        assert_eq!(p.tables().count(), 3);
+    }
+}

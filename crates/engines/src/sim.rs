@@ -1,0 +1,221 @@
+//! Load drift and noise — the "variance of a cloud federation".
+//!
+//! Section 1 of the paper: estimation is hard because the environment varies
+//! — physical machines differ, load evolves, tenants come and go. We model
+//! each site's effective slowdown as a multiplicative *load factor* that
+//! performs a bounded random walk punctuated by regime shifts (a noisy
+//! neighbour arrives, a cluster is rescaled), plus per-execution noise.
+//! Estimators never see the load factor, only its effect on observed costs —
+//! exactly the situation DREAM is designed for: old observations come from
+//! an expired regime.
+
+use midas_cloud::SiteId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// How strongly a site's load evolves over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftIntensity {
+    /// Perfectly stationary (ablation baseline).
+    None,
+    /// Gentle random walk, rare regime shifts.
+    Mild,
+    /// Pronounced walk and frequent regime shifts — the federated setting.
+    Strong,
+}
+
+impl DriftIntensity {
+    fn params(self) -> DriftParams {
+        match self {
+            DriftIntensity::None => DriftParams {
+                walk_sigma: 0.0,
+                regime_prob: 0.0,
+                regime_range: (1.0, 1.0),
+                noise_sigma: 0.02,
+            },
+            DriftIntensity::Mild => DriftParams {
+                walk_sigma: 0.008,
+                regime_prob: 0.004,
+                regime_range: (0.7, 1.8),
+                noise_sigma: 0.05,
+            },
+            // Calibrated so regimes shift every ~15-20 executed queries
+            // (≈ 6 ticks per query in the MRE protocol): trackable by an
+            // adaptive window, punishing for an unbounded history.
+            DriftIntensity::Strong => DriftParams {
+                walk_sigma: 0.006,
+                regime_prob: 0.012,
+                regime_range: (0.4, 3.0),
+                noise_sigma: 0.15,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DriftParams {
+    walk_sigma: f64,
+    regime_prob: f64,
+    regime_range: (f64, f64),
+    noise_sigma: f64,
+}
+
+/// The evolving load of one site.
+#[derive(Debug, Clone)]
+pub struct LoadModel {
+    rng: StdRng,
+    params: DriftParams,
+    load: f64,
+}
+
+/// Hard bounds keeping the walk physical.
+const LOAD_MIN: f64 = 0.3;
+const LOAD_MAX: f64 = 4.0;
+
+impl LoadModel {
+    /// A load model starting at multiplier 1.0.
+    pub fn new(seed: u64, intensity: DriftIntensity) -> Self {
+        LoadModel {
+            rng: StdRng::seed_from_u64(seed),
+            params: intensity.params(),
+            load: 1.0,
+        }
+    }
+
+    /// Current load multiplier (1.0 = nominal speed).
+    pub fn load(&self) -> f64 {
+        self.load
+    }
+
+    /// Advances one tick: random-walk step plus a possible regime shift.
+    pub fn tick(&mut self) {
+        if self.params.regime_prob > 0.0 && self.rng.gen_bool(self.params.regime_prob) {
+            let (lo, hi) = self.params.regime_range;
+            self.load = self.rng.gen_range(lo..=hi);
+        } else if self.params.walk_sigma > 0.0 {
+            self.load += self.normal() * self.params.walk_sigma;
+        }
+        self.load = self.load.clamp(LOAD_MIN, LOAD_MAX);
+    }
+
+    /// Per-execution multiplicative noise around 1.0, clamped to stay
+    /// positive.
+    pub fn noise(&mut self) -> f64 {
+        (1.0 + self.normal() * self.params.noise_sigma).max(0.2)
+    }
+
+    /// Standard normal via Box–Muller.
+    fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// The clock and per-site load models of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationEnv {
+    loads: HashMap<SiteId, LoadModel>,
+    /// Simulated wall-clock in seconds since the run began.
+    pub clock_s: f64,
+}
+
+impl SimulationEnv {
+    /// An empty environment.
+    pub fn new() -> Self {
+        SimulationEnv::default()
+    }
+
+    /// Registers a site's load model (seed is mixed with the site id so
+    /// sites drift independently).
+    pub fn register_site(&mut self, site: SiteId, seed: u64, intensity: DriftIntensity) {
+        self.loads.insert(
+            site,
+            LoadModel::new(seed.wrapping_mul(0x9e3779b9).wrapping_add(site.0 as u64), intensity),
+        );
+    }
+
+    /// Load multiplier of a site (1.0 for unregistered sites).
+    pub fn load(&self, site: SiteId) -> f64 {
+        self.loads.get(&site).map_or(1.0, |m| m.load())
+    }
+
+    /// Per-execution noise draw for a site (1.0 for unregistered sites).
+    pub fn noise(&mut self, site: SiteId) -> f64 {
+        self.loads.get_mut(&site).map_or(1.0, |m| m.noise())
+    }
+
+    /// Advances every site one tick and moves the clock by `dt` seconds.
+    pub fn tick(&mut self, dt: f64) {
+        for m in self.loads.values_mut() {
+            m.tick();
+        }
+        self.clock_s += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_model_never_moves() {
+        let mut m = LoadModel::new(1, DriftIntensity::None);
+        for _ in 0..100 {
+            m.tick();
+        }
+        assert_eq!(m.load(), 1.0);
+    }
+
+    #[test]
+    fn strong_drift_actually_drifts() {
+        let mut m = LoadModel::new(7, DriftIntensity::Strong);
+        let mut seen = Vec::new();
+        for _ in 0..300 {
+            m.tick();
+            seen.push(m.load());
+        }
+        let min = seen.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = seen.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.3, "load range [{min}, {max}] too tight");
+        assert!(min >= LOAD_MIN && max <= LOAD_MAX);
+    }
+
+    #[test]
+    fn noise_is_near_one() {
+        let mut m = LoadModel::new(3, DriftIntensity::Mild);
+        let draws: Vec<f64> = (0..500).map(|_| m.noise()).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 1.0).abs() < 0.02, "noise mean {mean}");
+        assert!(draws.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = LoadModel::new(11, DriftIntensity::Strong);
+        let mut b = LoadModel::new(11, DriftIntensity::Strong);
+        for _ in 0..50 {
+            a.tick();
+            b.tick();
+        }
+        assert_eq!(a.load(), b.load());
+    }
+
+    #[test]
+    fn env_tracks_sites_independently() {
+        let mut env = SimulationEnv::new();
+        let s1 = SiteId(0);
+        let s2 = SiteId(1);
+        env.register_site(s1, 5, DriftIntensity::Strong);
+        env.register_site(s2, 5, DriftIntensity::Strong);
+        for _ in 0..100 {
+            env.tick(1.0);
+        }
+        // Same base seed, different site ids: loads diverge.
+        assert_ne!(env.load(s1), env.load(s2));
+        assert_eq!(env.clock_s, 100.0);
+        // Unregistered site reports nominal load.
+        assert_eq!(env.load(SiteId(9)), 1.0);
+    }
+}

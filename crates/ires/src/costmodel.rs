@@ -1,0 +1,237 @@
+//! Analytic per-configuration cost evaluation.
+//!
+//! The optimizer must cost *thousands* of equivalent QEPs (Example 3.1)
+//! without executing them. `PlanCostModel` runs the three fragments of a
+//! two-table query exactly once (pure relational execution, no simulation),
+//! keeps their [`WorkProfile`]s, and then evaluates any configuration in
+//! microseconds: engine profile + Amdahl scaling + transfer + pricing, at
+//! nominal load (the optimizer plans against expected conditions; the
+//! *executed* plan then experiences drift and noise).
+
+use crate::enumerate::CandidateConfig;
+use midas_cloud::{Federation, Money, SiteId};
+use midas_engines::engine::EngineProfile;
+use midas_engines::exec::simulate_fragment_seconds;
+use midas_engines::ops::{execute, WorkProfile};
+use midas_engines::{EngineError, EngineKind, Placement, Table};
+use midas_tpch::TwoTableQuery;
+use std::collections::HashMap;
+
+/// A reusable cost evaluator for one query over one database.
+#[derive(Debug, Clone)]
+pub struct PlanCostModel {
+    left_site: SiteId,
+    right_site: SiteId,
+    left_engine: EngineKind,
+    right_engine: EngineKind,
+    work_left: WorkProfile,
+    work_right: WorkProfile,
+    work_combine: WorkProfile,
+    left_bytes: u64,
+    right_bytes: u64,
+}
+
+impl PlanCostModel {
+    /// Builds the model by executing the query's fragments once.
+    pub fn build(
+        placement: &Placement,
+        query: &TwoTableQuery,
+        tables: &HashMap<String, Table>,
+    ) -> Result<Self, EngineError> {
+        let left = placement.locate(&query.left_table)?;
+        let right = placement.locate(&query.right_table)?;
+
+        let (left_table, work_left) = execute(&query.left_prepare, tables)?;
+        let (right_table, work_right) = execute(&query.right_prepare, tables)?;
+        let left_bytes = left_table.estimated_bytes();
+        let right_bytes = right_table.estimated_bytes();
+
+        let mut catalog = tables.clone();
+        catalog.insert("@frag0".to_string(), left_table);
+        catalog.insert("@frag1".to_string(), right_table);
+        let (_, work_combine) = execute(&query.combine, &catalog)?;
+
+        Ok(PlanCostModel {
+            left_site: left.site,
+            right_site: right.site,
+            left_engine: left.engine,
+            right_engine: right.engine,
+            work_left,
+            work_right,
+            work_combine,
+            left_bytes,
+            right_bytes,
+        })
+    }
+
+    /// Rows of the two prepared inputs — the features DREAM regresses on.
+    pub fn prepared_rows(&self) -> (u64, u64) {
+        (self.work_left.output_rows(), self.work_right.output_rows())
+    }
+
+    /// Expected `(time s, money $)` of one configuration at nominal load.
+    pub fn cost(&self, federation: &Federation, config: &CandidateConfig) -> Vec<f64> {
+        let scan_workers = |site: SiteId| -> u32 {
+            federation
+                .site(site)
+                .catalog
+                .instances()
+                .first()
+                .map_or(1, |i| i.vcpus)
+        };
+
+        // Scan fragments at fixed modest allocations.
+        let t_left = simulate_fragment_seconds(
+            &self.work_left,
+            &EngineProfile::for_engine(self.left_engine),
+            scan_workers(self.left_site),
+            1.0,
+            1.0,
+        );
+        let t_right = simulate_fragment_seconds(
+            &self.work_right,
+            &EngineProfile::for_engine(self.right_engine),
+            scan_workers(self.right_site),
+            1.0,
+            1.0,
+        );
+
+        // Shuffle prepared sides to the join site.
+        let mut t_transfer = 0.0;
+        let mut egress = Money::ZERO;
+        for (site, bytes) in [
+            (self.left_site, self.left_bytes),
+            (self.right_site, self.right_bytes),
+        ] {
+            if site != config.join_site {
+                t_transfer += federation.transfer(site, config.join_site, bytes).seconds;
+                egress += federation.transfer_cost(site, config.join_site, bytes);
+            }
+        }
+
+        // Join fragment under the candidate allocation.
+        let join_site = federation.site(config.join_site);
+        let shape = &join_site.catalog.instances()[config.instance_idx];
+        let workers = config.vm_count.max(1) * shape.vcpus.max(1);
+        let t_join = simulate_fragment_seconds(
+            &self.work_combine,
+            &EngineProfile::for_engine(config.join_engine),
+            workers,
+            1.0,
+            1.0,
+        );
+
+        let time = t_left + t_right + t_transfer + t_join;
+
+        // Money: each fragment bills its site.
+        let money_left = {
+            let site = federation.site(self.left_site);
+            let shape = &site.catalog.instances()[0];
+            site.pricing.instance_cost(shape, 1, t_left)
+        };
+        let money_right = {
+            let site = federation.site(self.right_site);
+            let shape = &site.catalog.instances()[0];
+            site.pricing.instance_cost(shape, 1, t_right)
+        };
+        let money_join = join_site
+            .pricing
+            .instance_cost(shape, config.vm_count.max(1), t_join + t_transfer);
+        let money = money_left + money_right + money_join + egress;
+
+        vec![time, money.as_dollars()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_cloud::federation::example_federation;
+    use midas_tpch::gen::{GenConfig, TpchDb};
+    use midas_tpch::queries::q12;
+
+    fn setup() -> (Federation, Placement, TwoTableQuery, TpchDb) {
+        let (fed, a, b) = example_federation();
+        let mut placement = Placement::new();
+        placement.place("lineitem", a, EngineKind::Hive);
+        placement.place("orders", b, EngineKind::PostgreSql);
+        (fed, placement, q12("MAIL", "SHIP", 1994), TpchDb::generate(GenConfig::new(0.003, 7)))
+    }
+
+    #[test]
+    fn build_and_cost() {
+        let (fed, placement, query, db) = setup();
+        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        let (lr, rr) = model.prepared_rows();
+        assert!(lr > 0 && rr > 0);
+        let cfg = CandidateConfig {
+            join_site: SiteId(0),
+            join_engine: EngineKind::Spark,
+            instance_idx: 1,
+            vm_count: 2,
+        };
+        let c = model.cost(&fed, &cfg);
+        assert_eq!(c.len(), 2);
+        assert!(c[0] > 0.0 && c[1] > 0.0);
+    }
+
+    #[test]
+    fn cost_is_deterministic() {
+        let (fed, placement, query, db) = setup();
+        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        let cfg = CandidateConfig {
+            join_site: SiteId(1),
+            join_engine: EngineKind::Hive,
+            instance_idx: 0,
+            vm_count: 1,
+        };
+        assert_eq!(model.cost(&fed, &cfg), model.cost(&fed, &cfg));
+    }
+
+    #[test]
+    fn more_vms_cut_time_for_parallel_engines() {
+        let (fed, placement, query, db) = setup();
+        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        let mk = |vm| CandidateConfig {
+            join_site: SiteId(0),
+            join_engine: EngineKind::Spark,
+            instance_idx: 2,
+            vm_count: vm,
+        };
+        let c1 = model.cost(&fed, &mk(1));
+        let c8 = model.cost(&fed, &mk(8));
+        assert!(c8[0] < c1[0], "time should drop with VMs");
+    }
+
+    #[test]
+    fn joining_at_the_remote_site_pays_transfer() {
+        let (fed, placement, query, db) = setup();
+        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        // Join at lineitem's site: only the (small) orders side ships.
+        // Join at orders' site: the (large) lineitem side ships.
+        let at_left = model.cost(
+            &fed,
+            &CandidateConfig {
+                join_site: SiteId(0),
+                join_engine: EngineKind::PostgreSql,
+                instance_idx: 0,
+                vm_count: 1,
+            },
+        );
+        let at_right = model.cost(
+            &fed,
+            &CandidateConfig {
+                join_site: SiteId(1),
+                join_engine: EngineKind::PostgreSql,
+                instance_idx: 0,
+                vm_count: 1,
+            },
+        );
+        // Q12 prepares a filtered (small) lineitem side and a full orders
+        // side, so shipping *orders* dominates: joining at the left site is
+        // the more expensive option time-wise only if orders > lineitem side.
+        // Just assert both are positive and differ — the trade-off is real.
+        assert!(at_left[0] > 0.0 && at_right[0] > 0.0);
+        assert_ne!(at_left[0], at_right[0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! The Modelling module: history + a pluggable estimator (paper Figure 2).
+//!
+//! IReS records each executed plan's features and measured costs, then
+//! trains a predictor on demand. DREAM plugs in here exactly as the paper
+//! describes: the training set is handed to the algorithm, which derives its
+//! own (smaller) "new training set" before fitting.
+
+use midas_dream::{CostEstimator, EstimationError, FitReport, History};
+
+/// A history-backed, estimator-agnostic cost model for one query class.
+pub struct Modelling {
+    history: History,
+    estimator: Box<dyn CostEstimator + Send>,
+    last_fit: Option<FitReport>,
+}
+
+impl Modelling {
+    /// A Modelling module over `n_features` regressors and `n_metrics` cost
+    /// metrics, using the supplied estimator.
+    pub fn new(
+        n_features: usize,
+        n_metrics: usize,
+        estimator: Box<dyn CostEstimator + Send>,
+    ) -> Self {
+        Modelling {
+            history: History::new(n_features, n_metrics),
+            estimator,
+            last_fit: None,
+        }
+    }
+
+    /// Records one executed plan.
+    pub fn record(&mut self, features: &[f64], costs: &[f64]) -> Result<(), EstimationError> {
+        self.history.record(features, costs)
+    }
+
+    /// Refits the estimator on the current history.
+    pub fn refit(&mut self) -> Result<FitReport, EstimationError> {
+        let report = self.estimator.fit(&self.history)?;
+        self.last_fit = Some(report.clone());
+        Ok(report)
+    }
+
+    /// Predicts the cost vector for a feature vector (requires a prior
+    /// successful [`Modelling::refit`]).
+    pub fn estimate(&self, features: &[f64]) -> Result<Vec<f64>, EstimationError> {
+        self.estimator.predict(features)
+    }
+
+    /// The estimator's display name.
+    pub fn estimator_name(&self) -> String {
+        self.estimator.name()
+    }
+
+    /// The recorded history.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The report of the most recent fit, if any.
+    pub fn last_fit(&self) -> Option<&FitReport> {
+        self.last_fit.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_dream::DreamEstimator;
+    use midas_mlearn::{BmlEstimator, WindowSpec};
+
+    fn feed(m: &mut Modelling, n: usize) {
+        for i in 0..n {
+            let x = [i as f64, (i % 3) as f64];
+            m.record(&x, &[10.0 + 2.0 * x[0] + x[1], 1.0 + 0.1 * x[0]])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn dream_behind_the_facade() {
+        let mut m = Modelling::new(2, 2, Box::new(DreamEstimator::paper_defaults(2)));
+        feed(&mut m, 20);
+        let report = m.refit().unwrap();
+        assert!(report.satisfied);
+        assert_eq!(m.estimator_name(), "DREAM");
+        let est = m.estimate(&[30.0, 1.0]).unwrap();
+        assert!((est[0] - 71.0).abs() < 1e-6);
+        assert!(m.last_fit().is_some());
+        assert_eq!(m.history().len(), 20);
+    }
+
+    #[test]
+    fn bml_behind_the_facade() {
+        let mut m = Modelling::new(
+            2,
+            2,
+            Box::new(BmlEstimator::new(WindowSpec::LatestMultiple(2), 2)),
+        );
+        feed(&mut m, 30);
+        m.refit().unwrap();
+        assert_eq!(m.estimator_name(), "BML-2N");
+        let est = m.estimate(&[29.0, 2.0]).unwrap();
+        assert!((est[0] - 70.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn estimate_before_fit_fails() {
+        let m = Modelling::new(1, 1, Box::new(DreamEstimator::paper_defaults(1)));
+        assert!(m.estimate(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn refit_with_no_history_fails() {
+        let mut m = Modelling::new(1, 1, Box::new(DreamEstimator::paper_defaults(1)));
+        assert!(m.refit().is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! The Multi-Objective Optimizer — both pipelines of Figure 3.
+//!
+//! * **GA pipeline** (right branch): NSGA-II evolves the QEP configuration
+//!   space into a Pareto plan set; Algorithm 2 (`best_in_pareto`) then
+//!   applies the user's weights and budget. A weight change only re-runs
+//!   Algorithm 2 — the Pareto set is reused.
+//! * **WSM pipeline** (left branch): a single-objective GA minimizes the
+//!   weighted sum directly. Every weight change restarts the whole GA.
+//!
+//! An exhaustive evaluator provides ground truth for the small spaces used
+//! in tests and the Figure 3 experiment.
+
+use crate::costmodel::PlanCostModel;
+use crate::enumerate::{CandidateConfig, EnumerationSpace};
+use midas_cloud::Federation;
+use midas_moo::select::Constraints;
+use midas_moo::wsm::optimize_scalarized;
+use midas_moo::{best_in_pareto, IntBoxProblem, Nsga2, Nsga2Config, WeightedSumModel};
+
+/// What a MOQP run produced.
+#[derive(Debug, Clone)]
+pub struct MoqpOutcome {
+    /// The selected configuration.
+    pub chosen: CandidateConfig,
+    /// Its expected cost vector `(time, money)`.
+    pub chosen_costs: Vec<f64>,
+    /// The Pareto set the selection came from (singleton for WSM).
+    pub pareto: Vec<(CandidateConfig, Vec<f64>)>,
+    /// Cost-model evaluations spent.
+    pub evaluations: usize,
+}
+
+/// GA pipeline: NSGA-II → Pareto set → Algorithm 2.
+pub fn moqp_ga(
+    space: &EnumerationSpace,
+    model: &PlanCostModel,
+    federation: &Federation,
+    weights: &WeightedSumModel,
+    constraints: &Constraints,
+    ga: Nsga2Config,
+) -> MoqpOutcome {
+    let problem = IntBoxProblem::new(space.cardinalities(), 2, |genome: &[usize]| {
+        model.cost(federation, &space.decode(genome))
+    });
+    let (population, evaluations) = Nsga2::new(&problem, ga).run();
+    let front: Vec<_> = population.into_iter().filter(|i| i.rank == 0).collect();
+    let pareto: Vec<(CandidateConfig, Vec<f64>)> = front
+        .iter()
+        .map(|ind| (space.decode(&ind.genome), ind.costs.clone()))
+        .collect();
+    let costs: Vec<Vec<f64>> = pareto.iter().map(|(_, c)| c.clone()).collect();
+    let pick = best_in_pareto(&costs, weights, constraints).expect("front is non-empty");
+    MoqpOutcome {
+        chosen: pareto[pick].0.clone(),
+        chosen_costs: pareto[pick].1.clone(),
+        pareto,
+        evaluations,
+    }
+}
+
+/// Re-selection from an existing Pareto set under new weights/constraints —
+/// the cheap path the GA pipeline enjoys when the user policy changes.
+pub fn reselect(
+    pareto: &[(CandidateConfig, Vec<f64>)],
+    weights: &WeightedSumModel,
+    constraints: &Constraints,
+) -> Option<(CandidateConfig, Vec<f64>)> {
+    let costs: Vec<Vec<f64>> = pareto.iter().map(|(_, c)| c.clone()).collect();
+    best_in_pareto(&costs, weights, constraints)
+        .map(|i| (pareto[i].0.clone(), pareto[i].1.clone()))
+}
+
+/// WSM pipeline: scalarized GA over the same space.
+pub fn moqp_wsm(
+    space: &EnumerationSpace,
+    model: &PlanCostModel,
+    federation: &Federation,
+    weights: &WeightedSumModel,
+    ga: Nsga2Config,
+) -> MoqpOutcome {
+    let problem = IntBoxProblem::new(space.cardinalities(), 2, |genome: &[usize]| {
+        model.cost(federation, &space.decode(genome))
+    });
+    let out = optimize_scalarized(&problem, weights.weights(), ga);
+    let chosen = space.decode(&out.genome);
+    MoqpOutcome {
+        chosen: chosen.clone(),
+        chosen_costs: out.costs.clone(),
+        pareto: vec![(chosen, out.costs)],
+        evaluations: out.evaluations,
+    }
+}
+
+/// Exhaustive ground truth: evaluates the whole space, exact Pareto set,
+/// Algorithm 2 selection.
+pub fn moqp_exhaustive(
+    space: &EnumerationSpace,
+    model: &PlanCostModel,
+    federation: &Federation,
+    weights: &WeightedSumModel,
+    constraints: &Constraints,
+) -> MoqpOutcome {
+    let configs = space.all();
+    let costs: Vec<Vec<f64>> = configs
+        .iter()
+        .map(|c| model.cost(federation, c))
+        .collect();
+    let front_idx = midas_moo::pareto_front_indices(&costs);
+    let pareto: Vec<(CandidateConfig, Vec<f64>)> = front_idx
+        .iter()
+        .map(|&i| (configs[i].clone(), costs[i].clone()))
+        .collect();
+    let front_costs: Vec<Vec<f64>> = pareto.iter().map(|(_, c)| c.clone()).collect();
+    let pick = best_in_pareto(&front_costs, weights, constraints).expect("non-empty space");
+    MoqpOutcome {
+        chosen: pareto[pick].0.clone(),
+        chosen_costs: pareto[pick].1.clone(),
+        pareto,
+        evaluations: configs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_cloud::federation::example_federation;
+    use midas_engines::{EngineKind, Placement};
+    use midas_tpch::gen::{GenConfig, TpchDb};
+    use midas_tpch::queries::q14;
+
+    struct Fixture {
+        fed: Federation,
+        space: EnumerationSpace,
+        model: PlanCostModel,
+    }
+
+    fn fixture() -> Fixture {
+        let (fed, a, b) = example_federation();
+        let mut placement = Placement::new();
+        placement.place("lineitem", a, EngineKind::Hive);
+        placement.place("part", b, EngineKind::PostgreSql);
+        let query = q14(1995, 6);
+        let db = TpchDb::generate(GenConfig::new(0.002, 5));
+        let space = EnumerationSpace::for_query(&fed, &placement, &query, 6).unwrap();
+        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        Fixture { fed, space, model }
+    }
+
+    fn ga_config() -> Nsga2Config {
+        Nsga2Config {
+            population: 40,
+            generations: 30,
+            seed: 3,
+            ..Nsga2Config::default()
+        }
+    }
+
+    #[test]
+    fn ga_pipeline_approaches_exhaustive_truth() {
+        let f = fixture();
+        let weights = WeightedSumModel::new(&[0.5, 0.5]);
+        let none = Constraints::none(2);
+        let truth = moqp_exhaustive(&f.space, &f.model, &f.fed, &weights, &none);
+        let ga = moqp_ga(&f.space, &f.model, &f.fed, &weights, &none, ga_config());
+        // The GA pick should be within 25% of the exhaustive optimum on the
+        // weighted-sum scale (small space, generous budget).
+        let score = |c: &[f64]| weights.scores(&[c.to_vec(), truth.chosen_costs.clone()])[0];
+        assert!(
+            score(&ga.chosen_costs) <= score(&truth.chosen_costs) + 0.25,
+            "GA {:?} vs truth {:?}",
+            ga.chosen_costs,
+            truth.chosen_costs
+        );
+        assert!(!ga.pareto.is_empty());
+    }
+
+    #[test]
+    fn wsm_pipeline_finds_a_reasonable_plan() {
+        let f = fixture();
+        let weights = WeightedSumModel::new(&[0.8, 0.2]);
+        let wsm = moqp_wsm(&f.space, &f.model, &f.fed, &weights, ga_config());
+        let truth = moqp_exhaustive(&f.space, &f.model, &f.fed, &weights, &Constraints::none(2));
+        // Raw weighted comparison: WSM result within 2x of optimum time.
+        assert!(wsm.chosen_costs[0] <= truth.chosen_costs[0] * 2.0 + 5.0);
+        assert_eq!(wsm.pareto.len(), 1);
+        assert!(wsm.evaluations > 0);
+    }
+
+    #[test]
+    fn reselect_reuses_the_front_without_evaluations() {
+        let f = fixture();
+        let weights_time = WeightedSumModel::new(&[1.0, 0.0]);
+        let weights_money = WeightedSumModel::new(&[0.0, 1.0]);
+        let none = Constraints::none(2);
+        let truth = moqp_exhaustive(&f.space, &f.model, &f.fed, &weights_time, &none);
+        // Re-picking under money-weights touches zero cost-model calls.
+        let (cfg_money, costs_money) = reselect(&truth.pareto, &weights_money, &none).unwrap();
+        let (cfg_time, costs_time) = reselect(&truth.pareto, &weights_time, &none).unwrap();
+        assert!(costs_money[1] <= costs_time[1]);
+        assert!(costs_time[0] <= costs_money[0]);
+        // Different preferences generally pick different plans.
+        if truth.pareto.len() > 1 {
+            assert!(cfg_money != cfg_time || costs_money == costs_time);
+        }
+    }
+
+    #[test]
+    fn constraints_flow_through_algorithm2() {
+        let f = fixture();
+        let weights = WeightedSumModel::new(&[1.0, 0.0]);
+        let none = Constraints::none(2);
+        let truth = moqp_exhaustive(&f.space, &f.model, &f.fed, &weights, &none);
+        // Cap money below the time-optimal plan's cost: selection must move
+        // to a cheaper plan if one exists on the front.
+        let cap = truth.chosen_costs[1] * 0.9;
+        let constrained = Constraints::none(2).with_bound(1, cap);
+        let picked = moqp_exhaustive(&f.space, &f.model, &f.fed, &weights, &constrained);
+        let any_feasible = truth.pareto.iter().any(|(_, c)| c[1] <= cap);
+        if any_feasible {
+            assert!(picked.chosen_costs[1] <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exhaustive_front_is_mutually_non_dominated() {
+        let f = fixture();
+        let truth = moqp_exhaustive(
+            &f.space,
+            &f.model,
+            &f.fed,
+            &WeightedSumModel::new(&[0.5, 0.5]),
+            &Constraints::none(2),
+        );
+        for (_, a) in &truth.pareto {
+            for (_, b) in &truth.pareto {
+                assert!(!midas_moo::dominance::pareto_dominates(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The submit → enumerate → estimate → select → execute → learn loop.
+//!
+//! `Scheduler` owns the executor (and therefore the drifting simulation
+//! environment) plus one [`Modelling`](crate::modelling::Modelling) per query class, keyed by the query's
+//! [`midas_tpch::QueryId`]-level label. Every execution feeds the history, so
+//! estimators learn online exactly as IReS does.
+
+use crate::enumerate::{assemble, CandidateConfig};
+use midas_cloud::Federation;
+use midas_dream::EstimationError;
+use midas_engines::exec::{ExecutionOutcome, Executor};
+use midas_engines::sim::{DriftIntensity, SimulationEnv};
+use midas_engines::{EngineError, Placement, Table};
+use midas_tpch::TwoTableQuery;
+use std::collections::HashMap;
+
+/// Scheduler construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Environment drift intensity.
+    pub drift: DriftIntensity,
+    /// Logical rows per physical row (1.0 for uncapped datasets; pass
+    /// `1 / rescale` for row-capped TPC-H databases).
+    pub work_scale: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            seed: 42,
+            drift: DriftIntensity::Strong,
+            work_scale: 1.0,
+        }
+    }
+}
+
+/// One executed query with its learning signals.
+#[derive(Debug, Clone)]
+pub struct ExecutedQuery {
+    /// The instance label.
+    pub label: String,
+    /// Feature vector: rows of the prepared left and right inputs.
+    pub features: Vec<f64>,
+    /// Observed cost vector `(time s, money $)`.
+    pub costs: Vec<f64>,
+    /// The full execution record.
+    pub outcome: ExecutionOutcome,
+}
+
+/// Errors the scheduler can surface.
+#[derive(Debug)]
+pub enum SchedulerError {
+    /// Plan construction or execution failed.
+    Engine(EngineError),
+    /// Estimation failed.
+    Estimation(EstimationError),
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::Engine(e) => write!(f, "engine: {e}"),
+            SchedulerError::Estimation(e) => write!(f, "estimation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+impl From<EngineError> for SchedulerError {
+    fn from(e: EngineError) -> Self {
+        SchedulerError::Engine(e)
+    }
+}
+
+impl From<EstimationError> for SchedulerError {
+    fn from(e: EstimationError) -> Self {
+        SchedulerError::Estimation(e)
+    }
+}
+
+/// The IReS-like scheduler bound to one federation.
+pub struct Scheduler<'a> {
+    federation: &'a Federation,
+    placement: Placement,
+    executor: Executor<'a>,
+    work_scale: f64,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Builds a scheduler; registers every federation site in the
+    /// simulation environment with the configured drift.
+    pub fn new(federation: &'a Federation, placement: Placement, config: SchedulerConfig) -> Self {
+        let mut env = SimulationEnv::new();
+        for site in federation.site_ids() {
+            env.register_site(site, config.seed, config.drift);
+        }
+        Scheduler {
+            federation,
+            placement,
+            executor: Executor::new(federation, env),
+            work_scale: if config.work_scale.is_finite() && config.work_scale > 0.0 {
+                config.work_scale
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// The placement in use.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The simulated clock (seconds since the run began).
+    pub fn clock_s(&self) -> f64 {
+        self.executor.env().clock_s
+    }
+
+    /// Executes one query instance under an explicit configuration and
+    /// returns the learning signals.
+    ///
+    /// Features are the "size of data" regressors of the paper's Section 3,
+    /// in the spirit of Example 2.1's `x_Pa`/`x_Ge`: the raw row counts of
+    /// the two base tables (known from catalog statistics) plus the two
+    /// prepared-side row counts (the optimizer's cardinality estimates for
+    /// the join inputs).
+    pub fn execute_with_config(
+        &mut self,
+        query: &TwoTableQuery,
+        config: &CandidateConfig,
+        tables: &HashMap<String, Table>,
+    ) -> Result<ExecutedQuery, SchedulerError> {
+        let federated = assemble(self.federation, &self.placement, query, config)?;
+        let left_rows = tables
+            .get(&query.left_table)
+            .map_or(0, |t| t.n_rows()) as f64;
+        let right_rows = tables
+            .get(&query.right_table)
+            .map_or(0, |t| t.n_rows()) as f64;
+        let outcome = self
+            .executor
+            .run_with_scale(&federated, tables, self.work_scale)?;
+        // All sizes are *logical* (physical × work_scale) so estimations
+        // transfer across physically-capped datasets.
+        let features = vec![
+            left_rows * self.work_scale,
+            right_rows * self.work_scale,
+            outcome.fragments[0].work.output_rows() as f64 * self.work_scale,
+            outcome.fragments[1].work.output_rows() as f64 * self.work_scale,
+        ];
+        let costs = outcome.cost_vector();
+        Ok(ExecutedQuery {
+            label: query.label.clone(),
+            features,
+            costs,
+            outcome,
+        })
+    }
+
+    /// Lets idle time pass: advances the environment by `ticks` drift steps
+    /// of `dt_s` simulated seconds each (between-query arrival gaps).
+    pub fn idle(&mut self, ticks: usize, dt_s: f64) {
+        for _ in 0..ticks {
+            self.executor.env_mut().tick(dt_s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_cloud::federation::example_federation;
+    use midas_cloud::SiteId;
+    use midas_engines::EngineKind;
+    use midas_tpch::gen::{GenConfig, TpchDb};
+    use midas_tpch::queries::{q12, q13};
+
+    fn setup<'a>(fed: &'a Federation) -> (Scheduler<'a>, TpchDb) {
+        let mut placement = Placement::new();
+        placement.place("lineitem", SiteId(0), EngineKind::Hive);
+        placement.place("orders", SiteId(1), EngineKind::PostgreSql);
+        placement.place("customer", SiteId(0), EngineKind::Hive);
+        let sched = Scheduler::new(fed, placement, SchedulerConfig::default());
+        (sched, TpchDb::generate(GenConfig::new(0.002, 77)))
+    }
+
+    fn config() -> CandidateConfig {
+        CandidateConfig {
+            join_site: SiteId(0),
+            join_engine: EngineKind::Spark,
+            instance_idx: 1,
+            vm_count: 2,
+        }
+    }
+
+    #[test]
+    fn executes_and_extracts_features() {
+        let (fed, _, _) = example_federation();
+        let (mut sched, db) = setup(&fed);
+        let q = q12("MAIL", "SHIP", 1994);
+        let run = sched
+            .execute_with_config(&q, &config(), db.tables())
+            .unwrap();
+        assert_eq!(run.features.len(), 4);
+        assert_eq!(
+            run.features[0] as usize,
+            db.table("lineitem").unwrap().n_rows(),
+            "x1 is the raw left-table size"
+        );
+        assert!(run.features[2] > 0.0, "filtered lineitem side non-empty");
+        assert!(
+            run.features[2] < run.features[0],
+            "prepared side is smaller than the base table"
+        );
+        assert_eq!(
+            run.features[3] as usize,
+            db.table("orders").unwrap().n_rows(),
+            "orders side is unfiltered"
+        );
+        assert_eq!(run.costs.len(), 2);
+        assert!(run.costs[0] > 0.0 && run.costs[1] > 0.0);
+        assert!(run.label.contains("Q12"));
+    }
+
+    #[test]
+    fn clock_and_idle_advance() {
+        let (fed, _, _) = example_federation();
+        let (mut sched, db) = setup(&fed);
+        let q = q13("special", "requests");
+        assert_eq!(sched.clock_s(), 0.0);
+        sched
+            .execute_with_config(&q, &config(), db.tables())
+            .unwrap();
+        let after_exec = sched.clock_s();
+        assert!(after_exec > 0.0);
+        sched.idle(10, 30.0);
+        assert!((sched.clock_s() - after_exec - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_runs_vary_under_drift() {
+        let (fed, _, _) = example_federation();
+        let (mut sched, db) = setup(&fed);
+        let q = q12("AIR", "RAIL", 1995);
+        let mut times = Vec::new();
+        for _ in 0..6 {
+            let run = sched
+                .execute_with_config(&q, &config(), db.tables())
+                .unwrap();
+            times.push(run.costs[0]);
+            sched.idle(5, 60.0);
+        }
+        // Same query, same config: observed times must not all be equal
+        // (drift + noise at work).
+        let first = times[0];
+        assert!(times.iter().any(|t| (t - first).abs() > 1e-6), "{times:?}");
+    }
+
+    #[test]
+    fn unplaced_table_errors() {
+        let (fed, _, _) = example_federation();
+        let (mut sched, db) = setup(&fed);
+        let q = midas_tpch::queries::q14(1995, 3); // part is not placed
+        let err = sched.execute_with_config(&q, &config(), db.tables());
+        assert!(matches!(err, Err(SchedulerError::Engine(_))));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by all linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by matrix construction, decomposition and solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands have incompatible shapes; carries `(rows_a, cols_a,
+    /// rows_b, cols_b)` of the offending operands.
+    ShapeMismatch {
+        /// Rows of the left operand.
+        rows_a: usize,
+        /// Columns of the left operand.
+        cols_a: usize,
+        /// Rows of the right operand.
+        rows_b: usize,
+        /// Columns of the right operand.
+        cols_b: usize,
+    },
+    /// The operation requires a square matrix but got `rows x cols`.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored
+    /// or inverted. Carries the pivot index where elimination broke down.
+    Singular {
+        /// Pivot column at which no usable pivot was found.
+        pivot: usize,
+    },
+    /// Cholesky factorization requires a positive-definite matrix; the leading
+    /// minor at `index` was not positive.
+    NotPositiveDefinite {
+        /// Index of the failing diagonal element.
+        index: usize,
+    },
+    /// A matrix was constructed from data whose length does not match the
+    /// requested dimensions.
+    BadDimensions {
+        /// Rows requested.
+        rows: usize,
+        /// Columns requested.
+        cols: usize,
+        /// Length of the backing data actually supplied.
+        len: usize,
+    },
+    /// The input was empty where at least one element is required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch {
+                rows_a,
+                cols_a,
+                rows_b,
+                cols_b,
+            } => write!(
+                f,
+                "shape mismatch: ({rows_a}x{cols_a}) is not compatible with ({rows_b}x{cols_b})"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite at diagonal index {index}")
+            }
+            LinalgError::BadDimensions { rows, cols, len } => write!(
+                f,
+                "cannot form a {rows}x{cols} matrix from {len} elements"
+            ),
+            LinalgError::Empty => write!(f, "input must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,42 @@
+//! # midas-linalg
+//!
+//! Dense linear algebra and summary statistics used by the MIDAS / DREAM
+//! reproduction.
+//!
+//! The paper's core machinery (Section 2.5) is ordinary least squares on a
+//! design matrix `A` (Eq. 8) solved through the normal equations
+//! `B = (AᵀA)⁻¹AᵀC` (Eq. 12). This crate supplies:
+//!
+//! * [`Matrix`] — a small dense, row-major matrix type with the usual
+//!   arithmetic, transpose and multiplication,
+//! * [`solve::solve`] — Gaussian elimination with partial pivoting,
+//! * [`cholesky::Cholesky`] — for symmetric positive-definite systems such as
+//!   `AᵀA`,
+//! * [`qr::QrDecomposition`] — Householder QR, the numerically robust way to
+//!   solve least-squares problems,
+//! * [`stats`] — means, variances, quantiles and online (Welford) moments.
+//!
+//! Everything is implemented from scratch on `f64`; no external numeric
+//! dependencies are used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Numeric kernels (LU/QR/Cholesky substitution loops) index rows/columns
+// explicitly; iterator-chain rewrites obscure the math they mirror.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod error;
+pub mod matrix;
+pub mod qr;
+pub mod solve;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::QrDecomposition;
+pub use solve::{lu_decompose, solve, solve_many, LuDecomposition};
+
+/// Result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

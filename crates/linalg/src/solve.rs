@@ -1,0 +1,230 @@
+//! Linear system solving via LU decomposition with partial pivoting.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU decomposition with partial pivoting: `P·A = L·U`.
+///
+/// The factors are stored compactly in a single matrix (unit lower triangle
+/// implicit). Reuse the decomposition through [`LuDecomposition::solve`] to
+/// solve against many right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    /// Row permutation: output row `i` of the factored system corresponds to
+    /// input row `perm[i]`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used by [`LuDecomposition::determinant`].
+    perm_sign: f64,
+}
+
+/// Numeric tolerance under which a pivot is considered to be exactly zero.
+const PIVOT_EPS: f64 = 1e-12;
+
+/// Factors a square matrix into `P·A = L·U`.
+///
+/// Fails with [`LinalgError::Singular`] if no pivot above the numeric
+/// tolerance can be found in some column.
+pub fn lu_decompose(a: &Matrix) -> Result<LuDecomposition> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut perm_sign = 1.0;
+
+    for k in 0..n {
+        // Partial pivoting: bring the largest |entry| in column k to the
+        // diagonal to bound element growth.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[(k, k)].abs();
+        for r in (k + 1)..n {
+            let v = lu[(r, k)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < PIVOT_EPS {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if pivot_row != k {
+            perm.swap(k, pivot_row);
+            perm_sign = -perm_sign;
+            for c in 0..n {
+                let tmp = lu[(k, c)];
+                lu[(k, c)] = lu[(pivot_row, c)];
+                lu[(pivot_row, c)] = tmp;
+            }
+        }
+        let pivot = lu[(k, k)];
+        for r in (k + 1)..n {
+            let factor = lu[(r, k)] / pivot;
+            lu[(r, k)] = factor;
+            for c in (k + 1)..n {
+                let sub = factor * lu[(k, c)];
+                lu[(r, c)] -= sub;
+            }
+        }
+    }
+
+    Ok(LuDecomposition {
+        lu,
+        perm,
+        perm_sign,
+    })
+}
+
+impl LuDecomposition {
+    /// Solves `A·x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                rows_a: n,
+                cols_a: n,
+                rows_b: b.len(),
+                cols_b: 1,
+            });
+        }
+        // Forward substitution with the permuted rhs (L has implicit unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution through U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix, from the product of pivots.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.lu.rows() {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the original matrix, column by column.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for (r, v) in col.into_iter().enumerate() {
+                inv[(r, c)] = v;
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// One-shot solve of `A·x = b` (square `A`) with partial pivoting.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    lu_decompose(a)?.solve(b)
+}
+
+/// Solves `A·X = B` for a matrix of right-hand sides, reusing one
+/// factorization.
+pub fn solve_many(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            rows_a: a.rows(),
+            cols_a: a.cols(),
+            rows_b: b.rows(),
+            cols_b: b.cols(),
+        });
+    }
+    let lu = lu_decompose(a)?;
+    let mut out = Matrix::zeros(b.rows(), b.cols());
+    for c in 0..b.cols() {
+        let col = lu.solve(&b.col(c))?;
+        for (r, v) in col.into_iter().enumerate() {
+            out[(r, c)] = v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = Matrix::from_vec(2, 2, vec![2., 1., 1., 3.]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_vec(2, 2, vec![0., 1., 1., 0.]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_is_reported() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 2., 4.]).unwrap();
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            lu_decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_permuted_identity() {
+        let a = Matrix::from_vec(2, 2, vec![0., 1., 1., 0.]).unwrap();
+        let lu = lu_decompose(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_vec(3, 3, vec![4., 2., 1., 2., 5., 3., 1., 3., 6.]).unwrap();
+        let inv = lu_decompose(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let a = Matrix::from_vec(2, 2, vec![3., 1., 1., 2.]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![9., 1., 8., 0.]).unwrap();
+        let x = solve_many(&a, &b).unwrap();
+        for c in 0..2 {
+            let xc = solve(&a, &b.col(c)).unwrap();
+            for r in 0..2 {
+                assert!((x[(r, c)] - xc[r]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the dense solvers.
+
+use midas_linalg::{lu_decompose, solve, Cholesky, Matrix, QrDecomposition};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned square matrix built as `D + R` with a
+/// dominant diagonal, plus a right-hand side.
+fn diag_dominant(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(-1.0..1.0f64, n * n),
+        proptest::collection::vec(-10.0..10.0f64, n),
+    )
+        .prop_map(move |(mut a, b)| {
+            for i in 0..n {
+                a[i * n + i] += (n as f64) * 3.0; // strict diagonal dominance
+            }
+            (a, b)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LU solving satisfies A·x = b to numeric precision.
+    #[test]
+    fn lu_solves_diag_dominant((a, b) in diag_dominant(4)) {
+        let m = Matrix::from_vec(4, 4, a).expect("dims");
+        let x = solve(&m, &b).expect("diag-dominant is non-singular");
+        let ax = m.matvec(&x).expect("dims");
+        for (u, v) in ax.iter().zip(b.iter()) {
+            prop_assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    /// The determinant of a permuted identity is ±1 and inverse round-trips.
+    #[test]
+    fn inverse_roundtrip((a, _) in diag_dominant(3)) {
+        let m = Matrix::from_vec(3, 3, a).expect("dims");
+        let lu = lu_decompose(&m).expect("non-singular");
+        let inv = lu.inverse().expect("invertible");
+        let prod = m.matmul(&inv).expect("dims");
+        prop_assert!(prod.approx_eq(&Matrix::identity(3), 1e-7));
+        prop_assert!(lu.determinant().abs() > 1e-9);
+    }
+
+    /// Cholesky of AᵀA + εI solves consistently with LU.
+    #[test]
+    fn cholesky_agrees_with_lu(
+        data in proptest::collection::vec(-3.0..3.0f64, 12),
+        b in proptest::collection::vec(-5.0..5.0f64, 3),
+    ) {
+        let a = Matrix::from_vec(4, 3, data).expect("dims");
+        let mut g = a.gram();
+        for i in 0..3 {
+            g[(i, i)] += 1.0; // guarantee positive definiteness
+        }
+        let x_ch = Cholesky::decompose(&g).expect("SPD").solve(&b).expect("solves");
+        let x_lu = solve(&g, &b).expect("non-singular");
+        for (u, v) in x_ch.iter().zip(x_lu.iter()) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    /// QR least squares on a square non-singular system equals the LU solve.
+    #[test]
+    fn qr_square_agrees_with_lu((a, b) in diag_dominant(4)) {
+        let m = Matrix::from_vec(4, 4, a).expect("dims");
+        let x_lu = solve(&m, &b).expect("non-singular");
+        let x_qr = QrDecomposition::decompose(&m)
+            .expect("decomposes")
+            .solve_least_squares(&b)
+            .expect("full rank");
+        for (u, v) in x_qr.iter().zip(x_lu.iter()) {
+            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    /// Matrix transpose is an involution and distributes over products.
+    #[test]
+    fn transpose_laws(
+        a in proptest::collection::vec(-5.0..5.0f64, 6),
+        b in proptest::collection::vec(-5.0..5.0f64, 8),
+    ) {
+        let ma = Matrix::from_vec(2, 3, a).expect("dims");
+        let mb = Matrix::from_vec(3, 4, b.iter().cloned().chain([0.0; 4]).take(12).collect())
+            .expect("dims");
+        prop_assert!(ma.transpose().transpose().approx_eq(&ma, 0.0));
+        // (AB)ᵀ = BᵀAᵀ
+        let ab_t = ma.matmul(&mb).expect("dims").transpose();
+        let bt_at = mb.transpose().matmul(&ma.transpose()).expect("dims");
+        prop_assert!(ab_t.approx_eq(&bt_at, 1e-9));
+    }
+}

@@ -1,0 +1,16 @@
+//! Drivers that regenerate the paper's experiments.
+//!
+//! * [`mre`] — Tables 3 and 4: Mean Relative Error of DREAM vs the BML
+//!   window baselines on the TPC-H two-table queries.
+//! * [`fig3`] — Figure 3: the Pareto/GA MOQP pipeline vs the Weighted Sum
+//!   Model pipeline under changing user weights.
+//! * [`example31`] — Example 3.1: the size of the equivalent-QEP space and
+//!   the cost of estimating all of it.
+
+pub mod example31;
+pub mod fig3;
+pub mod mre;
+
+pub use example31::{run_example31, Example31Report};
+pub use fig3::{run_fig3, Fig3Report, Fig3Row};
+pub use mre::{run_mre, EstimatorKind, MreConfig, MreReport, MreRow};

@@ -1,0 +1,88 @@
+//! Drift-sensitivity integration: the MRE experiment's qualitative claims
+//! as a function of environment stability (smoke scale).
+
+use midas::experiments::{run_mre, EstimatorKind, MreConfig};
+use midas_engines::sim::DriftIntensity;
+
+fn mean_mre(cfg: &MreConfig, kind: EstimatorKind) -> f64 {
+    let report = run_mre(cfg).expect("experiment runs");
+    let label = kind.label();
+    let vals: Vec<f64> = report
+        .rows
+        .iter()
+        .flat_map(|r| r.mre.iter().filter(|(l, _)| *l == label).map(|(_, v)| *v))
+        .collect();
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+#[test]
+fn stationary_environments_are_easier_for_everyone() {
+    let mut stationary = MreConfig::smoke(3);
+    stationary.drift = DriftIntensity::None;
+    let mut drifting = MreConfig::smoke(3);
+    drifting.drift = DriftIntensity::Strong;
+
+    let dream_stationary = mean_mre(&stationary, EstimatorKind::Dream);
+    let dream_drifting = mean_mre(&drifting, EstimatorKind::Dream);
+    assert!(
+        dream_stationary < dream_drifting,
+        "DREAM: stationary {dream_stationary} should beat drifting {dream_drifting}"
+    );
+}
+
+#[test]
+fn unbounded_history_suffers_most_under_strong_drift() {
+    let mut cfg = MreConfig::smoke(11);
+    cfg.drift = DriftIntensity::Strong;
+    cfg.warmup_runs = 24;
+    let report = run_mre(&cfg).expect("experiment runs");
+    // BML (all history) must not be the best column in any row, and must be
+    // strictly worse than DREAM on average — the paper's central claim.
+    let mut bml_sum = 0.0;
+    let mut dream_sum = 0.0;
+    for row in &report.rows {
+        let get = |label: &str| {
+            row.mre
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, v)| *v)
+                .expect("column present")
+        };
+        let bml = get("BML");
+        let best = row
+            .mre
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::INFINITY, f64::min);
+        assert!(bml > best - 1e-12, "BML should never be the strict best");
+        bml_sum += bml;
+        dream_sum += get("DREAM");
+    }
+    assert!(
+        dream_sum < bml_sum,
+        "DREAM total {dream_sum} must beat unbounded-history BML {bml_sum}"
+    );
+}
+
+#[test]
+fn dream_windows_shrink_when_drift_strengthens() {
+    let mut stationary = MreConfig::smoke(7);
+    stationary.drift = DriftIntensity::None;
+    stationary.warmup_runs = 24;
+    let mut drifting = stationary;
+    drifting.drift = DriftIntensity::Strong;
+
+    let report_s = run_mre(&stationary).expect("experiment runs");
+    let report_d = run_mre(&drifting).expect("experiment runs");
+    let mean_window = |r: &midas::experiments::MreReport| {
+        r.rows.iter().map(|x| x.dream_mean_window).sum::<f64>() / r.rows.len() as f64
+    };
+    // Under stationary load the R² gate passes at larger windows more often
+    // than under strong drift (where regime mixtures break the fit).
+    assert!(
+        mean_window(&report_s) >= mean_window(&report_d) - 1.5,
+        "stationary {} vs drifting {}",
+        mean_window(&report_s),
+        mean_window(&report_d)
+    );
+}

@@ -1,0 +1,135 @@
+//! k-nearest-neighbour regression.
+//!
+//! Not one of the three WEKA families the paper names, but a standard cheap
+//! baseline the Modelling module can carry at no cost; it also gives the
+//! model-selection tests a family with very different bias/variance
+//! behaviour. Distances are computed on standardized features.
+
+use crate::regressor::{Regressor, Standardizer};
+use midas_dream::EstimationError;
+
+/// k-nearest-neighbour regressor with z-scored Euclidean distance.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    train_z: Vec<Vec<f64>>,
+    train_y: Vec<f64>,
+    scaler: Option<Standardizer>,
+}
+
+impl KnnRegressor {
+    /// Creates an unfitted kNN regressor; `k` is clamped to ≥ 1.
+    pub fn new(k: usize) -> Self {
+        KnnRegressor {
+            k: k.max(1),
+            train_z: Vec::new(),
+            train_y: Vec::new(),
+            scaler: None,
+        }
+    }
+
+    /// The configured neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn family(&self) -> &'static str {
+        "knn"
+    }
+
+    fn min_samples(&self, _l: usize) -> usize {
+        self.k
+    }
+
+    fn fit(&mut self, xs: &[&[f64]], ys: &[f64]) -> Result<(), EstimationError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(EstimationError::NotEnoughData {
+                required: self.k.max(1),
+                available: xs.len().min(ys.len()),
+            });
+        }
+        let scaler = Standardizer::fit(xs);
+        self.train_z = xs.iter().map(|x| scaler.transform(x)).collect();
+        self.train_y = ys.to_vec();
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, EstimationError> {
+        let scaler = self.scaler.as_ref().ok_or(EstimationError::NotFitted)?;
+        if x.len() != scaler.width() {
+            return Err(EstimationError::FeatureArity {
+                expected: scaler.width(),
+                got: x.len(),
+            });
+        }
+        let z = scaler.transform(x);
+        // (distance², target) for every training point; partial sort by k.
+        let mut dists: Vec<(f64, f64)> = self
+            .train_z
+            .iter()
+            .zip(self.train_y.iter())
+            .map(|(t, &y)| {
+                let d: f64 = t.iter().zip(z.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, y)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        Ok(dists[..k].iter().map(|(_, y)| y).sum::<f64>() / k as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_interpolates() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        let mut knn = KnnRegressor::new(1);
+        knn.fit(&refs, &ys).unwrap();
+        assert_eq!(knn.predict(&[3.1]).unwrap(), 30.0);
+        assert_eq!(knn.k(), 1);
+    }
+
+    #[test]
+    fn k3_averages_neighbours() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let ys = vec![0.0, 10.0, 20.0, 30.0, 40.0];
+        let mut knn = KnnRegressor::new(3);
+        knn.fit(&refs, &ys).unwrap();
+        // Neighbours of 2.0 are {1,2,3} -> mean 20.
+        assert!((knn.predict(&[2.0]).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_data_uses_all() {
+        let xs: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let ys = vec![1.0, 2.0, 3.0];
+        let mut knn = KnnRegressor::new(10);
+        knn.fit(&refs, &ys).unwrap();
+        assert!((knn.predict(&[1.0]).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors() {
+        let knn = KnnRegressor::new(2);
+        assert!(knn.predict(&[1.0]).is_err());
+        let mut knn = KnnRegressor::new(2);
+        assert!(knn.fit(&[], &[]).is_err());
+        let xs: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![2.0, 3.0]];
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        knn.fit(&refs, &[1.0, 2.0]).unwrap();
+        assert!(matches!(
+            knn.predict(&[1.0]),
+            Err(EstimationError::FeatureArity { .. })
+        ));
+    }
+}

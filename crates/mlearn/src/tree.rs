@@ -1,0 +1,254 @@
+//! CART-style regression trees — the base learner of the bagging family.
+//!
+//! Splits greedily on the `(feature, threshold)` pair that minimizes the
+//! weighted sum of child variances; leaves predict the mean of their rows.
+
+use crate::regressor::Regressor;
+use midas_dream::EstimationError;
+
+/// Tuning knobs for a regression tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth; a depth-0 tree is a single leaf.
+    pub max_depth: usize,
+    /// Minimum rows a node must have to be split further.
+    pub min_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 5,
+            min_split: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted (or not-yet-fitted) regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    config: TreeConfig,
+    root: Option<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Unfitted tree with the given configuration.
+    pub fn new(config: TreeConfig) -> Self {
+        RegressionTree {
+            config,
+            root: None,
+            n_features: 0,
+        }
+    }
+
+    /// Number of leaves (0 when unfitted) — useful for tests.
+    pub fn n_leaves(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    fn build(
+        &self,
+        rows: &[usize],
+        xs: &[&[f64]],
+        ys: &[f64],
+        depth: usize,
+    ) -> Node {
+        let mean = rows.iter().map(|&i| ys[i]).sum::<f64>() / rows.len() as f64;
+        if depth >= self.config.max_depth || rows.len() < self.config.min_split {
+            return Node::Leaf { value: mean };
+        }
+        let parent_sse: f64 = rows.iter().map(|&i| (ys[i] - mean) * (ys[i] - mean)).sum();
+        if parent_sse <= 1e-12 {
+            return Node::Leaf { value: mean };
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for f in 0..self.n_features {
+            // Candidate thresholds: midpoints between consecutive distinct values.
+            let mut vals: Vec<f64> = rows.iter().map(|&i| xs[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+            vals.dedup();
+            for w in vals.windows(2) {
+                let thr = (w[0] + w[1]) / 2.0;
+                let (mut ln, mut ls, mut lq) = (0usize, 0.0f64, 0.0f64);
+                let (mut rn, mut rs, mut rq) = (0usize, 0.0f64, 0.0f64);
+                for &i in rows {
+                    let y = ys[i];
+                    if xs[i][f] <= thr {
+                        ln += 1;
+                        ls += y;
+                        lq += y * y;
+                    } else {
+                        rn += 1;
+                        rs += y;
+                        rq += y * y;
+                    }
+                }
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                // SSE of a group = Σy² - (Σy)²/n
+                let sse = (lq - ls * ls / ln as f64) + (rq - rs * rs / rn as f64);
+                if best.as_ref().is_none_or(|(_, _, b)| sse < *b) {
+                    best = Some((f, thr, sse));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, sse)) if sse < parent_sse - 1e-12 => {
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&i| xs[i][feature] <= threshold);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(&left_rows, xs, ys, depth + 1)),
+                    right: Box::new(self.build(&right_rows, xs, ys, depth + 1)),
+                }
+            }
+            _ => Node::Leaf { value: mean },
+        }
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn family(&self) -> &'static str {
+        "tree"
+    }
+
+    fn min_samples(&self, _l: usize) -> usize {
+        2
+    }
+
+    fn fit(&mut self, xs: &[&[f64]], ys: &[f64]) -> Result<(), EstimationError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(EstimationError::NotEnoughData {
+                required: 2,
+                available: xs.len().min(ys.len()),
+            });
+        }
+        self.n_features = xs[0].len();
+        let rows: Vec<usize> = (0..xs.len()).collect();
+        self.root = Some(self.build(&rows, xs, ys, 0));
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, EstimationError> {
+        if x.len() != self.n_features {
+            return Err(EstimationError::FeatureArity {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let mut node = self.root.as_ref().ok_or(EstimationError::NotFitted)?;
+        loop {
+            match node {
+                Node::Leaf { value } => return Ok(*value),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // A step function at x = 5: tree-friendly, line-hostile.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 9.0 }).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (xs, ys) = step_data();
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let mut tree = RegressionTree::new(TreeConfig::default());
+        tree.fit(&refs, &ys).unwrap();
+        assert!((tree.predict(&[2.0]).unwrap() - 1.0).abs() < 1e-9);
+        assert!((tree.predict(&[15.0]).unwrap() - 9.0).abs() < 1e-9);
+        assert!(tree.n_leaves() >= 2);
+    }
+
+    #[test]
+    fn depth_zero_is_the_mean() {
+        let (xs, ys) = step_data();
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let mut tree = RegressionTree::new(TreeConfig {
+            max_depth: 0,
+            min_split: 2,
+        });
+        tree.fit(&refs, &ys).unwrap();
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((tree.predict(&[0.0]).unwrap() - mean).abs() < 1e-9);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let ys = vec![4.2; 8];
+        let mut tree = RegressionTree::new(TreeConfig::default());
+        tree.fit(&refs, &ys).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert!((tree.predict(&[100.0]).unwrap() - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfitted_and_arity_errors() {
+        let tree = RegressionTree::new(TreeConfig::default());
+        assert!(tree.predict(&[1.0]).is_err());
+        let (xs, ys) = step_data();
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let mut tree = RegressionTree::new(TreeConfig::default());
+        tree.fit(&refs, &ys).unwrap();
+        assert!(matches!(
+            tree.predict(&[1.0, 2.0]),
+            Err(EstimationError::FeatureArity { .. })
+        ));
+    }
+
+    #[test]
+    fn two_feature_split() {
+        // y depends only on the second feature.
+        let xs: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i % 4) as f64, (i / 4) as f64])
+            .collect();
+        let refs: Vec<&[f64]> = xs.iter().map(|r| r.as_slice()).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| if r[1] < 2.0 { 0.0 } else { 10.0 }).collect();
+        let mut tree = RegressionTree::new(TreeConfig::default());
+        tree.fit(&refs, &ys).unwrap();
+        assert!((tree.predict(&[0.0, 0.0]).unwrap() - 0.0).abs() < 1e-9);
+        assert!((tree.predict(&[0.0, 3.0]).unwrap() - 10.0).abs() < 1e-9);
+    }
+}

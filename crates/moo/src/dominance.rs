@@ -1,0 +1,90 @@
+//! Pareto dominance over cost vectors (minimization everywhere).
+//!
+//! Plan `p1` dominates `p2` when it is no worse on every cost metric
+//! (paper Eq. 1) and strictly dominates when it is better on every metric
+//! (Eq. 3). The optimizer additionally needs "dominates and is not equal",
+//! which is the classic Pareto-improvement relation used by NSGA-II.
+
+/// Pairwise relation between two cost vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// `a` is no worse everywhere and strictly better somewhere.
+    Dominates,
+    /// `b` is no worse everywhere and strictly better somewhere.
+    DominatedBy,
+    /// Identical cost vectors.
+    Equal,
+    /// Each wins on at least one metric.
+    Incomparable,
+}
+
+/// Classifies the dominance relation between `a` and `b` (minimization).
+///
+/// Panics in debug builds when the lengths differ — cost vectors of one
+/// optimization problem always share arity.
+pub fn compare(a: &[f64], b: &[f64]) -> Dominance {
+    debug_assert_eq!(a.len(), b.len(), "cost vectors must share arity");
+    let mut a_better = false;
+    let mut b_better = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Equal,
+        (true, true) => Dominance::Incomparable,
+    }
+}
+
+/// Weak dominance of Eq. 1: `a` ⪯ `b` — no metric of `a` is worse.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    matches!(compare(a, b), Dominance::Dominates | Dominance::Equal)
+}
+
+/// Strict dominance of Eq. 3: every metric of `a` is strictly better.
+pub fn strictly_dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).all(|(x, y)| x < y)
+}
+
+/// The Pareto-improvement relation NSGA-II sorts by: no worse everywhere and
+/// strictly better somewhere.
+pub fn pareto_dominates(a: &[f64], b: &[f64]) -> bool {
+    compare(a, b) == Dominance::Dominates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_cases() {
+        assert_eq!(compare(&[1.0, 1.0], &[2.0, 2.0]), Dominance::Dominates);
+        assert_eq!(compare(&[2.0, 2.0], &[1.0, 1.0]), Dominance::DominatedBy);
+        assert_eq!(compare(&[1.0, 2.0], &[1.0, 2.0]), Dominance::Equal);
+        assert_eq!(compare(&[1.0, 3.0], &[2.0, 1.0]), Dominance::Incomparable);
+    }
+
+    #[test]
+    fn weak_vs_strict() {
+        // Equal on one coordinate: weakly dominates, not strictly.
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!strictly_dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(strictly_dominates(&[0.5, 2.0], &[1.0, 3.0]));
+        // Equal vectors weakly dominate each other.
+        assert!(dominates(&[1.0], &[1.0]));
+        assert!(!pareto_dominates(&[1.0], &[1.0]));
+    }
+
+    #[test]
+    fn pareto_dominates_requires_strict_improvement_somewhere() {
+        assert!(pareto_dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!pareto_dominates(&[1.0, 3.0], &[1.0, 3.0]));
+        assert!(!pareto_dominates(&[2.0, 1.0], &[1.0, 2.0]));
+    }
+}

@@ -1,0 +1,235 @@
+//! Parametric dominance — Eq. 2–4 of the paper, on a discretized parameter
+//! space.
+//!
+//! In multi-objective *parametric* query optimization (Trummer & Koch, the
+//! paper's ref \[32\]), plan costs depend on parameters unknown at optimization
+//! time (selectivities, data sizes, cluster load). The paper defines:
+//!
+//! * `Dom(p1, p2) ⊆ X` — the parameter region where `p1` weakly dominates
+//!   `p2` (Eq. 2),
+//! * `StriDom(p1, p2)` — strict version (Eq. 3),
+//! * `PaReg(p)` — the Pareto region of `p`: parameters where *no* plan
+//!   strictly dominates it (Eq. 4).
+//!
+//! We realize `X` as an explicit grid of sample points, which is how such
+//! regions are computed in practice for non-linear cost functions.
+
+use crate::dominance;
+
+/// A discretized parameter space: explicit sample points of `X ⊆ R^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterGrid {
+    points: Vec<Vec<f64>>,
+}
+
+impl ParameterGrid {
+    /// Builds a grid from explicit points (all must share one dimension).
+    ///
+    /// Panics on ragged input.
+    pub fn new(points: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = points.first() {
+            assert!(
+                points.iter().all(|p| p.len() == first.len()),
+                "grid points must share dimensionality"
+            );
+        }
+        ParameterGrid { points }
+    }
+
+    /// Cartesian product of per-axis sample values.
+    pub fn cartesian(axes: &[Vec<f64>]) -> Self {
+        let mut points: Vec<Vec<f64>> = vec![Vec::new()];
+        for axis in axes {
+            let mut next = Vec::with_capacity(points.len() * axis.len());
+            for p in &points {
+                for &v in axis {
+                    let mut q = p.clone();
+                    q.push(v);
+                    next.push(q);
+                }
+            }
+            points = next;
+        }
+        ParameterGrid { points }
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The sample points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+}
+
+/// A plan whose cost vector is a function of the parameter vector `x`.
+pub trait ParametricPlan {
+    /// Evaluates the cost vector at parameter point `x`.
+    fn costs_at(&self, x: &[f64]) -> Vec<f64>;
+}
+
+impl<F> ParametricPlan for F
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    fn costs_at(&self, x: &[f64]) -> Vec<f64> {
+        self(x)
+    }
+}
+
+/// `Dom(p1, p2)` (Eq. 2): indices of grid points where `p1` weakly dominates
+/// `p2` on every metric.
+pub fn dom_region<P1: ParametricPlan, P2: ParametricPlan>(
+    p1: &P1,
+    p2: &P2,
+    grid: &ParameterGrid,
+) -> Vec<usize> {
+    grid.points()
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| dominance::dominates(&p1.costs_at(x), &p2.costs_at(x)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `StriDom(p1, p2)` (Eq. 3): grid points where `p1` strictly dominates `p2`.
+pub fn stridom_region<P1: ParametricPlan, P2: ParametricPlan>(
+    p1: &P1,
+    p2: &P2,
+    grid: &ParameterGrid,
+) -> Vec<usize> {
+    grid.points()
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| dominance::strictly_dominates(&p1.costs_at(x), &p2.costs_at(x)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `PaReg(p)` (Eq. 4): grid points where no alternative plan strictly
+/// dominates `p` — i.e. `X \ ∪_{p*} StriDom(p*, p)`.
+pub fn pareto_region<P: ParametricPlan + ?Sized>(
+    plan: &P,
+    alternatives: &[&dyn ParametricPlan],
+    grid: &ParameterGrid,
+) -> Vec<usize> {
+    grid.points()
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| {
+            let c = plan.costs_at(x);
+            !alternatives
+                .iter()
+                .any(|alt| dominance::strictly_dominates(&alt.costs_at(x), &c))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two linear plans crossing at x = 5 (single parameter, single metric
+    /// pair): p1 = (x, 10), p2 = (10 - ... ) etc.
+    fn plan_a(x: &[f64]) -> Vec<f64> {
+        vec![x[0], 10.0]
+    }
+    fn plan_b(x: &[f64]) -> Vec<f64> {
+        vec![10.0 - x[0], 10.0]
+    }
+
+    fn unit_grid() -> ParameterGrid {
+        ParameterGrid::cartesian(&[(0..=10).map(|i| i as f64).collect()])
+    }
+
+    #[test]
+    fn cartesian_grid_size() {
+        let g = ParameterGrid::cartesian(&[vec![0.0, 1.0], vec![0.0, 1.0, 2.0]]);
+        assert_eq!(g.len(), 6);
+        assert!(!g.is_empty());
+        assert_eq!(g.points()[0].len(), 2);
+    }
+
+    #[test]
+    fn dom_region_is_the_halfspace() {
+        let g = unit_grid();
+        // a dominates b where x <= 10 - x, i.e. x <= 5.
+        let region = dom_region(&plan_a, &plan_b, &g);
+        let xs: Vec<f64> = region.iter().map(|&i| g.points()[i][0]).collect();
+        assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn stridom_excludes_ties() {
+        let g = unit_grid();
+        // Second metric always ties, so strict dominance never holds.
+        let region = stridom_region(&plan_a, &plan_b, &g);
+        assert!(region.is_empty());
+
+        // Drop the tying metric: strict dominance where x < 5.
+        let a = |x: &[f64]| vec![x[0]];
+        let b = |x: &[f64]| vec![10.0 - x[0]];
+        let region = stridom_region(&a, &b, &g);
+        let xs: Vec<f64> = region.iter().map(|&i| g.points()[i][0]).collect();
+        assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pareto_region_covers_everything_with_ties() {
+        let g = unit_grid();
+        let alts: Vec<&dyn ParametricPlan> = vec![&plan_b];
+        // plan_a is never strictly dominated (metric 2 ties), so PaReg = X.
+        let region = pareto_region(&plan_a, &alts, &g);
+        assert_eq!(region.len(), g.len());
+    }
+
+    #[test]
+    fn pareto_region_shrinks_under_strict_competition() {
+        let g = unit_grid();
+        let a = |x: &[f64]| vec![x[0], x[0]];
+        let b = |x: &[f64]| vec![10.0 - x[0], 10.0 - x[0]];
+        let alts: Vec<&dyn ParametricPlan> = vec![&b];
+        // b strictly dominates a where 10 - x < x, i.e. x > 5.
+        let region = pareto_region(&a, &alts, &g);
+        let xs: Vec<f64> = region.iter().map(|&i| g.points()[i][0]).collect();
+        assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn pareto_regions_of_all_plans_cover_the_grid() {
+        // Union over plans of PaReg(p) must be X: at every point some plan
+        // is non-dominated.
+        let g = unit_grid();
+        let a = |x: &[f64]| vec![x[0], 10.0 - x[0]];
+        let b = |x: &[f64]| vec![10.0 - x[0], x[0]];
+        let c = |x: &[f64]| vec![5.0, 5.0];
+        let plans: Vec<&dyn ParametricPlan> = vec![&a, &b, &c];
+        let mut covered = vec![false; g.len()];
+        for (i, p) in plans.iter().enumerate() {
+            let alts: Vec<&dyn ParametricPlan> = plans
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, q)| *q)
+                .collect();
+            for idx in pareto_region(*p, &alts, &g) {
+                covered[idx] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "a grid point has no Pareto plan");
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn ragged_grid_panics() {
+        let _ = ParameterGrid::new(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Pareto-front extraction, fast non-dominated sort, crowding distance.
+//!
+//! These are the NSGA-II primitives (Deb et al. 2002) and also what the IReS
+//! Multi-Objective Optimizer uses to turn a set of estimated plan-cost
+//! vectors into a Pareto plan set.
+
+use crate::dominance::pareto_dominates;
+
+/// Indices of the non-dominated cost vectors (the Pareto front).
+///
+/// Duplicated cost vectors are all kept — they do not dominate each other.
+pub fn pareto_front_indices(costs: &[Vec<f64>]) -> Vec<usize> {
+    (0..costs.len())
+        .filter(|&i| {
+            !costs
+                .iter()
+                .enumerate()
+                .any(|(j, c)| j != i && pareto_dominates(c, &costs[i]))
+        })
+        .collect()
+}
+
+/// Fast non-dominated sort: partitions indices into fronts `F₁, F₂, …` where
+/// `F₁` is the Pareto front, `F₂` the front once `F₁` is removed, and so on.
+///
+/// Runs in `O(M·n²)` like the original formulation.
+pub fn fast_non_dominated_sort(costs: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[i] = set of indices i dominates; counts[i] = #dominators.
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut counts = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if pareto_dominates(&costs[i], &costs[j]) {
+                dominated[i].push(j);
+                counts[j] += 1;
+            } else if pareto_dominates(&costs[j], &costs[i]) {
+                dominated[j].push(i);
+                counts[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| counts[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated[i] {
+                counts[j] -= 1;
+                if counts[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// NSGA-II crowding distance of each member of one front.
+///
+/// Boundary members per objective get `f64::INFINITY`; inner members get the
+/// sum of normalized neighbour gaps. Degenerate objectives (all equal)
+/// contribute zero.
+pub fn crowding_distance(front_costs: &[&[f64]]) -> Vec<f64> {
+    let n = front_costs.len();
+    let mut dist = vec![0.0; n];
+    if n == 0 {
+        return dist;
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let m = front_costs[0].len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for k in 0..m {
+        order.sort_by(|&a, &b| {
+            front_costs[a][k]
+                .partial_cmp(&front_costs[b][k])
+                .expect("NaN cost")
+        });
+        let lo = front_costs[order[0]][k];
+        let hi = front_costs[order[n - 1]][k];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue;
+        }
+        for w in 1..(n - 1) {
+            let gap = front_costs[order[w + 1]][k] - front_costs[order[w - 1]][k];
+            dist[order[w]] += gap / range;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 5.0], // front 1
+            vec![2.0, 3.0], // front 1
+            vec![4.0, 1.0], // front 1
+            vec![3.0, 4.0], // dominated by [2,3]
+            vec![5.0, 5.0], // dominated by everything above
+        ]
+    }
+
+    #[test]
+    fn front_indices() {
+        let f = pareto_front_indices(&costs());
+        assert_eq!(f, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_stay_on_front() {
+        let cs = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(pareto_front_indices(&cs), vec![0, 1]);
+    }
+
+    #[test]
+    fn sort_produces_ordered_fronts() {
+        let fronts = fast_non_dominated_sort(&costs());
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1, 2]);
+        assert_eq!(fronts[1], vec![3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn sort_empty_and_single() {
+        assert!(fast_non_dominated_sort(&[]).is_empty());
+        let fronts = fast_non_dominated_sort(&[vec![1.0]]);
+        assert_eq!(fronts, vec![vec![0]]);
+    }
+
+    #[test]
+    fn every_front_is_mutually_non_dominated() {
+        let cs: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let x = (i as f64 * 0.7).sin().abs() * 10.0;
+                let y = (i as f64 * 1.3).cos().abs() * 10.0;
+                vec![x, y]
+            })
+            .collect();
+        for front in fast_non_dominated_sort(&cs) {
+            for &i in &front {
+                for &j in &front {
+                    assert!(
+                        !crate::dominance::pareto_dominates(&cs[i], &cs[j]),
+                        "front member {i} dominates {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let cs = [
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![3.0, 2.0],
+            vec![4.0, 1.0],
+        ];
+        let refs: Vec<&[f64]> = cs.iter().map(|c| c.as_slice()).collect();
+        let d = crowding_distance(&refs);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn crowding_small_fronts() {
+        let cs = [vec![1.0, 2.0]];
+        let refs: Vec<&[f64]> = cs.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(crowding_distance(&refs), vec![f64::INFINITY]);
+        assert!(crowding_distance(&[]).is_empty());
+    }
+
+    #[test]
+    fn crowding_degenerate_objective() {
+        // Second objective constant: only the first contributes.
+        let cs = [
+            vec![1.0, 7.0],
+            vec![2.0, 7.0],
+            vec![5.0, 7.0],
+        ];
+        let refs: Vec<&[f64]> = cs.iter().map(|c| c.as_slice()).collect();
+        let d = crowding_distance(&refs);
+        assert!(d[0].is_infinite() && d[2].is_infinite());
+        assert!((d[1] - 1.0).abs() < 1e-12); // (5-1)/(5-1)
+    }
+}

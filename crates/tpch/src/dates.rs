@@ -1,0 +1,120 @@
+//! Civil-date conversion: `(year, month, day)` ↔ days since 1970-01-01.
+//!
+//! Uses Howard Hinnant's `days_from_civil` algorithm — exact over the whole
+//! proleptic Gregorian calendar, no lookup tables.
+
+/// Days since the epoch for a civil date. Months are 1..=12, days 1..=31.
+pub fn ymd(year: i32, month: u32, day: u32) -> i32 {
+    debug_assert!((1..=12).contains(&month));
+    debug_assert!((1..=31).contains(&day));
+    let y = i64::from(if month <= 2 { year - 1 } else { year });
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (month as i64 + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Civil date for a day number.
+pub fn civil(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let year = if m <= 2 { y + 1 } else { y } as i32;
+    (year, m, d)
+}
+
+/// Adds `months` to a day number, clamping the day-of-month when the target
+/// month is shorter (SQL `date + interval 'n' month` semantics).
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = civil(days);
+    let total = (y * 12 + m as i32 - 1) + months;
+    let ny = total.div_euclid(12);
+    let nm = total.rem_euclid(12) as u32 + 1;
+    let max_day = days_in_month(ny, nm);
+    ymd(ny, nm, d.min(max_day))
+}
+
+/// Number of days in a month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month out of range"),
+    }
+}
+
+/// First day of the TPC-H date domain (1992-01-01).
+pub fn tpch_start() -> i32 {
+    ymd(1992, 1, 1)
+}
+
+/// Last day of the TPC-H date domain (1998-12-31).
+pub fn tpch_end() -> i32 {
+    ymd(1998, 12, 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(ymd(1970, 1, 1), 0);
+        assert_eq!(civil(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(ymd(1992, 1, 1), 8035);
+        assert_eq!(ymd(2000, 3, 1), 11017);
+        // Leap day handling.
+        assert_eq!(ymd(2000, 2, 29) + 1, ymd(2000, 3, 1));
+        assert_eq!(ymd(1900, 2, 28) + 1, ymd(1900, 3, 1)); // 1900 not leap
+    }
+
+    #[test]
+    fn roundtrip_over_the_tpch_domain() {
+        let mut d = tpch_start();
+        while d <= tpch_end() {
+            let (y, m, dd) = civil(d);
+            assert_eq!(ymd(y, m, dd), d);
+            d += 17; // stride keeps the test fast while covering all months
+        }
+    }
+
+    #[test]
+    fn add_months_clamps() {
+        // Jan 31 + 1 month = Feb 28/29.
+        assert_eq!(civil(add_months(ymd(1993, 1, 31), 1)), (1993, 2, 28));
+        assert_eq!(civil(add_months(ymd(1996, 1, 31), 1)), (1996, 2, 29));
+        // Year wrap.
+        assert_eq!(civil(add_months(ymd(1995, 12, 15), 1)), (1996, 1, 15));
+        assert_eq!(civil(add_months(ymd(1995, 3, 15), -3)), (1994, 12, 15));
+        // +12 months = next year.
+        assert_eq!(add_months(ymd(1994, 6, 1), 12), ymd(1995, 6, 1));
+    }
+
+    #[test]
+    fn month_lengths() {
+        assert_eq!(days_in_month(1996, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1993, 4), 30);
+        assert_eq!(days_in_month(1993, 12), 31);
+    }
+}

@@ -1,0 +1,557 @@
+//! Deterministic TPC-H-style data generation.
+//!
+//! Cardinalities follow the spec's ratios per scale factor SF: 150k·SF
+//! customers, 10 orders per customer, 1–7 lineitems per order, 200k·SF parts,
+//! 10k·SF suppliers, 80k·SF·10 partsupp rows, fixed nation/region. Columns
+//! are restricted to those the reproduced queries (plus obvious filler)
+//! touch; the substitution is documented in DESIGN.md.
+//!
+//! **Row cap.** Generating SF 1 verbatim means ~6 M lineitems. When
+//! [`GenConfig::max_lineitem_rows`] is set and the expected lineitem count
+//! exceeds it, *every* table is rescaled by the same ratio, preserving join
+//! fan-outs and selectivities. The effective scale factor is reported so
+//! experiments can label results honestly.
+
+use crate::dates;
+use midas_engines::data::{Column, ColumnData, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The seven lineitem ship modes of the spec.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// The five order priorities of the spec.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Part type components (`p_type` = syllable1 syllable2 syllable3).
+const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Container components (`p_container` = size kind).
+const CONTAINER_SIZE: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_KIND: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Lexicon for comment columns; "special" + "requests" drive Q13.
+const WORDS: [&str; 16] = [
+    "special", "requests", "pending", "furious", "express", "deposits", "packages", "accounts",
+    "theodolites", "instructions", "dependencies", "foxes", "ideas", "platelets", "asymptotes",
+    "pinto",
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenConfig {
+    /// TPC-H scale factor (0.1 ≈ 100 MiB, 1.0 ≈ 1 GiB of raw data).
+    pub scale_factor: f64,
+    /// RNG seed; equal configs generate identical databases.
+    pub seed: u64,
+    /// Cap on physical lineitem rows; `None` generates the full count.
+    pub max_lineitem_rows: Option<usize>,
+}
+
+impl GenConfig {
+    /// Convenience constructor with no row cap.
+    pub fn new(scale_factor: f64, seed: u64) -> Self {
+        GenConfig {
+            scale_factor,
+            seed,
+            max_lineitem_rows: None,
+        }
+    }
+
+    /// The paper's 100 MiB dataset (SF 0.1), uncapped.
+    pub fn sf_100mib(seed: u64) -> Self {
+        Self::new(0.1, seed)
+    }
+
+    /// The paper's 1 GiB dataset (SF 1.0), capped at 1.2 M physical
+    /// lineitems — the uniform-rescale substitution from DESIGN.md.
+    pub fn sf_1gib(seed: u64) -> Self {
+        GenConfig {
+            scale_factor: 1.0,
+            seed,
+            max_lineitem_rows: Some(1_200_000),
+        }
+    }
+}
+
+/// A generated database.
+#[derive(Debug, Clone)]
+pub struct TpchDb {
+    tables: HashMap<String, Table>,
+    /// The configuration that produced it.
+    pub config: GenConfig,
+    /// Ratio of physical to nominal rows after the cap (1.0 = uncapped).
+    pub rescale: f64,
+}
+
+impl TpchDb {
+    /// Generates the database.
+    pub fn generate(config: GenConfig) -> Self {
+        let sf = config.scale_factor;
+        // Nominal cardinalities.
+        let nominal_customers = (150_000.0 * sf).round().max(1.0) as usize;
+        let nominal_orders = nominal_customers * 10;
+        let expected_lineitems = nominal_orders * 4; // E[1..=7] = 4
+        let rescale = match config.max_lineitem_rows {
+            Some(cap) if expected_lineitems > cap => cap as f64 / expected_lineitems as f64,
+            _ => 1.0,
+        };
+        let n_customers = ((nominal_customers as f64 * rescale) as usize).max(1);
+        let n_orders = n_customers * 10;
+        let n_parts = (((200_000.0 * sf) * rescale) as usize).max(1);
+        let n_suppliers = (((10_000.0 * sf) * rescale) as usize).max(1);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut tables = HashMap::new();
+        tables.insert("region".to_string(), gen_region());
+        tables.insert("nation".to_string(), gen_nation());
+        tables.insert("customer".to_string(), gen_customer(n_customers, &mut rng));
+        tables.insert("part".to_string(), gen_part(n_parts, &mut rng));
+        tables.insert("supplier".to_string(), gen_supplier(n_suppliers, &mut rng));
+        let orders = gen_orders(n_orders, n_customers, &mut rng);
+        let lineitem = gen_lineitem(&orders, n_parts, n_suppliers, &mut rng);
+        tables.insert(
+            "partsupp".to_string(),
+            gen_partsupp(n_parts, n_suppliers, &mut rng),
+        );
+        tables.insert("orders".to_string(), orders);
+        tables.insert("lineitem".to_string(), lineitem);
+
+        TpchDb {
+            tables,
+            config,
+            rescale,
+        }
+    }
+
+    /// The table map, keyed by lowercase table name.
+    pub fn tables(&self) -> &HashMap<String, Table> {
+        &self.tables
+    }
+
+    /// One table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Total estimated bytes across all tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.values().map(|t| t.estimated_bytes()).sum()
+    }
+
+    /// A prefix *snapshot* of the database: every growing table truncated to
+    /// the first `fraction` of its rows (clamped to `[0, 1]`; `nation` and
+    /// `region` stay fixed).
+    ///
+    /// This models the evolving data store the paper's medical setting
+    /// implies — records accumulate over time, so successive executions of
+    /// one query see different data volumes. Keys are uniformly distributed,
+    /// so a prefix keeps join fan-outs proportional (dangling foreign keys
+    /// simply drop out of inner joins, as they would in a live system where
+    /// dimension rows arrive late).
+    pub fn snapshot(&self, fraction: f64) -> HashMap<String, Table> {
+        self.snapshot_per_table(|_| fraction)
+    }
+
+    /// Like [`TpchDb::snapshot`] but with a per-table fraction.
+    ///
+    /// Different tables accrue at different rates in a federation (each
+    /// clinic feeds its own cloud), which also keeps the size regressors of
+    /// two-table queries *linearly independent* — a single global growth
+    /// factor would make them collinear.
+    pub fn snapshot_per_table(&self, fraction: impl Fn(&str) -> f64) -> HashMap<String, Table> {
+        let mut out = HashMap::with_capacity(self.tables.len());
+        for (name, table) in &self.tables {
+            if name == "nation" || name == "region" {
+                out.insert(name.clone(), table.clone());
+                continue;
+            }
+            let f = fraction(name).clamp(0.0, 1.0);
+            let keep = ((table.n_rows() as f64 * f).round() as usize).min(table.n_rows());
+            let indices: Vec<usize> = (0..keep).collect();
+            out.insert(name.clone(), table.take(&indices));
+        }
+        out
+    }
+}
+
+fn gen_region() -> Table {
+    let names = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+    Table::new(
+        "region",
+        vec![
+            Column::new("r_regionkey", ColumnData::Int64((0..5).collect())),
+            Column::new(
+                "r_name",
+                ColumnData::Utf8(names.iter().map(|s| s.to_string()).collect()),
+            ),
+        ],
+    )
+    .expect("static columns are aligned")
+}
+
+fn gen_nation() -> Table {
+    // 25 nations, 5 per region as in the spec's spirit.
+    let names = [
+        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+        "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "UNITED STATES",
+    ];
+    Table::new(
+        "nation",
+        vec![
+            Column::new("n_nationkey", ColumnData::Int64((0..25).collect())),
+            Column::new(
+                "n_name",
+                ColumnData::Utf8(names.iter().map(|s| s.to_string()).collect()),
+            ),
+            Column::new(
+                "n_regionkey",
+                ColumnData::Int64((0..25).map(|i| i % 5).collect()),
+            ),
+        ],
+    )
+    .expect("static columns are aligned")
+}
+
+fn comment(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(3..=7);
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+fn gen_customer(n: usize, rng: &mut StdRng) -> Table {
+    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    let mut keys = Vec::with_capacity(n);
+    let mut names = Vec::with_capacity(n);
+    let mut nations = Vec::with_capacity(n);
+    let mut segs = Vec::with_capacity(n);
+    let mut bals = Vec::with_capacity(n);
+    for i in 0..n {
+        let key = i as i64 + 1;
+        keys.push(key);
+        names.push(format!("Customer#{key:09}"));
+        nations.push(rng.gen_range(0..25i64));
+        segs.push(segments[rng.gen_range(0..segments.len())].to_string());
+        bals.push(rng.gen_range(-999.99..9999.99));
+    }
+    Table::new(
+        "customer",
+        vec![
+            Column::new("c_custkey", ColumnData::Int64(keys)),
+            Column::new("c_name", ColumnData::Utf8(names)),
+            Column::new("c_nationkey", ColumnData::Int64(nations)),
+            Column::new("c_mktsegment", ColumnData::Utf8(segs)),
+            Column::new("c_acctbal", ColumnData::Float64(bals)),
+        ],
+    )
+    .expect("generated columns are aligned")
+}
+
+fn gen_part(n: usize, rng: &mut StdRng) -> Table {
+    let mut keys = Vec::with_capacity(n);
+    let mut brands = Vec::with_capacity(n);
+    let mut types = Vec::with_capacity(n);
+    let mut containers = Vec::with_capacity(n);
+    let mut prices = Vec::with_capacity(n);
+    for i in 0..n {
+        let key = i as i64 + 1;
+        keys.push(key);
+        brands.push(format!(
+            "Brand#{}{}",
+            rng.gen_range(1..=5),
+            rng.gen_range(1..=5)
+        ));
+        types.push(format!(
+            "{} {} {}",
+            TYPE_S1[rng.gen_range(0..TYPE_S1.len())],
+            TYPE_S2[rng.gen_range(0..TYPE_S2.len())],
+            TYPE_S3[rng.gen_range(0..TYPE_S3.len())]
+        ));
+        containers.push(format!(
+            "{} {}",
+            CONTAINER_SIZE[rng.gen_range(0..CONTAINER_SIZE.len())],
+            CONTAINER_KIND[rng.gen_range(0..CONTAINER_KIND.len())]
+        ));
+        prices.push(900.0 + (key % 1000) as f64 * 0.1);
+    }
+    Table::new(
+        "part",
+        vec![
+            Column::new("p_partkey", ColumnData::Int64(keys)),
+            Column::new("p_brand", ColumnData::Utf8(brands)),
+            Column::new("p_type", ColumnData::Utf8(types)),
+            Column::new("p_container", ColumnData::Utf8(containers)),
+            Column::new("p_retailprice", ColumnData::Float64(prices)),
+        ],
+    )
+    .expect("generated columns are aligned")
+}
+
+fn gen_supplier(n: usize, rng: &mut StdRng) -> Table {
+    let mut keys = Vec::with_capacity(n);
+    let mut names = Vec::with_capacity(n);
+    let mut nations = Vec::with_capacity(n);
+    for i in 0..n {
+        keys.push(i as i64 + 1);
+        names.push(format!("Supplier#{:09}", i + 1));
+        nations.push(rng.gen_range(0..25i64));
+    }
+    Table::new(
+        "supplier",
+        vec![
+            Column::new("s_suppkey", ColumnData::Int64(keys)),
+            Column::new("s_name", ColumnData::Utf8(names)),
+            Column::new("s_nationkey", ColumnData::Int64(nations)),
+        ],
+    )
+    .expect("generated columns are aligned")
+}
+
+fn gen_partsupp(n_parts: usize, n_suppliers: usize, rng: &mut StdRng) -> Table {
+    // 4 suppliers per part, as in the spec.
+    let n = n_parts * 4;
+    let mut parts = Vec::with_capacity(n);
+    let mut supps = Vec::with_capacity(n);
+    let mut avail = Vec::with_capacity(n);
+    for p in 0..n_parts {
+        for s in 0..4 {
+            parts.push(p as i64 + 1);
+            supps.push(((p + s * (n_parts / 4).max(1)) % n_suppliers.max(1)) as i64 + 1);
+            avail.push(rng.gen_range(1..10_000i64));
+        }
+    }
+    Table::new(
+        "partsupp",
+        vec![
+            Column::new("ps_partkey", ColumnData::Int64(parts)),
+            Column::new("ps_suppkey", ColumnData::Int64(supps)),
+            Column::new("ps_availqty", ColumnData::Int64(avail)),
+        ],
+    )
+    .expect("generated columns are aligned")
+}
+
+fn gen_orders(n: usize, n_customers: usize, rng: &mut StdRng) -> Table {
+    let start = dates::tpch_start();
+    let end = dates::tpch_end() - 151; // spec: last order date leaves room for shipping
+    let mut keys = Vec::with_capacity(n);
+    let mut custs = Vec::with_capacity(n);
+    let mut odates = Vec::with_capacity(n);
+    let mut prios = Vec::with_capacity(n);
+    let mut comments = Vec::with_capacity(n);
+    for i in 0..n {
+        keys.push(i as i64 + 1);
+        custs.push(rng.gen_range(0..n_customers as i64) + 1);
+        odates.push(rng.gen_range(start..=end));
+        prios.push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string());
+        comments.push(comment(rng));
+    }
+    Table::new(
+        "orders",
+        vec![
+            Column::new("o_orderkey", ColumnData::Int64(keys)),
+            Column::new("o_custkey", ColumnData::Int64(custs)),
+            Column::new("o_orderdate", ColumnData::Date(odates)),
+            Column::new("o_orderpriority", ColumnData::Utf8(prios)),
+            Column::new("o_comment", ColumnData::Utf8(comments)),
+        ],
+    )
+    .expect("generated columns are aligned")
+}
+
+fn gen_lineitem(orders: &Table, n_parts: usize, n_suppliers: usize, rng: &mut StdRng) -> Table {
+    let okeys = match &orders.column_by_name("o_orderkey").expect("schema").data {
+        ColumnData::Int64(v) => v.clone(),
+        _ => unreachable!("o_orderkey is Int64"),
+    };
+    let odates = match &orders.column_by_name("o_orderdate").expect("schema").data {
+        ColumnData::Date(v) => v.clone(),
+        _ => unreachable!("o_orderdate is Date"),
+    };
+
+    let approx = okeys.len() * 4;
+    let mut l_orderkey = Vec::with_capacity(approx);
+    let mut l_partkey = Vec::with_capacity(approx);
+    let mut l_suppkey = Vec::with_capacity(approx);
+    let mut l_quantity = Vec::with_capacity(approx);
+    let mut l_extendedprice = Vec::with_capacity(approx);
+    let mut l_discount = Vec::with_capacity(approx);
+    let mut l_shipdate = Vec::with_capacity(approx);
+    let mut l_commitdate = Vec::with_capacity(approx);
+    let mut l_receiptdate = Vec::with_capacity(approx);
+    let mut l_shipmode = Vec::with_capacity(approx);
+
+    for (okey, odate) in okeys.iter().zip(odates.iter()) {
+        let lines = rng.gen_range(1..=7);
+        for _ in 0..lines {
+            let partkey = rng.gen_range(0..n_parts as i64) + 1;
+            let qty = rng.gen_range(1..=50i64);
+            l_orderkey.push(*okey);
+            l_partkey.push(partkey);
+            l_suppkey.push(rng.gen_range(0..n_suppliers.max(1) as i64) + 1);
+            l_quantity.push(qty as f64);
+            // Spec-ish: extended price grows with quantity and part key.
+            l_extendedprice.push(qty as f64 * (900.0 + (partkey % 1000) as f64 * 0.1));
+            l_discount.push(rng.gen_range(0..=10) as f64 / 100.0);
+            let ship = odate + rng.gen_range(1..=121);
+            let commit = odate + rng.gen_range(30..=90);
+            let receipt = ship + rng.gen_range(1..=30);
+            l_shipdate.push(ship);
+            l_commitdate.push(commit);
+            l_receiptdate.push(receipt);
+            l_shipmode.push(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string());
+        }
+    }
+
+    Table::new(
+        "lineitem",
+        vec![
+            Column::new("l_orderkey", ColumnData::Int64(l_orderkey)),
+            Column::new("l_partkey", ColumnData::Int64(l_partkey)),
+            Column::new("l_suppkey", ColumnData::Int64(l_suppkey)),
+            Column::new("l_quantity", ColumnData::Float64(l_quantity)),
+            Column::new("l_extendedprice", ColumnData::Float64(l_extendedprice)),
+            Column::new("l_discount", ColumnData::Float64(l_discount)),
+            Column::new("l_shipdate", ColumnData::Date(l_shipdate)),
+            Column::new("l_commitdate", ColumnData::Date(l_commitdate)),
+            Column::new("l_receiptdate", ColumnData::Date(l_receiptdate)),
+            Column::new("l_shipmode", ColumnData::Utf8(l_shipmode)),
+        ],
+    )
+    .expect("generated columns are aligned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TpchDb {
+        TpchDb::generate(GenConfig::new(0.002, 7))
+    }
+
+    #[test]
+    fn cardinality_ratios_hold() {
+        let db = tiny();
+        let c = db.table("customer").unwrap().n_rows();
+        let o = db.table("orders").unwrap().n_rows();
+        let l = db.table("lineitem").unwrap().n_rows();
+        assert_eq!(c, 300); // 150_000 * 0.002
+        assert_eq!(o, c * 10);
+        // Lineitems per order average 4 (1..=7 uniform).
+        let per_order = l as f64 / o as f64;
+        assert!((3.4..4.6).contains(&per_order), "lines/order = {per_order}");
+        assert_eq!(db.table("nation").unwrap().n_rows(), 25);
+        assert_eq!(db.table("region").unwrap().n_rows(), 5);
+        assert_eq!(
+            db.table("partsupp").unwrap().n_rows(),
+            db.table("part").unwrap().n_rows() * 4
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchDb::generate(GenConfig::new(0.002, 9));
+        let b = TpchDb::generate(GenConfig::new(0.002, 9));
+        assert_eq!(a.table("lineitem").unwrap(), b.table("lineitem").unwrap());
+        let c = TpchDb::generate(GenConfig::new(0.002, 10));
+        assert_ne!(a.table("lineitem").unwrap(), c.table("lineitem").unwrap());
+    }
+
+    #[test]
+    fn row_cap_rescales_uniformly() {
+        let uncapped = TpchDb::generate(GenConfig::new(0.01, 3));
+        let capped = TpchDb::generate(GenConfig {
+            scale_factor: 0.01,
+            seed: 3,
+            max_lineitem_rows: Some(10_000),
+        });
+        assert!(capped.rescale < 1.0);
+        assert!(capped.table("lineitem").unwrap().n_rows() <= 12_000);
+        // Ratios survive the cap.
+        let ratio = |db: &TpchDb| {
+            db.table("orders").unwrap().n_rows() as f64
+                / db.table("customer").unwrap().n_rows() as f64
+        };
+        assert_eq!(ratio(&uncapped), 10.0);
+        assert_eq!(ratio(&capped), 10.0);
+    }
+
+    #[test]
+    fn larger_scale_factor_means_more_bytes() {
+        let small = TpchDb::generate(GenConfig::new(0.001, 1));
+        let large = TpchDb::generate(GenConfig::new(0.004, 1));
+        assert!(large.total_bytes() > 2 * small.total_bytes());
+    }
+
+    #[test]
+    fn date_invariants_hold() {
+        let db = tiny();
+        let li = db.table("lineitem").unwrap();
+        let ship = match &li.column_by_name("l_shipdate").unwrap().data {
+            ColumnData::Date(v) => v,
+            _ => panic!(),
+        };
+        let receipt = match &li.column_by_name("l_receiptdate").unwrap().data {
+            ColumnData::Date(v) => v,
+            _ => panic!(),
+        };
+        for (s, r) in ship.iter().zip(receipt.iter()) {
+            assert!(r > s, "receipt must follow ship");
+        }
+    }
+
+    #[test]
+    fn orders_reference_existing_customers() {
+        let db = tiny();
+        let n_cust = db.table("customer").unwrap().n_rows() as i64;
+        let orders = db.table("orders").unwrap();
+        let custs = match &orders.column_by_name("o_custkey").unwrap().data {
+            ColumnData::Int64(v) => v,
+            _ => panic!(),
+        };
+        assert!(custs.iter().all(|&c| c >= 1 && c <= n_cust));
+    }
+
+    #[test]
+    fn snapshot_truncates_growing_tables_only() {
+        let db = tiny();
+        let snap = db.snapshot(0.5);
+        assert_eq!(
+            snap["orders"].n_rows(),
+            (db.table("orders").unwrap().n_rows() as f64 * 0.5).round() as usize
+        );
+        assert_eq!(snap["nation"].n_rows(), 25);
+        assert_eq!(snap["region"].n_rows(), 5);
+        // Clamping.
+        assert_eq!(db.snapshot(2.0)["orders"].n_rows(), db.table("orders").unwrap().n_rows());
+        assert_eq!(db.snapshot(-1.0)["orders"].n_rows(), 0);
+        // A prefix: first rows agree.
+        assert_eq!(snap["customer"].row(0), db.table("customer").unwrap().row(0));
+    }
+
+    #[test]
+    fn ship_modes_are_from_the_domain() {
+        let db = tiny();
+        let li = db.table("lineitem").unwrap();
+        let modes = match &li.column_by_name("l_shipmode").unwrap().data {
+            ColumnData::Utf8(v) => v,
+            _ => panic!(),
+        };
+        assert!(modes.iter().all(|m| SHIP_MODES.contains(&m.as_str())));
+        // All 7 modes appear in a non-trivial dataset.
+        let distinct: std::collections::HashSet<&str> =
+            modes.iter().map(|s| s.as_str()).collect();
+        assert_eq!(distinct.len(), 7);
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: stand up a two-cloud federation, run one federated TPC-H
+//! query through the full MIDAS pipeline, and inspect the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use midas_repro::midas::{Midas, QueryPolicy};
+use midas_repro::tpch::gen::{GenConfig, TpchDb};
+use midas_repro::tpch::queries::q12;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A federation shaped like the paper's running example: lineitem lives
+    // in cloud A (Amazon catalog, Hive), orders in cloud B (Azure catalog,
+    // PostgreSQL), joined by a WAN link.
+    let (midas, _cloud_a, _cloud_b) = Midas::example_deployment(&["lineitem"], &["orders"]);
+
+    // A small deterministic TPC-H database.
+    let db = TpchDb::generate(GenConfig::new(0.01, 42));
+    println!(
+        "generated TPC-H SF 0.01: {} lineitems, {} orders ({} KiB total)",
+        db.table("lineitem").expect("generated").n_rows(),
+        db.table("orders").expect("generated").n_rows(),
+        db.total_bytes() / 1024
+    );
+
+    // Submit Q12 with a balanced time/money policy. The session enumerates
+    // the QEP space, costs every candidate, builds the Pareto set, picks a
+    // plan with Algorithm 2, executes it on the simulated engines and feeds
+    // the observation to DREAM.
+    let mut session = midas.session();
+    let report = session.submit(
+        &q12("MAIL", "SHIP", 1994),
+        db.tables(),
+        &QueryPolicy::balanced(),
+    )?;
+
+    println!("\n{}", report.label);
+    println!("  QEP space          : {} equivalent plans", report.space_size);
+    println!("  Pareto plan set    : {} plans", report.pareto_size);
+    println!(
+        "  predicted (t, $)   : {:.2} s, ${:.5}",
+        report.predicted_costs[0], report.predicted_costs[1]
+    );
+    println!(
+        "  observed  (t, $)   : {:.2} s, ${:.5}",
+        report.actual_costs[0], report.actual_costs[1]
+    );
+    println!("  result rows        : {}", report.result_rows);
+    println!(
+        "  DREAM window       : {:?} (None until L+2 runs are recorded)",
+        report.dream_window
+    );
+
+    // Run the same query class a few more times: DREAM comes online once
+    // the history reaches L + 2 observations.
+    for year in [1995, 1996, 1997, 1993, 1994, 1995] {
+        let report = session.submit(&q12("AIR", "RAIL", year), db.tables(), &QueryPolicy::fastest())?;
+        println!(
+            "year {year}: observed {:.2} s — DREAM window {:?}",
+            report.actual_costs[0], report.dream_window
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! End-to-end integration: the full MIDAS pipeline over the umbrella crate.
+
+use midas_repro::midas::{Midas, QueryPolicy};
+use midas_repro::tpch::gen::{GenConfig, TpchDb};
+use midas_repro::tpch::medical::{generate_medical, medical_query};
+use midas_repro::tpch::queries::{q12, q13, q14, q17};
+
+fn db() -> TpchDb {
+    TpchDb::generate(GenConfig::new(0.003, 99))
+}
+
+#[test]
+fn all_four_paper_queries_run_end_to_end() {
+    let (midas, _, _) =
+        Midas::example_deployment(&["lineitem", "customer"], &["orders", "part"]);
+    let db = db();
+    let mut session = midas.session();
+    session.set_max_vms(4);
+    for query in [
+        q12("MAIL", "SHIP", 1994),
+        q13("special", "requests"),
+        q14(1995, 9),
+        q17("Brand#23", "MED BOX"),
+    ] {
+        let report = session
+            .submit(&query, db.tables(), &QueryPolicy::balanced())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", query.label));
+        assert!(report.space_size > 0, "{}", query.label);
+        assert!(report.pareto_size > 0, "{}", query.label);
+        assert!(report.predicted_costs[0] > 0.0, "{}", query.label);
+        assert!(report.actual_costs[0] > 0.0, "{}", query.label);
+    }
+}
+
+#[test]
+fn dream_learns_across_a_session_and_windows_stay_bounded() {
+    let (midas, _, _) = Midas::example_deployment(&["lineitem"], &["orders"]);
+    let db = db();
+    let mut session = midas.session();
+    session.set_max_vms(2);
+    let mut windows = Vec::new();
+    for (i, year) in (1993..=1997).chain(1993..=1997).enumerate() {
+        let modes = if i % 2 == 0 { ("MAIL", "SHIP") } else { ("AIR", "RAIL") };
+        let report = session
+            .submit(&q12(modes.0, modes.1, year), db.tables(), &QueryPolicy::fastest())
+            .expect("pipeline runs");
+        if let Some(w) = report.dream_window {
+            windows.push(w);
+        }
+        session.idle(2, 30.0);
+    }
+    // With L = 4 features DREAM needs 6 runs; 10 runs leave >= 4 fits.
+    assert!(windows.len() >= 4, "DREAM fits recorded: {windows:?}");
+    // Windows stay near the minimum (the paper's observation).
+    assert!(windows.iter().all(|&w| (6..=10).contains(&w)), "{windows:?}");
+    let modelling = session.modelling("Q12").expect("class recorded");
+    assert_eq!(modelling.history().len(), 10);
+}
+
+#[test]
+fn budget_constraints_are_respected_when_feasible() {
+    let (midas, _, _) = Midas::example_deployment(&["patient"], &["generalinfo"]);
+    let midas = midas.with_drift(midas_repro::engines::sim::DriftIntensity::None);
+    let tables = generate_medical(800, 0.5, 3);
+    // First find the unconstrained cheapest plan's money cost.
+    let mut session = midas.session();
+    let cheapest = session
+        .submit(&medical_query(None), &tables, &QueryPolicy::cheapest())
+        .expect("pipeline runs");
+    let floor = cheapest.predicted_costs[1];
+    // A budget above the floor must produce a plan within budget.
+    let mut session = midas.session();
+    let budget = floor * 2.0 + 1e-6;
+    let report = session
+        .submit(
+            &medical_query(None),
+            &tables,
+            &QueryPolicy::fastest().with_money_budget(budget),
+        )
+        .expect("pipeline runs");
+    assert!(
+        report.predicted_costs[1] <= budget + 1e-9,
+        "predicted ${} exceeds budget ${budget}",
+        report.predicted_costs[1]
+    );
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_observations() {
+    let (midas_a, _, _) = Midas::example_deployment(&["lineitem"], &["orders"]);
+    let (midas_b, _, _) = Midas::example_deployment(&["lineitem"], &["orders"]);
+    let midas_b = midas_b.with_seed(777);
+    let db = db();
+    let q = q12("MAIL", "SHIP", 1995);
+    let ra = midas_a
+        .session()
+        .submit(&q, db.tables(), &QueryPolicy::balanced())
+        .expect("pipeline runs");
+    let rb = midas_b
+        .session()
+        .submit(&q, db.tables(), &QueryPolicy::balanced())
+        .expect("pipeline runs");
+    assert_ne!(ra.actual_costs[0], rb.actual_costs[0]);
+    // Same seed twice: identical.
+    let (midas_c, _, _) = Midas::example_deployment(&["lineitem"], &["orders"]);
+    let rc = midas_c
+        .session()
+        .submit(&q, db.tables(), &QueryPolicy::balanced())
+        .expect("pipeline runs");
+    assert_eq!(ra.actual_costs, rc.actual_costs);
+}

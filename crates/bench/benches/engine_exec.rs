@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use midas_cloud::federation::example_federation;
-use midas_engines::ops::execute;
+use midas_engines::ops::{execute, execute_scalar};
 use midas_engines::sim::{DriftIntensity, SimulationEnv};
 use midas_engines::{EngineKind, Placement};
 use midas_ires::scheduler::{Scheduler, SchedulerConfig};
@@ -92,10 +92,37 @@ fn bench_federated_execution(c: &mut Criterion) {
     let _ = SimulationEnv::new();
 }
 
+/// The headline perf comparison: the vectorized default executor against
+/// the scalar reference path on the paper's two-table queries, full local
+/// pipeline (both prepares plus combine). `repro_bench_engine_exec`
+/// records the same comparison as `BENCH_engine_exec.json`.
+fn bench_scalar_vs_vectorized(c: &mut Criterion) {
+    let db = TpchDb::generate(GenConfig::new(0.01, 2));
+    let queries: Vec<(&str, TwoTableQuery)> = vec![
+        ("q12", q12("MAIL", "SHIP", 1994)),
+        ("q13", q13("special", "requests")),
+        ("q14", q14(1995, 9)),
+        ("q17", q17("Brand#23", "MED BOX")),
+    ];
+    let mut group = c.benchmark_group("scalar_vs_vectorized");
+    group.sample_size(10);
+    for (name, q) in &queries {
+        let mut cat = db.tables().clone();
+        group.bench_function(BenchmarkId::new("scalar", *name), |b| {
+            b.iter(|| black_box(q.execute_local(&mut cat, execute_scalar).expect("runs")))
+        });
+        group.bench_function(BenchmarkId::new("vectorized", *name), |b| {
+            b.iter(|| black_box(q.execute_local(&mut cat, execute).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_generation,
     bench_operators,
-    bench_federated_execution
+    bench_federated_execution,
+    bench_scalar_vs_vectorized
 );
 criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Scalar-vs-vectorized executor timing on the paper's two-table queries,
+//! recorded as `target/repro/BENCH_engine_exec.json` (and copied to the
+//! repo root as `BENCH_engine_exec.json`) so the execution engine's perf
+//! trajectory is tracked across PRs.
+//!
+//! Each query runs its full local pipeline (left prepare, right prepare,
+//! combine) over a generated TPC-H instance; we report median wall-clock
+//! per run and the scalar/vectorized speedup. Results are cross-checked
+//! for equality before timing, so the numbers always describe two
+//! executors computing the same answer.
+
+use midas_bench::{print_table, write_json};
+use midas_engines::ops::{execute, execute_scalar};
+use midas_tpch::gen::{GenConfig, TpchDb};
+use midas_tpch::queries::{q12, q13, q14, q17, TwoTableQuery};
+use std::time::Instant;
+
+const SAMPLES: usize = 15;
+
+fn median_secs(mut run: impl FnMut()) -> f64 {
+    run(); // warmup
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let sf = 0.01;
+    let db = TpchDb::generate(GenConfig::new(sf, 2));
+    let queries: Vec<(&str, TwoTableQuery)> = vec![
+        ("Q12", q12("MAIL", "SHIP", 1994)),
+        ("Q13", q13("special", "requests")),
+        ("Q14", q14(1995, 9)),
+        ("Q17", q17("Brand#23", "MED BOX")),
+    ];
+
+    println!(
+        "Executor comparison over TPC-H sf={sf} ({} lineitem rows), median of {SAMPLES} runs:\n",
+        db.table("lineitem").map_or(0, |t| t.n_rows()),
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<serde_json::Value> = Vec::new();
+    for (name, q) in &queries {
+        let mut cat = db.tables().clone();
+        // Equality cross-check before timing.
+        let (out_v, _) = q.execute_local(&mut cat, execute).expect("vectorized runs");
+        let (out_s, _) = q
+            .execute_local(&mut cat, execute_scalar)
+            .expect("scalar runs");
+        assert_eq!(out_v, out_s, "{name}: executors disagree");
+
+        let scalar_s = median_secs(|| {
+            q.execute_local(&mut cat, execute_scalar).expect("runs");
+        });
+        let vector_s = median_secs(|| {
+            q.execute_local(&mut cat, execute).expect("runs");
+        });
+        let speedup = scalar_s / vector_s;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", scalar_s * 1e3),
+            format!("{:.3}", vector_s * 1e3),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "query": name,
+            "scalar_median_s": scalar_s,
+            "vectorized_median_s": vector_s,
+            "speedup": speedup,
+        }));
+    }
+    print_table(
+        &["query", "scalar (ms)", "vectorized (ms)", "speedup"],
+        &rows,
+    );
+    write_json(
+        "BENCH_engine_exec",
+        &serde_json::json!({
+            "scale_factor": sf,
+            "samples": SAMPLES,
+            "unit": "seconds (median per full local pipeline)",
+            "rows": json_rows,
+        }),
+    );
+    // Keep a copy at the workspace root so the perf trajectory is visible
+    // in the tree across PRs. Anchored to the manifest dir, not the CWD,
+    // so running from inside crates/bench doesn't scatter copies.
+    let root_copy = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine_exec.json");
+    if let Err(e) = std::fs::copy("target/repro/BENCH_engine_exec.json", &root_copy) {
+        eprintln!("warning: could not copy BENCH_engine_exec.json to repo root: {e}");
+    }
+}

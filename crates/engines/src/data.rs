@@ -1,9 +1,22 @@
-//! Typed columnar tables.
+//! Typed columnar tables — the storage layer of the batch execution model.
 //!
 //! Storage is column-major with an optional validity mask per column (nulls
-//! appear once left-outer joins enter the picture). The scales here are
-//! moderate — the TPC-H generator caps physical rows — so the priority is
-//! clarity and correctness over SIMD.
+//! appear once left-outer joins enter the picture). Operators do not
+//! consume these tables row-by-row: the executor in [`crate::ops`] works
+//! *vector-at-a-time*, pairing a table with a **selection vector** (a `u32`
+//! index list of the live rows) so that filters, sorts and limits never
+//! materialize intermediate copies. This module provides the primitives
+//! that model needs:
+//!
+//! * `take_ids` / `take_opt_ids` — gather by `u32` selection indices
+//!   (the allocation path joins and final materialization use);
+//! * `estimated_bytes_sel` — byte accounting for a *virtual* filtered
+//!   table, identical bit-for-bit to materializing and measuring it;
+//! * `utf8_at` — a borrowing string accessor so expression evaluation can
+//!   compare strings without cloning them out of the column.
+//!
+//! Scalar row access ([`Column::value`]) remains for tests, display and the
+//! reference scalar executor.
 
 use crate::error::EngineError;
 use std::fmt;
@@ -180,6 +193,23 @@ impl Column {
         }
     }
 
+    /// Borrowing string accessor: `Some(Some(s))` for a valid Utf8 row,
+    /// `Some(None)` for a NULL row of a Utf8 column, and `None` when the
+    /// column is not Utf8. Lets comparisons avoid cloning the `String`
+    /// that [`Column::value`] would have to produce.
+    pub fn utf8_at(&self, i: usize) -> Option<Option<&str>> {
+        match &self.data {
+            ColumnData::Utf8(v) => {
+                if self.is_valid(i) {
+                    Some(Some(v[i].as_str()))
+                } else {
+                    Some(None)
+                }
+            }
+            _ => None,
+        }
+    }
+
     /// Approximate in-memory size of one value of this column, in bytes.
     /// Strings use their average length; everything else its fixed width.
     pub fn avg_value_bytes(&self) -> f64 {
@@ -238,6 +268,65 @@ impl Column {
             name: self.name.clone(),
             data,
             validity,
+        }
+    }
+
+    /// [`Column::take`] over a `u32` selection vector (the executor's
+    /// native index width); behaviour is identical.
+    pub fn take_ids(&self, indices: &[u32]) -> Column {
+        fn gather<T: Clone>(v: &[T], idx: &[u32]) -> Vec<T> {
+            idx.iter().map(|&i| v[i as usize].clone()).collect()
+        }
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(gather(v, indices)),
+            ColumnData::Float64(v) => ColumnData::Float64(gather(v, indices)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(gather(v, indices)),
+            ColumnData::Date(v) => ColumnData::Date(gather(v, indices)),
+            ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
+        };
+        let validity = self.validity.as_ref().map(|v| gather(v, indices));
+        Column {
+            name: self.name.clone(),
+            data,
+            validity,
+        }
+    }
+
+    /// [`Column::take_opt`] over a `u32` selection vector plus a match
+    /// mask: unmatched positions (`matched[i] == false`) produce NULL rows
+    /// with the type's default in the data buffer, exactly as `take_opt`
+    /// does for `None` indices. The validity mask is always materialized,
+    /// matching `take_opt`.
+    pub fn take_opt_ids(&self, indices: &[u32], matched: &[bool]) -> Column {
+        let mut validity = Vec::with_capacity(indices.len());
+        macro_rules! gather_opt {
+            ($v:expr, $default:expr) => {
+                indices
+                    .iter()
+                    .zip(matched.iter())
+                    .map(|(&i, &hit)| {
+                        if hit {
+                            validity.push(self.is_valid(i as usize));
+                            $v[i as usize].clone()
+                        } else {
+                            validity.push(false);
+                            $default
+                        }
+                    })
+                    .collect()
+            };
+        }
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(gather_opt!(v, 0)),
+            ColumnData::Float64(v) => ColumnData::Float64(gather_opt!(v, 0.0)),
+            ColumnData::Utf8(v) => ColumnData::Utf8(gather_opt!(v, String::new())),
+            ColumnData::Date(v) => ColumnData::Date(gather_opt!(v, 0)),
+            ColumnData::Bool(v) => ColumnData::Bool(gather_opt!(v, false)),
+        };
+        Column {
+            name: self.name.clone(),
+            data,
+            validity: Some(validity),
         }
     }
 
@@ -351,6 +440,44 @@ impl Table {
     pub fn estimated_bytes(&self) -> u64 {
         let per_row: f64 = self.columns.iter().map(|c| c.avg_value_bytes()).sum();
         (per_row * self.n_rows as f64) as u64
+    }
+
+    /// Gathers the rows at a `u32` selection vector.
+    pub fn take_ids(&self, indices: &[u32]) -> Table {
+        let columns = self.columns.iter().map(|c| c.take_ids(indices)).collect();
+        Table {
+            name: self.name.clone(),
+            columns,
+            n_rows: indices.len(),
+        }
+    }
+
+    /// [`Table::estimated_bytes`] of the *virtual* table selected by `sel`
+    /// (`None` = all rows), without materializing it. Computes the exact
+    /// same floating-point expression as filtering then measuring, so the
+    /// work profiles of the batch and scalar executors agree bit-for-bit.
+    pub fn estimated_bytes_sel(&self, sel: Option<&[u32]>) -> u64 {
+        let Some(sel) = sel else {
+            return self.estimated_bytes();
+        };
+        let n = sel.len();
+        let per_row: f64 = self
+            .columns
+            .iter()
+            .map(|c| match &c.data {
+                ColumnData::Int64(_) | ColumnData::Float64(_) => 8.0,
+                ColumnData::Date(_) => 4.0,
+                ColumnData::Bool(_) => 1.0,
+                ColumnData::Utf8(v) => {
+                    if n == 0 {
+                        8.0
+                    } else {
+                        sel.iter().map(|&i| v[i as usize].len()).sum::<usize>() as f64 / n as f64
+                    }
+                }
+            })
+            .sum();
+        (per_row * n as f64) as u64
     }
 
     /// Keeps the rows where `mask` is true.
@@ -473,5 +600,68 @@ mod tests {
     fn display_values() {
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::Date(3).to_string(), "date#3");
+    }
+
+    #[test]
+    fn take_ids_matches_take() {
+        let t = sample();
+        assert_eq!(t.take_ids(&[2, 0, 2]), t.take(&[2, 0, 2]));
+        let c = t.column_by_name("name").unwrap();
+        assert_eq!(c.take_ids(&[1]), c.take(&[1]));
+    }
+
+    #[test]
+    fn take_opt_ids_matches_take_opt() {
+        let t = sample();
+        let c = t.column_by_name("name").unwrap();
+        let via_opt = c.take_opt(&[Some(0), None, Some(2)]);
+        let via_ids = c.take_opt_ids(&[0, 0, 2], &[true, false, true]);
+        assert_eq!(via_opt, via_ids);
+        // A source column with its own validity propagates it when matched.
+        let nullable = Column::with_validity(
+            "n",
+            ColumnData::Int64(vec![7, 8]),
+            vec![true, false],
+        );
+        let got = nullable.take_opt_ids(&[1, 0], &[true, false]);
+        assert_eq!(got, nullable.take_opt(&[Some(1), None]));
+        assert!(!got.is_valid(0) && !got.is_valid(1));
+    }
+
+    #[test]
+    fn estimated_bytes_sel_matches_materialized_filter() {
+        let t = sample();
+        for mask in [
+            vec![true, false, true],
+            vec![false, false, false],
+            vec![true, true, true],
+        ] {
+            let sel: Vec<u32> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(
+                t.estimated_bytes_sel(Some(&sel)),
+                t.filter(&mask).estimated_bytes(),
+                "mask {mask:?}"
+            );
+        }
+        assert_eq!(t.estimated_bytes_sel(None), t.estimated_bytes());
+    }
+
+    #[test]
+    fn utf8_at_borrows_without_cloning() {
+        let t = sample();
+        let name = t.column_by_name("name").unwrap();
+        assert_eq!(name.utf8_at(1), Some(Some("bb")));
+        assert_eq!(t.column_by_name("id").unwrap().utf8_at(0), None);
+        let nullable = Column::with_validity(
+            "s",
+            ColumnData::Utf8(vec!["x".into()]),
+            vec![false],
+        );
+        assert_eq!(nullable.utf8_at(0), Some(None));
     }
 }

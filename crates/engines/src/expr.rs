@@ -1,12 +1,22 @@
-//! Scalar expressions evaluated against table rows.
+//! Expressions over tables: a reference scalar evaluator and the default
+//! vectorized batch evaluator.
 //!
 //! The expression language covers what the TPC-H two-table queries need:
 //! column references, literals, arithmetic, comparisons, boolean logic, an
 //! `IN`-list, and `BETWEEN`-style range checks built from comparisons.
 //! NULL propagates Kleene-style through comparisons and arithmetic; `AND`
 //! and `OR` use three-valued logic collapsed to "NULL is not true".
+//!
+//! Two evaluation paths share those semantics:
+//!
+//! * [`Expr::eval`] / [`Expr::eval_mask`] — row-at-a-time over `Value`s;
+//!   the readable reference implementation and differential oracle;
+//! * [`Expr::eval_batch`] / [`Expr::eval_sel`] — vector-at-a-time over
+//!   whole columns under a selection vector, producing typed vectors plus
+//!   a validity bitmask with no per-row `Value` boxing and no string
+//!   cloning. This is what the default executor in [`crate::ops`] uses.
 
-use crate::data::{Table, Value};
+use crate::data::{ColumnData, Table, Value};
 use crate::error::EngineError;
 
 /// Binary operators.
@@ -180,7 +190,29 @@ impl Expr {
         }
     }
 
+    /// A borrowing view of a string-valued leaf: `Some(Some(s))` for a
+    /// valid string, `Some(None)` for a NULL row of a Utf8 column, `None`
+    /// when this expression is not a string leaf (and must go through the
+    /// generic [`Expr::eval`] path).
+    fn str_leaf<'a>(
+        &'a self,
+        table: &'a Table,
+        row: usize,
+    ) -> Result<Option<Option<&'a str>>, EngineError> {
+        Ok(match self {
+            Expr::Col(i) => table.column(*i)?.utf8_at(row),
+            Expr::Lit(Value::Utf8(s)) => Some(Some(s.as_str())),
+            _ => None,
+        })
+    }
+
     /// Evaluates the expression at row `row` of `table`.
+    ///
+    /// This is the reference scalar path, kept for goldens, property tests
+    /// and as the differential oracle for the batch evaluator
+    /// ([`Expr::eval_batch`]). String comparisons, `IN` lists and
+    /// `CONTAINS` borrow values straight out of Utf8 columns instead of
+    /// cloning them.
     pub fn eval(&self, table: &Table, row: usize) -> Result<Value, EngineError> {
         match self {
             Expr::Col(i) => Ok(table.column(*i)?.value(row)),
@@ -193,14 +225,34 @@ impl Expr {
                 }),
             },
             Expr::IsNull(e) => Ok(Value::Bool(matches!(e.eval(table, row)?, Value::Null))),
-            Expr::Contains { expr, needle } => match expr.eval(table, row)? {
-                Value::Utf8(s) => Ok(Value::Bool(s.contains(needle.as_str()))),
-                Value::Null => Ok(Value::Null),
-                other => Err(EngineError::TypeMismatch {
-                    context: format!("CONTAINS on {other:?}"),
-                }),
-            },
+            Expr::Contains { expr, needle } => {
+                // Borrowing fast path: no String clone for column probes.
+                if let Some(sv) = expr.str_leaf(table, row)? {
+                    return Ok(match sv {
+                        Some(s) => Value::Bool(s.contains(needle.as_str())),
+                        None => Value::Null,
+                    });
+                }
+                match expr.eval(table, row)? {
+                    Value::Utf8(s) => Ok(Value::Bool(s.contains(needle.as_str()))),
+                    Value::Null => Ok(Value::Null),
+                    other => Err(EngineError::TypeMismatch {
+                        context: format!("CONTAINS on {other:?}"),
+                    }),
+                }
+            }
             Expr::InList { expr, list } => {
+                // Borrowing fast path for string probes: only Utf8
+                // candidates can equal a string (values_equal semantics).
+                if let Some(sv) = expr.str_leaf(table, row)? {
+                    return Ok(match sv {
+                        None => Value::Null,
+                        Some(s) => Value::Bool(
+                            list.iter()
+                                .any(|cand| matches!(cand, Value::Utf8(c) if c == s)),
+                        ),
+                    });
+                }
                 let v = expr.eval(table, row)?;
                 if matches!(v, Value::Null) {
                     return Ok(Value::Null);
@@ -208,6 +260,20 @@ impl Expr {
                 Ok(Value::Bool(list.iter().any(|cand| values_equal(&v, cand))))
             }
             Expr::Bin { op, left, right } => {
+                // Borrowing fast path for string comparisons: compare
+                // `&str` straight out of the columns instead of cloning
+                // both sides into `Value`s.
+                if cmp_op(*op) {
+                    if let (Some(l), Some(r)) = (
+                        left.str_leaf(table, row)?,
+                        right.str_leaf(table, row)?,
+                    ) {
+                        return Ok(match (l, r) {
+                            (Some(a), Some(b)) => Value::Bool(ord_matches(*op, a.cmp(b))),
+                            _ => Value::Null,
+                        });
+                    }
+                }
                 let l = left.eval(table, row)?;
                 let r = right.eval(table, row)?;
                 eval_bin(*op, l, r)
@@ -283,18 +349,29 @@ fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
         }
         Eq | Ne | Lt | Le | Gt | Ge => {
             let ord = compare_values(&l, &r)?;
-            let b = match op {
-                Eq => ord == std::cmp::Ordering::Equal,
-                Ne => ord != std::cmp::Ordering::Equal,
-                Lt => ord == std::cmp::Ordering::Less,
-                Le => ord != std::cmp::Ordering::Greater,
-                Gt => ord == std::cmp::Ordering::Greater,
-                Ge => ord != std::cmp::Ordering::Less,
-                _ => unreachable!(),
-            };
-            Ok(Value::Bool(b))
+            Ok(Value::Bool(ord_matches(op, ord)))
         }
         And | Or => unreachable!("handled above"),
+    }
+}
+
+/// True for the six comparison operators.
+fn cmp_op(op: BinOp) -> bool {
+    use BinOp::*;
+    matches!(op, Eq | Ne | Lt | Le | Gt | Ge)
+}
+
+/// Maps a comparison operator over an ordering.
+fn ord_matches(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::Ne => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("not a comparison"),
     }
 }
 
@@ -330,6 +407,692 @@ fn compare_values(l: &Value, r: &Value) -> Result<std::cmp::Ordering, EngineErro
             }),
         },
     }
+}
+
+// ======================= vectorized (batch) evaluation =======================
+//
+// The batch evaluator computes an expression against whole columns at once,
+// under an optional selection vector, producing typed result vectors plus a
+// validity mask. There is no per-row `Value` boxing and strings are never
+// cloned: column strings are referenced in place and literal strings are
+// borrowed from the expression tree. Semantics (Kleene NULL logic, numeric
+// widening, error conditions) match `Expr::eval` exactly — the differential
+// property tests in `tests/vectorized_differential.rs` enforce this.
+
+/// Numeric type tag of a batch vector. Mirrors `Value`'s numeric variants:
+/// arithmetic on two `Int` operands yields `Int` (except division), every
+/// other combination widens to `Float`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumTy {
+    /// Backed by `Value::Int64`.
+    Int,
+    /// Backed by `Value::Float64`.
+    Float,
+    /// Backed by `Value::Date`.
+    Date,
+}
+
+/// Result of evaluating an expression over a batch of rows.
+///
+/// Vector variants hold one slot per *selected* row (position-indexed);
+/// `Str` references the column storage directly and is indexed through the
+/// selection vector by **original** row id. Constant variants stand for
+/// the same value in every row and keep literal-heavy expressions
+/// allocation-free.
+#[derive(Debug)]
+pub enum BatchVals<'a> {
+    /// Numeric values widened to `f64` with a type tag; `valid[i] == false`
+    /// marks NULL slots (whose value is unspecified).
+    Num {
+        /// One value per selected row.
+        vals: Vec<f64>,
+        /// `None` = all valid.
+        valid: Option<Vec<bool>>,
+        /// The logical numeric type.
+        ty: NumTy,
+    },
+    /// Boolean values.
+    Bools {
+        /// One value per selected row.
+        vals: Vec<bool>,
+        /// `None` = all valid.
+        valid: Option<Vec<bool>>,
+    },
+    /// A string column referenced in place, indexed by original row id.
+    Str {
+        /// The column's backing store.
+        vals: &'a [String],
+        /// The column's validity mask (by original row id).
+        valid: Option<&'a [bool]>,
+    },
+    /// A numeric literal, widened to f64 like every batch numeric (exact
+    /// only up to 2^53 for `Int`; projection materializes literals and
+    /// column references from their typed source instead, so the lossy
+    /// widening is confined to arithmetic/comparisons — where the scalar
+    /// path widens identically).
+    ConstNum {
+        /// The value.
+        val: f64,
+        /// Its logical type.
+        ty: NumTy,
+    },
+    /// A boolean literal.
+    ConstBool(bool),
+    /// A string literal, borrowed from the expression.
+    ConstStr(&'a str),
+    /// NULL in every row.
+    ConstNull,
+}
+
+/// A selection view: resolves batch positions to original row ids.
+#[derive(Clone, Copy)]
+pub struct SelView<'s> {
+    sel: Option<&'s [u32]>,
+    n: usize,
+}
+
+impl<'s> SelView<'s> {
+    /// A view over `table` restricted to `sel` (`None` = all rows).
+    pub fn new(table: &Table, sel: Option<&'s [u32]>) -> Self {
+        SelView {
+            sel,
+            n: sel.map_or(table.n_rows(), |s| s.len()),
+        }
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Original row id of batch position `pos`.
+    #[inline]
+    pub fn row(&self, pos: usize) -> usize {
+        match self.sel {
+            Some(s) => s[pos] as usize,
+            None => pos,
+        }
+    }
+}
+
+// Internal operand views used by the kernels below.
+
+enum NumSide<'v> {
+    Vec(&'v [f64], Option<&'v [bool]>),
+    Const(f64),
+}
+
+impl NumSide<'_> {
+    #[inline]
+    fn at(&self, pos: usize) -> Option<f64> {
+        match self {
+            NumSide::Vec(vals, valid) => match valid {
+                Some(v) if !v[pos] => None,
+                _ => Some(vals[pos]),
+            },
+            NumSide::Const(c) => Some(*c),
+        }
+    }
+}
+
+enum BoolSide<'v> {
+    Vec(&'v [bool], Option<&'v [bool]>),
+    Const(bool),
+}
+
+impl BoolSide<'_> {
+    #[inline]
+    fn at(&self, pos: usize) -> Option<bool> {
+        match self {
+            BoolSide::Vec(vals, valid) => match valid {
+                Some(v) if !v[pos] => None,
+                _ => Some(vals[pos]),
+            },
+            BoolSide::Const(c) => Some(*c),
+        }
+    }
+}
+
+enum StrSide<'v> {
+    Col(&'v [String], Option<&'v [bool]>),
+    Const(&'v str),
+}
+
+impl StrSide<'_> {
+    #[inline]
+    fn at(&self, sv: &SelView<'_>, pos: usize) -> Option<&str> {
+        match self {
+            StrSide::Col(vals, valid) => {
+                let row = sv.row(pos);
+                match valid {
+                    Some(v) if !v[row] => None,
+                    _ => Some(vals[row].as_str()),
+                }
+            }
+            StrSide::Const(c) => Some(c),
+        }
+    }
+}
+
+/// Type-erased operand: which family of comparison applies.
+enum Side<'v> {
+    N(NumSide<'v>, NumTy),
+    B(BoolSide<'v>),
+    S(StrSide<'v>),
+    Null,
+}
+
+fn classify<'v>(bv: &'v BatchVals<'_>) -> Side<'v> {
+    match bv {
+        BatchVals::Num { vals, valid, ty } => Side::N(NumSide::Vec(vals, valid.as_deref()), *ty),
+        BatchVals::ConstNum { val, ty } => Side::N(NumSide::Const(*val), *ty),
+        BatchVals::Bools { vals, valid } => Side::B(BoolSide::Vec(vals, valid.as_deref())),
+        BatchVals::ConstBool(b) => Side::B(BoolSide::Const(*b)),
+        BatchVals::Str { vals, valid } => Side::S(StrSide::Col(vals, *valid)),
+        BatchVals::ConstStr(s) => Side::S(StrSide::Const(s)),
+        BatchVals::ConstNull => Side::Null,
+    }
+}
+
+/// Is any slot of this side non-NULL? (Constants are non-NULL everywhere,
+/// so any non-empty batch answers true.)
+fn side_any_valid(side: &Side<'_>, sv: &SelView<'_>) -> bool {
+    if sv.is_empty() {
+        return false;
+    }
+    match side {
+        Side::Null => false,
+        Side::N(NumSide::Const(_), _) | Side::B(BoolSide::Const(_)) | Side::S(StrSide::Const(_)) => {
+            true
+        }
+        Side::N(NumSide::Vec(_, valid), _) | Side::B(BoolSide::Vec(_, valid)) => match valid {
+            None => true,
+            Some(v) => v.iter().any(|&ok| ok),
+        },
+        Side::S(StrSide::Col(_, valid)) => match valid {
+            None => true,
+            Some(v) => (0..sv.len()).any(|pos| v[sv.row(pos)]),
+        },
+    }
+}
+
+/// A numeric view of a side, or `Null` when every slot is NULL; errors when
+/// a non-NULL boolean/string slot would make scalar evaluation fail.
+enum NumOperand<'v> {
+    Op(NumSide<'v>, NumTy),
+    Null,
+}
+
+fn as_num_operand<'v>(
+    side: Side<'v>,
+    sv: &SelView<'_>,
+    op: BinOp,
+) -> Result<NumOperand<'v>, EngineError> {
+    match side {
+        Side::N(ns, ty) => Ok(NumOperand::Op(ns, ty)),
+        Side::Null => Ok(NumOperand::Null),
+        other => {
+            if side_any_valid(&other, sv) {
+                Err(EngineError::TypeMismatch {
+                    context: format!("{op:?} on non-numeric operand"),
+                })
+            } else {
+                Ok(NumOperand::Null)
+            }
+        }
+    }
+}
+
+/// A Kleene-boolean view of a side, or `Null` when every slot is NULL.
+enum BoolOperand<'v> {
+    Op(BoolSide<'v>),
+    Null,
+}
+
+fn as_bool_operand<'v>(side: Side<'v>, sv: &SelView<'_>) -> Result<BoolOperand<'v>, EngineError> {
+    match side {
+        Side::B(bs) => Ok(BoolOperand::Op(bs)),
+        Side::Null => Ok(BoolOperand::Null),
+        other => {
+            if side_any_valid(&other, sv) {
+                Err(EngineError::TypeMismatch {
+                    context: "boolean operand expected".to_string(),
+                })
+            } else {
+                Ok(BoolOperand::Null)
+            }
+        }
+    }
+}
+
+fn arith_batch(
+    op: BinOp,
+    l: NumOperand<'_>,
+    r: NumOperand<'_>,
+    n: usize,
+) -> Result<BatchVals<'static>, EngineError> {
+    use BinOp::*;
+    // Zero selected rows: scalar evaluation never runs, so no value is
+    // produced and no error (e.g. a constant division by zero) may be
+    // raised. ConstNull is indistinguishable from any other empty batch.
+    if n == 0 {
+        return Ok(BatchVals::ConstNull);
+    }
+    let (NumOperand::Op(ls, lty), NumOperand::Op(rs, rty)) = (l, r) else {
+        return Ok(BatchVals::ConstNull);
+    };
+    let out_ty = if lty == NumTy::Int && rty == NumTy::Int && op != Div {
+        NumTy::Int
+    } else {
+        NumTy::Float
+    };
+    // Constant folding: identical per-row result, computed once.
+    if let (NumSide::Const(x), NumSide::Const(y)) = (&ls, &rs) {
+        if op == Div && *y == 0.0 {
+            return Err(EngineError::DivisionByZero);
+        }
+        let val = match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            _ => unreachable!("arith op"),
+        };
+        return Ok(BatchVals::ConstNum { val, ty: out_ty });
+    }
+    let mut vals = vec![0.0f64; n];
+    let mut valid: Option<Vec<bool>> = None;
+    for (pos, slot) in vals.iter_mut().enumerate() {
+        match (ls.at(pos), rs.at(pos)) {
+            (Some(x), Some(y)) => {
+                *slot = match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => {
+                        if y == 0.0 {
+                            return Err(EngineError::DivisionByZero);
+                        }
+                        x / y
+                    }
+                    _ => unreachable!("arith op"),
+                };
+            }
+            _ => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+        }
+    }
+    Ok(BatchVals::Num {
+        vals,
+        valid,
+        ty: out_ty,
+    })
+}
+
+fn cmp_batch(
+    op: BinOp,
+    l: Side<'_>,
+    r: Side<'_>,
+    sv: &SelView<'_>,
+) -> Result<BatchVals<'static>, EngineError> {
+    use std::cmp::Ordering;
+    let n = sv.len();
+    if matches!(l, Side::Null) || matches!(r, Side::Null) {
+        return Ok(BatchVals::ConstNull);
+    }
+    let mut vals = vec![false; n];
+    let mut valid: Option<Vec<bool>> = None;
+    let set = |vals: &mut Vec<bool>,
+                   valid: &mut Option<Vec<bool>>,
+                   pos: usize,
+                   ord: Option<Ordering>| {
+        match ord {
+            Some(ord) => vals[pos] = ord_matches(op, ord),
+            None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+        }
+    };
+    match (&l, &r) {
+        (Side::N(ls, _), Side::N(rs, _)) => {
+            for pos in 0..n {
+                match (ls.at(pos), rs.at(pos)) {
+                    (Some(x), Some(y)) => {
+                        let ord = x.partial_cmp(&y).ok_or(EngineError::TypeMismatch {
+                            context: "NaN comparison".to_string(),
+                        })?;
+                        set(&mut vals, &mut valid, pos, Some(ord));
+                    }
+                    _ => set(&mut vals, &mut valid, pos, None),
+                }
+            }
+        }
+        (Side::S(ls), Side::S(rs)) => {
+            for pos in 0..n {
+                match (ls.at(sv, pos), rs.at(sv, pos)) {
+                    (Some(x), Some(y)) => set(&mut vals, &mut valid, pos, Some(x.cmp(y))),
+                    _ => set(&mut vals, &mut valid, pos, None),
+                }
+            }
+        }
+        (Side::B(ls), Side::B(rs)) => {
+            for pos in 0..n {
+                match (ls.at(pos), rs.at(pos)) {
+                    (Some(x), Some(y)) => set(&mut vals, &mut valid, pos, Some(x.cmp(&y))),
+                    _ => set(&mut vals, &mut valid, pos, None),
+                }
+            }
+        }
+        // Mixed families: scalar comparison fails on the first row where
+        // both sides are non-NULL; rows with a NULL side yield NULL.
+        _ => {
+            if side_any_both_valid(&l, &r, sv) {
+                return Err(EngineError::TypeMismatch {
+                    context: format!("{op:?} between incompatible types"),
+                });
+            }
+            return Ok(BatchVals::ConstNull);
+        }
+    }
+    Ok(BatchVals::Bools { vals, valid })
+}
+
+/// Is there a row where both sides are non-NULL?
+fn side_any_both_valid(l: &Side<'_>, r: &Side<'_>, sv: &SelView<'_>) -> bool {
+    let valid_at = |s: &Side<'_>, pos: usize| -> bool {
+        match s {
+            Side::Null => false,
+            Side::N(ns, _) => ns.at(pos).is_some(),
+            Side::B(bs) => bs.at(pos).is_some(),
+            Side::S(ss) => ss.at(sv, pos).is_some(),
+        }
+    };
+    (0..sv.len()).any(|pos| valid_at(l, pos) && valid_at(r, pos))
+}
+
+fn kleene_batch(
+    op: BinOp,
+    l: BoolOperand<'_>,
+    r: BoolOperand<'_>,
+    n: usize,
+) -> BatchVals<'static> {
+    let at = |o: &BoolOperand<'_>, pos: usize| -> Option<bool> {
+        match o {
+            BoolOperand::Op(bs) => bs.at(pos),
+            BoolOperand::Null => None,
+        }
+    };
+    // Constant fast paths (both sides constant or NULL).
+    let const_of = |o: &BoolOperand<'_>| -> Option<Option<bool>> {
+        match o {
+            BoolOperand::Op(BoolSide::Const(b)) => Some(Some(*b)),
+            BoolOperand::Null => Some(None),
+            _ => None,
+        }
+    };
+    if let (Some(lb), Some(rb)) = (const_of(&l), const_of(&r)) {
+        return match combine_kleene(op, lb, rb) {
+            Some(b) => BatchVals::ConstBool(b),
+            None => BatchVals::ConstNull,
+        };
+    }
+    let mut vals = vec![false; n];
+    let mut valid: Option<Vec<bool>> = None;
+    for (pos, slot) in vals.iter_mut().enumerate() {
+        match combine_kleene(op, at(&l, pos), at(&r, pos)) {
+            Some(b) => *slot = b,
+            None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+        }
+    }
+    BatchVals::Bools { vals, valid }
+}
+
+/// Three-valued AND/OR, exactly as `eval_bin` collapses it.
+fn combine_kleene(op: BinOp, l: Option<bool>, r: Option<bool>) -> Option<bool> {
+    match (op, l, r) {
+        (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
+        (BinOp::And, Some(true), Some(true)) => Some(true),
+        (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Some(true),
+        (BinOp::Or, Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression over the rows of `table` selected by `sel`
+    /// (`None` = all rows), producing a typed batch vector.
+    ///
+    /// Agrees with [`Expr::eval`] row-by-row: slot `i` of the result equals
+    /// `self.eval(table, sel[i])`, with NULLs carried in the validity mask.
+    /// Errors are raised iff scalar evaluation of some selected row errs
+    /// (the specific message may name the batch, not the row).
+    pub fn eval_batch<'a>(
+        &'a self,
+        table: &'a Table,
+        sel: Option<&[u32]>,
+    ) -> Result<BatchVals<'a>, EngineError> {
+        let sv = SelView::new(table, sel);
+        let n = sv.len();
+        match self {
+            Expr::Col(i) => {
+                let col = table.column(*i)?;
+                let gather_valid = |validity: &Option<Vec<bool>>| -> Option<Vec<bool>> {
+                    validity
+                        .as_ref()
+                        .map(|v| (0..n).map(|pos| v[sv.row(pos)]).collect())
+                };
+                Ok(match &col.data {
+                    ColumnData::Int64(v) => BatchVals::Num {
+                        vals: (0..n).map(|pos| v[sv.row(pos)] as f64).collect(),
+                        valid: gather_valid(&col.validity),
+                        ty: NumTy::Int,
+                    },
+                    ColumnData::Float64(v) => BatchVals::Num {
+                        vals: (0..n).map(|pos| v[sv.row(pos)]).collect(),
+                        valid: gather_valid(&col.validity),
+                        ty: NumTy::Float,
+                    },
+                    ColumnData::Date(v) => BatchVals::Num {
+                        vals: (0..n).map(|pos| v[sv.row(pos)] as f64).collect(),
+                        valid: gather_valid(&col.validity),
+                        ty: NumTy::Date,
+                    },
+                    ColumnData::Bool(v) => BatchVals::Bools {
+                        vals: (0..n).map(|pos| v[sv.row(pos)]).collect(),
+                        valid: gather_valid(&col.validity),
+                    },
+                    ColumnData::Utf8(v) => BatchVals::Str {
+                        vals: v,
+                        valid: col.validity.as_deref(),
+                    },
+                })
+            }
+            Expr::Lit(v) => Ok(match v {
+                Value::Int64(x) => BatchVals::ConstNum {
+                    val: *x as f64,
+                    ty: NumTy::Int,
+                },
+                Value::Float64(x) => BatchVals::ConstNum {
+                    val: *x,
+                    ty: NumTy::Float,
+                },
+                Value::Date(d) => BatchVals::ConstNum {
+                    val: *d as f64,
+                    ty: NumTy::Date,
+                },
+                Value::Bool(b) => BatchVals::ConstBool(*b),
+                Value::Utf8(s) => BatchVals::ConstStr(s.as_str()),
+                Value::Null => BatchVals::ConstNull,
+            }),
+            Expr::Not(e) => {
+                let inner = e.eval_batch(table, sel)?;
+                match as_bool_operand(classify(&inner), &sv)? {
+                    BoolOperand::Null => Ok(BatchVals::ConstNull),
+                    BoolOperand::Op(BoolSide::Const(b)) => Ok(BatchVals::ConstBool(!b)),
+                    BoolOperand::Op(bs) => {
+                        let mut vals = vec![false; n];
+                        let mut valid: Option<Vec<bool>> = None;
+                        for (pos, slot) in vals.iter_mut().enumerate() {
+                            match bs.at(pos) {
+                                Some(b) => *slot = !b,
+                                None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+                            }
+                        }
+                        Ok(BatchVals::Bools { vals, valid })
+                    }
+                }
+            }
+            Expr::IsNull(e) => {
+                let inner = e.eval_batch(table, sel)?;
+                Ok(match classify(&inner) {
+                    Side::Null => BatchVals::ConstBool(true),
+                    Side::N(NumSide::Const(_), _)
+                    | Side::B(BoolSide::Const(_))
+                    | Side::S(StrSide::Const(_)) => BatchVals::ConstBool(false),
+                    Side::N(NumSide::Vec(_, valid), _) | Side::B(BoolSide::Vec(_, valid)) => {
+                        match valid {
+                            None => BatchVals::ConstBool(false),
+                            Some(v) => BatchVals::Bools {
+                                vals: v.iter().map(|&ok| !ok).collect(),
+                                valid: None,
+                            },
+                        }
+                    }
+                    Side::S(StrSide::Col(_, valid)) => match valid {
+                        None => BatchVals::ConstBool(false),
+                        Some(v) => BatchVals::Bools {
+                            vals: (0..n).map(|pos| !v[sv.row(pos)]).collect(),
+                            valid: None,
+                        },
+                    },
+                })
+            }
+            Expr::Contains { expr, needle } => {
+                let inner = expr.eval_batch(table, sel)?;
+                match classify(&inner) {
+                    Side::Null => Ok(BatchVals::ConstNull),
+                    Side::S(StrSide::Const(s)) => {
+                        Ok(BatchVals::ConstBool(s.contains(needle.as_str())))
+                    }
+                    Side::S(ss) => {
+                        let mut vals = vec![false; n];
+                        let mut valid: Option<Vec<bool>> = None;
+                        for (pos, slot) in vals.iter_mut().enumerate() {
+                            match ss.at(&sv, pos) {
+                                Some(s) => *slot = s.contains(needle.as_str()),
+                                None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+                            }
+                        }
+                        Ok(BatchVals::Bools { vals, valid })
+                    }
+                    other => {
+                        if side_any_valid(&other, &sv) {
+                            Err(EngineError::TypeMismatch {
+                                context: "CONTAINS on non-string".to_string(),
+                            })
+                        } else {
+                            Ok(BatchVals::ConstNull)
+                        }
+                    }
+                }
+            }
+            Expr::InList { expr, list } => {
+                let inner = expr.eval_batch(table, sel)?;
+                match classify(&inner) {
+                    Side::Null => Ok(BatchVals::ConstNull),
+                    Side::N(ns, _) => {
+                        // Only numeric candidates can match a numeric probe
+                        // (values_equal semantics).
+                        let cands: Vec<f64> = list.iter().filter_map(|v| v.as_f64()).collect();
+                        in_list_kernel(n, |pos| ns.at(pos), |x| cands.contains(&x))
+                    }
+                    Side::B(bs) => {
+                        let cands: Vec<bool> = list
+                            .iter()
+                            .filter_map(|v| match v {
+                                Value::Bool(b) => Some(*b),
+                                _ => None,
+                            })
+                            .collect();
+                        in_list_kernel(n, |pos| bs.at(pos), |x| cands.contains(&x))
+                    }
+                    Side::S(ss) => in_list_kernel(
+                        n,
+                        |pos| ss.at(&sv, pos),
+                        |x| {
+                            list.iter()
+                                .any(|cand| matches!(cand, Value::Utf8(c) if c.as_str() == x))
+                        },
+                    ),
+                }
+            }
+            Expr::Bin { op, left, right } => {
+                use BinOp::*;
+                let l = left.eval_batch(table, sel)?;
+                let r = right.eval_batch(table, sel)?;
+                match op {
+                    Add | Sub | Mul | Div => {
+                        let lo = as_num_operand(classify(&l), &sv, *op)?;
+                        let ro = as_num_operand(classify(&r), &sv, *op)?;
+                        arith_batch(*op, lo, ro, n)
+                    }
+                    Eq | Ne | Lt | Le | Gt | Ge => cmp_batch(*op, classify(&l), classify(&r), &sv),
+                    And | Or => {
+                        let lo = as_bool_operand(classify(&l), &sv)?;
+                        let ro = as_bool_operand(classify(&r), &sv)?;
+                        Ok(kleene_batch(*op, lo, ro, n))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluates the expression as a predicate, returning the selection
+    /// vector of original row ids where it is true (NULL = not selected,
+    /// as in SQL `WHERE`). The batch counterpart of [`Expr::eval_mask`]:
+    /// `eval_sel(t, None)` selects exactly the rows `eval_mask` marks true.
+    pub fn eval_sel(&self, table: &Table, sel: Option<&[u32]>) -> Result<Vec<u32>, EngineError> {
+        let sv = SelView::new(table, sel);
+        let n = sv.len();
+        let out = self.eval_batch(table, sel)?;
+        match classify(&out) {
+            Side::B(BoolSide::Const(true)) => Ok((0..n).map(|pos| sv.row(pos) as u32).collect()),
+            Side::B(BoolSide::Const(false)) | Side::Null => Ok(Vec::new()),
+            Side::B(bs) => Ok((0..n)
+                .filter(|&pos| bs.at(pos) == Some(true))
+                .map(|pos| sv.row(pos) as u32)
+                .collect()),
+            other => {
+                if side_any_valid(&other, &sv) {
+                    Err(EngineError::TypeMismatch {
+                        context: "predicate produced a non-boolean batch".to_string(),
+                    })
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+        }
+    }
+}
+
+/// Shared `IN`-list loop: `get` yields the probe value per position, `hit`
+/// tests membership.
+fn in_list_kernel<T>(
+    n: usize,
+    get: impl Fn(usize) -> Option<T>,
+    hit: impl Fn(T) -> bool,
+) -> Result<BatchVals<'static>, EngineError> {
+    let mut vals = vec![false; n];
+    let mut valid: Option<Vec<bool>> = None;
+    for (pos, slot) in vals.iter_mut().enumerate() {
+        match get(pos) {
+            Some(x) => *slot = hit(x),
+            None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+        }
+    }
+    Ok(BatchVals::Bools { vals, valid })
 }
 
 #[cfg(test)]

@@ -1,13 +1,28 @@
-//! Physical operators and the plan executor.
+//! Physical operators and the plan executors.
 //!
-//! Plans are trees of materializing operators: each node consumes whole input
-//! tables and produces an output table. Besides the result, execution yields
-//! a [`WorkProfile`] — per-operator tuple/byte counts — which the simulator
-//! in [`crate::exec`] converts into engine-dependent time and money.
+//! Plans are operator trees executed **vector-at-a-time** by default
+//! ([`execute`]): operators exchange *batches* — a table plus an optional
+//! selection vector of live row ids — so filters, pruned scans, sorts and
+//! limits never materialize intermediate tables. Expressions run through
+//! the batch evaluator ([`Expr::eval_batch`]) against whole columns, joins
+//! hash composite keys into a single `u64`-keyed open-addressing table
+//! with collision verification (no per-row key allocation), and grouped
+//! aggregation accumulates directly from column slices. Projection, join
+//! and aggregation materialize their outputs; everything below them stays
+//! virtual.
+//!
+//! The original row-at-a-time path survives as [`execute_scalar`] — the
+//! readable reference implementation that goldens, property tests and the
+//! scalar-vs-vectorized benchmarks run against. Both paths produce
+//! identical result tables **and identical [`WorkProfile`]s** (bit-for-bit,
+//! including the estimated byte counts), so the simulator in
+//! [`crate::exec`], the `ires` cost modelling and every repro binary are
+//! unaffected by which executor runs. `tests/vectorized_differential.rs`
+//! enforces the equivalence property-test-style.
 
 use crate::data::{Column, ColumnData, DataType, Table, Value};
 use crate::error::EngineError;
-use crate::expr::Expr;
+use crate::expr::{BatchVals, Expr, NumTy, SelView};
 use std::collections::HashMap;
 
 /// Join flavours needed by the TPC-H two-table queries.
@@ -234,11 +249,28 @@ fn key_of(v: &Value) -> KeyVal {
     }
 }
 
-/// Executes a plan against a catalog of base tables.
+/// Executes a plan against a catalog of base tables using the default
+/// vectorized engine: batch expression evaluation, selection vectors, and
+/// allocation-free hash joins.
 ///
 /// Returns the result table and the work profile. Base tables are shared
 /// (`&Table`), never copied for scans beyond what operators materialize.
+/// Semantics and work accounting are identical to [`execute_scalar`].
 pub fn execute(
+    plan: &PhysicalPlan,
+    catalog: &HashMap<String, Table>,
+) -> Result<(Table, WorkProfile), EngineError> {
+    let mut profile = WorkProfile::default();
+    let batch = run_vec(plan, catalog, &mut profile)?;
+    Ok((batch.materialize(), profile))
+}
+
+/// Executes a plan row-at-a-time through the reference scalar operators.
+///
+/// Kept as the differential oracle for [`execute`] and as the baseline of
+/// the scalar-vs-vectorized benchmarks; results and [`WorkProfile`]s match
+/// the vectorized path exactly.
+pub fn execute_scalar(
     plan: &PhysicalPlan,
     catalog: &HashMap<String, Table>,
 ) -> Result<(Table, WorkProfile), EngineError> {
@@ -424,10 +456,20 @@ fn column_from_values(name: &str, values: Vec<Value>) -> Result<Column, EngineEr
     }
 }
 
-fn row_key(t: &Table, keys: &[usize], row: usize) -> Result<Vec<KeyVal>, EngineError> {
-    keys.iter()
-        .map(|&k| Ok(key_of(&t.column(k)?.value(row))))
-        .collect()
+/// Fills `out` with the key of `row` — reusing the caller's scratch buffer
+/// instead of allocating a fresh `Vec<KeyVal>` per row, so the scalar join
+/// and aggregation baselines measure hashing, not allocator traffic.
+fn row_key_into(
+    t: &Table,
+    keys: &[usize],
+    row: usize,
+    out: &mut Vec<KeyVal>,
+) -> Result<(), EngineError> {
+    out.clear();
+    for &k in keys {
+        out.push(key_of(&t.column(k)?.value(row)));
+    }
+    Ok(())
 }
 
 fn hash_join(
@@ -443,24 +485,31 @@ fn hash_join(
         });
     }
     // Build on the right side, probe from the left so LeftOuter preserves
-    // every left row naturally.
+    // every left row naturally. One scratch key buffer serves every row;
+    // it is only cloned when a new key enters the build map.
+    let mut scratch: Vec<KeyVal> = Vec::with_capacity(right_keys.len());
     let mut build: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
     for row in 0..right.n_rows() {
-        let key = row_key(right, right_keys, row)?;
-        if key.iter().any(|k| matches!(k, KeyVal::Null)) {
+        row_key_into(right, right_keys, row, &mut scratch)?;
+        if scratch.iter().any(|k| matches!(k, KeyVal::Null)) {
             continue; // NULL keys never match
         }
-        build.entry(key).or_default().push(row);
+        match build.get_mut(&scratch) {
+            Some(rows) => rows.push(row),
+            None => {
+                build.insert(scratch.clone(), vec![row]);
+            }
+        }
     }
 
     let mut left_idx: Vec<usize> = Vec::new();
     let mut right_idx: Vec<Option<usize>> = Vec::new();
     for row in 0..left.n_rows() {
-        let key = row_key(left, left_keys, row)?;
-        let matches = if key.iter().any(|k| matches!(k, KeyVal::Null)) {
+        row_key_into(left, left_keys, row, &mut scratch)?;
+        let matches = if scratch.iter().any(|k| matches!(k, KeyVal::Null)) {
             None
         } else {
-            build.get(&key)
+            build.get(&scratch)
         };
         match matches {
             Some(rows) => {
@@ -486,7 +535,13 @@ fn hash_join(
     for c in right.columns() {
         columns.push(c.take_opt(&right_idx));
     }
-    // Disambiguate duplicated names with a right-side prefix.
+    finish_join_output(left, columns)
+}
+
+/// Disambiguates right-side column names that collide with left-side ones
+/// (with an `r.` prefix) and assembles the join result — shared by the
+/// scalar and vectorized joins so their output schemas can never drift.
+fn finish_join_output(left: &Table, mut columns: Vec<Column>) -> Result<Table, EngineError> {
     let left_names: Vec<String> = left.columns().iter().map(|c| c.name.clone()).collect();
     for col in columns.iter_mut().skip(left.n_columns()) {
         if left_names.contains(&col.name) {
@@ -511,18 +566,20 @@ fn aggregate(
     group_by: &[usize],
     aggs: &[(String, AggExpr)],
 ) -> Result<Table, EngineError> {
-    // Group rows.
+    // Group rows. The scratch key buffer is reused across rows and cloned
+    // only when a previously unseen group appears.
     let mut groups: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
     let mut first_seen: Vec<Vec<KeyVal>> = Vec::new();
+    let mut scratch: Vec<KeyVal> = Vec::with_capacity(group_by.len());
     for row in 0..t.n_rows() {
-        let key = row_key(t, group_by, row)?;
-        groups
-            .entry(key.clone())
-            .or_insert_with(|| {
-                first_seen.push(key);
-                Vec::new()
-            })
-            .push(row);
+        row_key_into(t, group_by, row, &mut scratch)?;
+        match groups.get_mut(&scratch) {
+            Some(rows) => rows.push(row),
+            None => {
+                first_seen.push(scratch.clone());
+                groups.insert(scratch.clone(), vec![row]);
+            }
+        }
     }
     // Global aggregation over empty input still yields one group.
     if group_by.is_empty() && groups.is_empty() {
@@ -670,6 +727,872 @@ fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
         _ => match (a.as_f64(), b.as_f64()) {
             (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
             _ => Ordering::Equal,
+        },
+    }
+}
+
+// ========================= vectorized executor =========================
+
+/// A table flowing between vectorized operators: either borrowed from the
+/// catalog (scans) or owned (materializing operators), plus an optional
+/// selection vector of live original-row ids.
+enum TableSlot<'a> {
+    Borrowed(&'a Table),
+    Owned(Table),
+}
+
+struct Batch<'a> {
+    slot: TableSlot<'a>,
+    sel: Option<Vec<u32>>,
+}
+
+impl<'a> Batch<'a> {
+    fn all(slot: TableSlot<'a>) -> Self {
+        Batch { slot, sel: None }
+    }
+
+    fn table(&self) -> &Table {
+        match &self.slot {
+            TableSlot::Borrowed(t) => t,
+            TableSlot::Owned(t) => t,
+        }
+    }
+
+    fn sel_ref(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// Logical row count (what the scalar path would have materialized).
+    fn len(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.table().n_rows(),
+        }
+    }
+
+    /// Original row id of batch position `pos`.
+    #[inline]
+    fn row_id(&self, pos: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[pos] as usize,
+            None => pos,
+        }
+    }
+
+    /// Gathers the batch into a concrete table (the final plan result).
+    fn materialize(self) -> Table {
+        match (self.slot, self.sel) {
+            (TableSlot::Owned(t), None) => t,
+            (TableSlot::Borrowed(t), None) => t.clone(),
+            (TableSlot::Owned(t), Some(sel)) => t.take_ids(&sel),
+            (TableSlot::Borrowed(t), Some(sel)) => t.take_ids(&sel),
+        }
+    }
+}
+
+/// Records one operator's work from a batch without materializing it; byte
+/// accounting is identical to measuring the materialized table.
+fn record_batch(profile: &mut WorkProfile, kind: OpKind, rows_in: u64, batch: &Batch<'_>) {
+    profile.ops.push(OpWork {
+        kind,
+        rows_in,
+        rows_out: batch.len() as u64,
+        bytes_out: batch.table().estimated_bytes_sel(batch.sel_ref()),
+    });
+}
+
+fn run_vec<'a>(
+    plan: &PhysicalPlan,
+    catalog: &'a HashMap<String, Table>,
+    profile: &mut WorkProfile,
+) -> Result<Batch<'a>, EngineError> {
+    match plan {
+        PhysicalPlan::Scan { table } => {
+            let t = catalog
+                .get(table)
+                .ok_or_else(|| EngineError::UnknownTable(table.clone()))?;
+            let batch = Batch::all(TableSlot::Borrowed(t));
+            record_batch(profile, OpKind::Scan, t.n_rows() as u64, &batch);
+            Ok(batch)
+        }
+        PhysicalPlan::PrunedScan { table, predicate } => {
+            let base = catalog
+                .get(table)
+                .ok_or_else(|| EngineError::UnknownTable(table.clone()))?;
+            let sel = predicate.eval_sel(base, None)?;
+            // Storage-side pruning: only the surviving rows are charged.
+            let rows = sel.len() as u64;
+            let batch = Batch {
+                slot: TableSlot::Borrowed(base),
+                sel: Some(sel),
+            };
+            record_batch(profile, OpKind::Scan, rows, &batch);
+            Ok(batch)
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let b = run_vec(input, catalog, profile)?;
+            let rows_in = b.len() as u64;
+            let sel = predicate.eval_sel(b.table(), b.sel_ref())?;
+            let batch = Batch {
+                slot: b.slot,
+                sel: Some(sel),
+            };
+            record_batch(profile, OpKind::Filter, rows_in, &batch);
+            Ok(batch)
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let b = run_vec(input, catalog, profile)?;
+            let rows_in = b.len() as u64;
+            let out = project_vec(&b, exprs)?;
+            let batch = Batch::all(TableSlot::Owned(out));
+            record_batch(profile, OpKind::Project, rows_in, &batch);
+            Ok(batch)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => {
+            let lb = run_vec(left, catalog, profile)?;
+            let rb = run_vec(right, catalog, profile)?;
+            let rows_in = (lb.len() + rb.len()) as u64;
+            let out = hash_join_vec(&lb, &rb, left_keys, right_keys, *join_type)?;
+            let batch = Batch::all(TableSlot::Owned(out));
+            record_batch(profile, OpKind::Join, rows_in, &batch);
+            Ok(batch)
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let b = run_vec(input, catalog, profile)?;
+            let rows_in = b.len() as u64;
+            let out = aggregate_vec(&b, group_by, aggs)?;
+            let batch = Batch::all(TableSlot::Owned(out));
+            record_batch(profile, OpKind::Aggregate, rows_in, &batch);
+            Ok(batch)
+        }
+        PhysicalPlan::Sort { input, by } => {
+            let b = run_vec(input, catalog, profile)?;
+            let rows_in = b.len() as u64;
+            let sel = sort_sel(&b, by)?;
+            let batch = Batch {
+                slot: b.slot,
+                sel: Some(sel),
+            };
+            record_batch(profile, OpKind::Sort, rows_in, &batch);
+            Ok(batch)
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let b = run_vec(input, catalog, profile)?;
+            let rows_in = b.len() as u64;
+            let keep = b.len().min(*n);
+            let sel = match b.sel {
+                Some(mut s) => {
+                    s.truncate(keep);
+                    s
+                }
+                None => (0..keep as u32).collect(),
+            };
+            let batch = Batch {
+                slot: b.slot,
+                sel: Some(sel),
+            };
+            record_batch(profile, OpKind::Limit, rows_in, &batch);
+            Ok(batch)
+        }
+    }
+}
+
+// ----- vectorized projection -----
+
+fn project_vec(b: &Batch<'_>, exprs: &[(String, Expr)]) -> Result<Table, EngineError> {
+    let t = b.table();
+    let sel = b.sel_ref();
+    let sv = SelView::new(t, sel);
+    let mut columns = Vec::with_capacity(exprs.len());
+    for (name, expr) in exprs {
+        // Direct column references and literals materialize straight from
+        // typed storage — exact for the full i64 range (the batch
+        // evaluator's f64-widened constants are only exact to 2^53);
+        // strings cloned only here.
+        match expr {
+            Expr::Col(i) => columns.push(gather_normalized(t.column(*i)?, &sv, name)),
+            Expr::Lit(v) => columns.push(broadcast_value(name, v, sv.len())),
+            _ => {
+                let bv = expr.eval_batch(t, sel)?;
+                columns.push(column_from_batch(name, &bv, &sv));
+            }
+        }
+    }
+    Table::new(&t.name, columns)
+}
+
+/// Gathers a column under a selection with the same normalization
+/// `column_from_values` applies to scalar projection output: NULL slots
+/// hold the type default, an all-NULL (or empty) result collapses to
+/// Int64, and a fully valid result drops its validity mask.
+fn gather_normalized(col: &Column, sv: &SelView<'_>, name: &str) -> Column {
+    let n = sv.len();
+    if n == 0 {
+        return Column::new(name, ColumnData::Int64(Vec::new()));
+    }
+    let validity: Option<Vec<bool>> = col
+        .validity
+        .as_ref()
+        .map(|v| (0..n).map(|pos| v[sv.row(pos)]).collect());
+    let any_valid = validity.as_ref().is_none_or(|v| v.iter().any(|&ok| ok));
+    if !any_valid {
+        return Column::with_validity(name, ColumnData::Int64(vec![0; n]), vec![false; n]);
+    }
+    macro_rules! gather {
+        ($v:expr, $default:expr, $clone:expr) => {
+            (0..n)
+                .map(|pos| {
+                    let row = sv.row(pos);
+                    if col.is_valid(row) {
+                        $clone(&$v[row])
+                    } else {
+                        $default
+                    }
+                })
+                .collect()
+        };
+    }
+    let data = match &col.data {
+        ColumnData::Int64(v) => ColumnData::Int64(gather!(v, 0, |x: &i64| *x)),
+        ColumnData::Float64(v) => ColumnData::Float64(gather!(v, 0.0, |x: &f64| *x)),
+        ColumnData::Utf8(v) => ColumnData::Utf8(gather!(v, String::new(), |x: &String| x.clone())),
+        ColumnData::Date(v) => ColumnData::Date(gather!(v, 0, |x: &i32| *x)),
+        ColumnData::Bool(v) => ColumnData::Bool(gather!(v, false, |x: &bool| *x)),
+    };
+    match validity {
+        Some(v) if !v.iter().all(|&ok| ok) => Column::with_validity(name, data, v),
+        _ => Column::new(name, data),
+    }
+}
+
+/// Broadcasts one literal value into a column of length `n`, exactly as
+/// `column_from_values(vec![v; n])` would: typed data, all-NULL literals
+/// collapse to Int64, zero rows collapse to an empty Int64 column.
+fn broadcast_value(name: &str, v: &Value, n: usize) -> Column {
+    if n == 0 {
+        return Column::new(name, ColumnData::Int64(Vec::new()));
+    }
+    match v {
+        Value::Int64(x) => Column::new(name, ColumnData::Int64(vec![*x; n])),
+        Value::Float64(x) => Column::new(name, ColumnData::Float64(vec![*x; n])),
+        Value::Utf8(s) => Column::new(name, ColumnData::Utf8(vec![s.clone(); n])),
+        Value::Date(d) => Column::new(name, ColumnData::Date(vec![*d; n])),
+        Value::Bool(b) => Column::new(name, ColumnData::Bool(vec![*b; n])),
+        Value::Null => {
+            Column::with_validity(name, ColumnData::Int64(vec![0; n]), vec![false; n])
+        }
+    }
+}
+
+/// Builds an output column from a batch vector, with `column_from_values`'s
+/// normalization rules (see [`gather_normalized`]).
+fn column_from_batch(name: &str, bv: &BatchVals<'_>, sv: &SelView<'_>) -> Column {
+    let n = sv.len();
+    if n == 0 {
+        return Column::new(name, ColumnData::Int64(Vec::new()));
+    }
+    let finish = |data: ColumnData, valid: Option<&Vec<bool>>| -> Column {
+        match valid {
+            Some(v) if !v.iter().all(|&ok| ok) => {
+                Column::with_validity(name, data, v.clone())
+            }
+            _ => Column::new(name, data),
+        }
+    };
+    let all_null = || -> Column {
+        Column::with_validity(name, ColumnData::Int64(vec![0; n]), vec![false; n])
+    };
+    match bv {
+        BatchVals::ConstNull => all_null(),
+        BatchVals::ConstNum { val, ty } => {
+            let data = match ty {
+                NumTy::Int => ColumnData::Int64(vec![*val as i64; n]),
+                NumTy::Float => ColumnData::Float64(vec![*val; n]),
+                NumTy::Date => ColumnData::Date(vec![*val as i32; n]),
+            };
+            Column::new(name, data)
+        }
+        BatchVals::ConstBool(b) => Column::new(name, ColumnData::Bool(vec![*b; n])),
+        BatchVals::ConstStr(s) => Column::new(name, ColumnData::Utf8(vec![s.to_string(); n])),
+        BatchVals::Num { vals, valid, ty } => {
+            if let Some(v) = valid {
+                if !v.iter().any(|&ok| ok) {
+                    return all_null();
+                }
+            }
+            let ok = |pos: usize| valid.as_ref().is_none_or(|v| v[pos]);
+            let data = match ty {
+                NumTy::Int => ColumnData::Int64(
+                    (0..n).map(|p| if ok(p) { vals[p] as i64 } else { 0 }).collect(),
+                ),
+                NumTy::Float => ColumnData::Float64(
+                    (0..n).map(|p| if ok(p) { vals[p] } else { 0.0 }).collect(),
+                ),
+                NumTy::Date => ColumnData::Date(
+                    (0..n).map(|p| if ok(p) { vals[p] as i32 } else { 0 }).collect(),
+                ),
+            };
+            finish(data, valid.as_ref())
+        }
+        BatchVals::Bools { vals, valid } => {
+            if let Some(v) = valid {
+                if !v.iter().any(|&ok| ok) {
+                    return all_null();
+                }
+            }
+            let ok = |pos: usize| valid.as_ref().is_none_or(|v| v[pos]);
+            let data = ColumnData::Bool(
+                (0..n).map(|p| if ok(p) { vals[p] } else { false }).collect(),
+            );
+            finish(data, valid.as_ref())
+        }
+        BatchVals::Str { vals, valid } => {
+            let validity: Vec<bool> = (0..n)
+                .map(|pos| valid.is_none_or(|v| v[sv.row(pos)]))
+                .collect();
+            if !validity.iter().any(|&ok| ok) {
+                return all_null();
+            }
+            let data = ColumnData::Utf8(
+                (0..n)
+                    .map(|pos| {
+                        if validity[pos] {
+                            vals[sv.row(pos)].clone()
+                        } else {
+                            String::new()
+                        }
+                    })
+                    .collect(),
+            );
+            finish(data, Some(&validity))
+        }
+    }
+}
+
+// ----- allocation-free composite keys -----
+
+/// SplitMix64 finalizer: one multiply-xorshift round per key part.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn hash_combine(h: u64, k: u64) -> u64 {
+    (h ^ k).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Hashes the composite key of `row` into one `u64` — no per-row
+/// allocation. `None` when a key part is NULL and `null_sentinel` is off
+/// (join keys: NULL never matches). With the sentinel on (group-by keys),
+/// NULL hashes like a distinguished constant so NULL groups with NULL.
+fn key_hash(cols: &[&Column], row: usize, null_sentinel: bool) -> Option<u64> {
+    let mut h: u64 = 0x517c_c1b7_2722_0a95;
+    for col in cols {
+        let k = if !col.is_valid(row) {
+            if !null_sentinel {
+                return None;
+            }
+            mix64(0x6e75_6c6c) // "null"
+        } else {
+            match &col.data {
+                ColumnData::Int64(v) => mix64(v[row] as u64),
+                ColumnData::Date(v) => mix64(v[row] as i64 as u64),
+                ColumnData::Float64(v) => mix64(v[row].to_bits()),
+                ColumnData::Bool(v) => mix64(v[row] as u64),
+                ColumnData::Utf8(v) => fnv1a(v[row].as_bytes()),
+            }
+        };
+        h = hash_combine(h, k);
+    }
+    Some(h)
+}
+
+/// Verifies composite-key equality between two rows with `KeyVal`
+/// semantics: same-variant values compare (floats by bit pattern), values
+/// of different column types never match, and NULL equals NULL (reachable
+/// only for group-by keys — join paths skip NULL keys before hashing).
+fn keys_equal(lcols: &[&Column], lrow: usize, rcols: &[&Column], rrow: usize) -> bool {
+    lcols.iter().zip(rcols.iter()).all(|(lc, rc)| {
+        let lv = lc.is_valid(lrow);
+        let rv = rc.is_valid(rrow);
+        if !lv || !rv {
+            return lv == rv;
+        }
+        match (&lc.data, &rc.data) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a[lrow] == b[rrow],
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => {
+                a[lrow].to_bits() == b[rrow].to_bits()
+            }
+            (ColumnData::Date(a), ColumnData::Date(b)) => a[lrow] == b[rrow],
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a[lrow] == b[rrow],
+            (ColumnData::Utf8(a), ColumnData::Utf8(b)) => a[lrow] == b[rrow],
+            _ => false,
+        }
+    })
+}
+
+/// Open-addressing map from `u64` hash to a `u32` chain head (`0` =
+/// empty). Linear probing at ≤ 50% load; collision resolution is the
+/// caller's verification of chained entries, so distinct keys sharing a
+/// hash simply share a chain.
+struct U64Map {
+    mask: usize,
+    slots: Vec<(u64, u32)>,
+}
+
+impl U64Map {
+    fn with_capacity(n: usize) -> U64Map {
+        let cap = (n.max(4) * 2).next_power_of_two();
+        U64Map {
+            mask: cap - 1,
+            slots: vec![(0, 0); cap],
+        }
+    }
+
+    #[inline]
+    fn probe(&self, h: u64) -> usize {
+        let mut i = (h as usize) & self.mask;
+        loop {
+            let (slot_hash, head) = self.slots[i];
+            if head == 0 || slot_hash == h {
+                return i;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Chain head for `h`, or 0 when absent.
+    #[inline]
+    fn get(&self, h: u64) -> u32 {
+        let (slot_hash, head) = self.slots[self.probe(h)];
+        if head != 0 && slot_hash == h {
+            head
+        } else {
+            0
+        }
+    }
+
+    /// Mutable chain-head slot for `h`, claiming an empty slot if needed.
+    #[inline]
+    fn entry(&mut self, h: u64) -> &mut u32 {
+        let i = self.probe(h);
+        self.slots[i].0 = h;
+        &mut self.slots[i].1
+    }
+}
+
+// ----- vectorized join -----
+
+fn hash_join_vec(
+    lb: &Batch<'_>,
+    rb: &Batch<'_>,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    join_type: JoinType,
+) -> Result<Table, EngineError> {
+    if left_keys.len() != right_keys.len() {
+        return Err(EngineError::TypeMismatch {
+            context: "join key arity mismatch".to_string(),
+        });
+    }
+    let lt = lb.table();
+    let rt = rb.table();
+    let ln = lb.len();
+    let rn = rb.len();
+    // Key columns are resolved only when the side has rows, matching the
+    // scalar path's per-row (hence lazy) validation.
+    let rcols: Vec<&Column> = if rn > 0 {
+        right_keys.iter().map(|&k| rt.column(k)).collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+    let lcols: Vec<&Column> = if ln > 0 {
+        left_keys.iter().map(|&k| lt.column(k)).collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+
+    // Build over the right batch. Chains are threaded through `next` by
+    // batch position; building in reverse keeps each chain in ascending
+    // position order, so probe output matches the scalar path row-for-row.
+    let mut map = U64Map::with_capacity(rn);
+    let mut next: Vec<u32> = vec![0; rn];
+    for pos in (0..rn).rev() {
+        let row = rb.row_id(pos);
+        if let Some(h) = key_hash(&rcols, row, false) {
+            let head = map.entry(h);
+            next[pos] = *head;
+            *head = pos as u32 + 1;
+        }
+    }
+
+    // Probe from the left.
+    let mut left_out: Vec<u32> = Vec::new();
+    let mut right_out: Vec<u32> = Vec::new();
+    let mut right_hit: Vec<bool> = Vec::new();
+    for pos in 0..ln {
+        let lrow = lb.row_id(pos);
+        let mut matched = false;
+        if let Some(h) = key_hash(&lcols, lrow, false) {
+            let mut cur = map.get(h);
+            while cur != 0 {
+                let rpos = (cur - 1) as usize;
+                let rrow = rb.row_id(rpos);
+                if keys_equal(&lcols, lrow, &rcols, rrow) {
+                    left_out.push(lrow as u32);
+                    right_out.push(rrow as u32);
+                    right_hit.push(true);
+                    matched = true;
+                }
+                cur = next[rpos];
+            }
+        }
+        if !matched && join_type == JoinType::LeftOuter {
+            left_out.push(lrow as u32);
+            right_out.push(0);
+            right_hit.push(false);
+        }
+    }
+
+    // Assemble output columns: all left columns then all right columns.
+    let mut columns = Vec::with_capacity(lt.n_columns() + rt.n_columns());
+    for c in lt.columns() {
+        columns.push(c.take_ids(&left_out));
+    }
+    for c in rt.columns() {
+        columns.push(c.take_opt_ids(&right_out, &right_hit));
+    }
+    finish_join_output(lt, columns)
+}
+
+// ----- vectorized aggregation -----
+
+/// Numeric view with `Value::as_f64` semantics: booleans and strings are
+/// not numeric and silently yield `None`, exactly as the scalar
+/// aggregation steps skip them.
+fn agg_num_input(bv: &BatchVals<'_>, sv: &SelView<'_>) -> Vec<Option<f64>> {
+    let n = sv.len();
+    match bv {
+        BatchVals::Num { vals, valid, .. } => (0..n)
+            .map(|p| match valid {
+                Some(v) if !v[p] => None,
+                _ => Some(vals[p]),
+            })
+            .collect(),
+        BatchVals::ConstNum { val, .. } => vec![Some(*val); n],
+        _ => vec![None; n],
+    }
+}
+
+/// Boolean view with `matches!(v, Value::Bool(true))` semantics: anything
+/// that is not a valid boolean counts as false, never as an error.
+fn agg_bool_input(bv: &BatchVals<'_>, sv: &SelView<'_>) -> Vec<Option<bool>> {
+    let n = sv.len();
+    match bv {
+        BatchVals::Bools { vals, valid } => (0..n)
+            .map(|p| match valid {
+                Some(v) if !v[p] => None,
+                _ => Some(vals[p]),
+            })
+            .collect(),
+        BatchVals::ConstBool(b) => vec![Some(*b); n],
+        _ => vec![None; n],
+    }
+}
+
+fn aggregate_vec(
+    b: &Batch<'_>,
+    group_by: &[usize],
+    aggs: &[(String, AggExpr)],
+) -> Result<Table, EngineError> {
+    let t = b.table();
+    let sel = b.sel_ref();
+    let sv = SelView::new(t, sel);
+    let n = sv.len();
+
+    // Assign group ids in first-seen order.
+    let mut group_ids: Vec<u32> = Vec::with_capacity(n);
+    let mut rep_rows: Vec<u32> = Vec::new(); // first original row per group
+    let n_groups;
+    if group_by.is_empty() {
+        // Global aggregation over empty input still yields one group.
+        group_ids.resize(n, 0);
+        n_groups = 1;
+    } else {
+        let gcols: Vec<&Column> = if n > 0 {
+            group_by.iter().map(|&g| t.column(g)).collect::<Result<_, _>>()?
+        } else {
+            Vec::new()
+        };
+        let mut map = U64Map::with_capacity(n);
+        let mut chain: Vec<u32> = Vec::new(); // per-group next in hash chain
+        for pos in 0..n {
+            let row = b.row_id(pos);
+            let h = key_hash(&gcols, row, true).expect("sentinel hashing is total");
+            let head = map.entry(h);
+            let mut cur = *head;
+            let mut found = None;
+            while cur != 0 {
+                let g = (cur - 1) as usize;
+                if keys_equal(&gcols, row, &gcols, rep_rows[g] as usize) {
+                    found = Some(g);
+                    break;
+                }
+                cur = chain[g];
+            }
+            let g = match found {
+                Some(g) => g,
+                None => {
+                    let g = rep_rows.len();
+                    rep_rows.push(row as u32);
+                    chain.push(*head);
+                    *head = g as u32 + 1;
+                    g
+                }
+            };
+            group_ids.push(g as u32);
+        }
+        n_groups = rep_rows.len();
+    }
+
+    // Compute aggregates: one pass over the batch per aggregate,
+    // accumulating straight from column slices into per-group states.
+    enum AggCol {
+        Counts(Vec<u64>),
+        Opt(Vec<Option<f64>>),
+    }
+    let mut agg_cols: Vec<AggCol> = Vec::with_capacity(aggs.len());
+    for (_, agg) in aggs {
+        let col = match agg {
+            AggExpr::Count => {
+                let mut counts = vec![0u64; n_groups];
+                for pos in 0..n {
+                    counts[group_ids[pos] as usize] += 1;
+                }
+                AggCol::Counts(counts)
+            }
+            AggExpr::CountIf(pred) => {
+                let bv = pred.eval_batch(t, sel)?;
+                let flags = agg_bool_input(&bv, &sv);
+                let mut counts = vec![0u64; n_groups];
+                for (pos, flag) in flags.iter().enumerate() {
+                    if *flag == Some(true) {
+                        counts[group_ids[pos] as usize] += 1;
+                    }
+                }
+                AggCol::Counts(counts)
+            }
+            AggExpr::Sum(e) => {
+                let bv = e.eval_batch(t, sel)?;
+                let nums = agg_num_input(&bv, &sv);
+                let mut totals = vec![0.0f64; n_groups];
+                let mut seen = vec![false; n_groups];
+                for (pos, x) in nums.iter().enumerate() {
+                    if let Some(x) = x {
+                        let g = group_ids[pos] as usize;
+                        totals[g] += x;
+                        seen[g] = true;
+                    }
+                }
+                AggCol::Opt(
+                    totals
+                        .into_iter()
+                        .zip(seen)
+                        .map(|(tot, s)| if s { Some(tot) } else { None })
+                        .collect(),
+                )
+            }
+            AggExpr::SumIf { value, predicate } => {
+                let pv = predicate.eval_batch(t, sel)?;
+                let flags = agg_bool_input(&pv, &sv);
+                // The scalar path only evaluates `value` on rows where the
+                // predicate holds; mirror that by evaluating the value
+                // batch under the predicate-true sub-selection.
+                let mut sub_rows: Vec<u32> = Vec::new();
+                let mut sub_pos: Vec<u32> = Vec::new();
+                for (pos, flag) in flags.iter().enumerate() {
+                    if *flag == Some(true) {
+                        sub_rows.push(b.row_id(pos) as u32);
+                        sub_pos.push(pos as u32);
+                    }
+                }
+                let vv = value.eval_batch(t, Some(&sub_rows))?;
+                let sub_sv = SelView::new(t, Some(&sub_rows));
+                let nums = agg_num_input(&vv, &sub_sv);
+                let mut totals = vec![0.0f64; n_groups];
+                // Every processed row marks its group as seen.
+                let mut seen = vec![false; n_groups];
+                for pos in 0..n {
+                    seen[group_ids[pos] as usize] = true;
+                }
+                for (i, x) in nums.iter().enumerate() {
+                    if let Some(x) = x {
+                        totals[group_ids[sub_pos[i] as usize] as usize] += x;
+                    }
+                }
+                AggCol::Opt(
+                    totals
+                        .into_iter()
+                        .zip(seen)
+                        .map(|(tot, s)| if s { Some(tot) } else { None })
+                        .collect(),
+                )
+            }
+            AggExpr::Avg(e) => {
+                let bv = e.eval_batch(t, sel)?;
+                let nums = agg_num_input(&bv, &sv);
+                let mut totals = vec![0.0f64; n_groups];
+                let mut counts = vec![0u64; n_groups];
+                for (pos, x) in nums.iter().enumerate() {
+                    if let Some(x) = x {
+                        let g = group_ids[pos] as usize;
+                        totals[g] += x;
+                        counts[g] += 1;
+                    }
+                }
+                AggCol::Opt(
+                    totals
+                        .into_iter()
+                        .zip(counts)
+                        .map(|(tot, c)| if c > 0 { Some(tot / c as f64) } else { None })
+                        .collect(),
+                )
+            }
+            AggExpr::Min(e) | AggExpr::Max(e) => {
+                let is_min = matches!(agg, AggExpr::Min(_));
+                let bv = e.eval_batch(t, sel)?;
+                let nums = agg_num_input(&bv, &sv);
+                let mut best: Vec<Option<f64>> = vec![None; n_groups];
+                for (pos, x) in nums.iter().enumerate() {
+                    if let Some(x) = x {
+                        let g = group_ids[pos] as usize;
+                        best[g] = Some(match best[g] {
+                            None => *x,
+                            Some(cur) => {
+                                if is_min {
+                                    cur.min(*x)
+                                } else {
+                                    cur.max(*x)
+                                }
+                            }
+                        });
+                    }
+                }
+                AggCol::Opt(best)
+            }
+        };
+        agg_cols.push(col);
+    }
+
+    // Assemble: group-key columns (gathered from representative rows) then
+    // aggregate columns, normalized like `column_from_values`.
+    let mut columns = Vec::with_capacity(group_by.len() + aggs.len());
+    for &g in group_by {
+        columns.push(t.column(g)?.take_ids(&rep_rows));
+    }
+    for ((name, _), col) in aggs.iter().zip(agg_cols) {
+        columns.push(match col {
+            AggCol::Counts(v) => Column::new(
+                name,
+                ColumnData::Int64(v.into_iter().map(|c| c as i64).collect()),
+            ),
+            AggCol::Opt(v) => {
+                if v.is_empty() {
+                    Column::new(name, ColumnData::Int64(Vec::new()))
+                } else if v.iter().all(|x| x.is_none()) {
+                    Column::with_validity(
+                        name,
+                        ColumnData::Int64(vec![0; v.len()]),
+                        vec![false; v.len()],
+                    )
+                } else if v.iter().all(|x| x.is_some()) {
+                    Column::new(
+                        name,
+                        ColumnData::Float64(v.into_iter().map(|x| x.unwrap()).collect()),
+                    )
+                } else {
+                    let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
+                    Column::with_validity(
+                        name,
+                        ColumnData::Float64(v.into_iter().map(|x| x.unwrap_or(0.0)).collect()),
+                        validity,
+                    )
+                }
+            }
+        });
+    }
+    Table::new("agg", columns)
+}
+
+// ----- vectorized sort -----
+
+/// Stable-sorts the selection by the sort keys, comparing typed column
+/// slices with `cmp_values` semantics (NULLs first, numerics as f64).
+fn sort_sel(b: &Batch<'_>, by: &[(usize, bool)]) -> Result<Vec<u32>, EngineError> {
+    let t = b.table();
+    // Validate columns up-front so the comparator can't panic mid-sort.
+    for &(c, _) in by {
+        t.column(c)?;
+    }
+    let cols: Vec<&Column> = by.iter().map(|&(c, _)| t.column(c).expect("validated")).collect();
+    let mut ids: Vec<u32> = match b.sel_ref() {
+        Some(s) => s.to_vec(),
+        None => (0..t.n_rows() as u32).collect(),
+    };
+    ids.sort_by(|&a, &b| {
+        for (col, &(_, desc)) in cols.iter().zip(by.iter()) {
+            let ord = cmp_col_rows(col, a as usize, b as usize);
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(ids)
+}
+
+/// Typed row comparison matching [`cmp_values`]: NULLs first, strings and
+/// booleans by `Ord`, numerics as f64 (non-comparable pairs = Equal).
+fn cmp_col_rows(c: &Column, a: usize, b: usize) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (c.is_valid(a), c.is_valid(b)) {
+        (false, false) => Ordering::Equal,
+        (false, true) => Ordering::Less,
+        (true, false) => Ordering::Greater,
+        (true, true) => match &c.data {
+            ColumnData::Utf8(v) => v[a].cmp(&v[b]),
+            ColumnData::Bool(v) => v[a].cmp(&v[b]),
+            ColumnData::Int64(v) => (v[a] as f64)
+                .partial_cmp(&(v[b] as f64))
+                .unwrap_or(Ordering::Equal),
+            ColumnData::Float64(v) => v[a].partial_cmp(&v[b]).unwrap_or(Ordering::Equal),
+            ColumnData::Date(v) => (v[a] as f64)
+                .partial_cmp(&(v[b] as f64))
+                .unwrap_or(Ordering::Equal),
         },
     }
 }

@@ -1,0 +1,137 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, `proptest::collection::vec` with [`collection::SizeRange`],
+//! `ProptestConfig::with_cases`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros. Cases are generated from a deterministic
+//! per-test seed (FNV of the test name), so failures reproduce exactly.
+//! There is no shrinking: a failing case reports its generated inputs via
+//! the assertion message instead.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use strategy::Strategy;
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the case count for
+/// every test in the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(stringify!($name), __case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = &$left;
+        let __r = &$right;
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}

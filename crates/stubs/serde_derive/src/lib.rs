@@ -1,0 +1,20 @@
+//! Offline stub of serde's derive macros.
+//!
+//! The serde stub's `Serialize` / `Deserialize` traits carry blanket
+//! implementations, so the derives have nothing to generate — they exist
+//! only so `#[derive(Serialize, Deserialize)]` attributes in the workspace
+//! compile without the real `serde_derive`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

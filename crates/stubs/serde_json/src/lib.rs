@@ -1,0 +1,285 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the `Value` tree, a simplified `json!` macro (object / array /
+//! expression forms — the shapes the repro binaries use), and
+//! `to_string_pretty`. Values convert through the [`ToJson`] trait rather
+//! than serde's `Serialize`, keeping the stub dependency-free.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// A JSON number: integers stay integral in the output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer.
+    U(u64),
+    /// Float.
+    F(f64),
+}
+
+/// A JSON value tree (stub of `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Numbers.
+    Number(Number),
+    /// Strings.
+    String(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects as insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`]; the `json!` macro calls this on every
+/// interpolated expression.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! to_json_signed {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+    )*};
+}
+macro_rules! to_json_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+to_json_signed!(i8, i16, i32, i64, isize);
+to_json_unsigned!(u8, u16, u32, u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+/// Builds a [`Value`] from object / array / expression syntax.
+///
+/// Simplified relative to the real macro: object keys must be string
+/// literals and nested objects are written as nested `json!({...})` calls —
+/// which is how every call site in this workspace writes them.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::ToJson::to_json(&($value))) ),*
+        ])
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToJson::to_json(&($elem)) ),* ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&($other)) };
+}
+
+/// Serialization error (the stub never actually fails).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(Number::I(x)) => out.push_str(&x.to_string()),
+        Value::Number(Number::U(x)) => out.push_str(&x.to_string()),
+        Value::Number(Number::F(x)) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x:?}"))
+            } else {
+                out.push_str("null") // serde_json convention for NaN/inf
+            }
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_value(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_value(val, indent + 1, out);
+                out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints a value with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(value, 0, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_array_and_scalars_render() {
+        let v = json!({
+            "name": "a\"b",
+            "n": 3u32,
+            "neg": -4,
+            "pi": 3.5,
+            "flag": true,
+            "missing": Option::<f64>::None,
+            "arr": [1.0, 2.0],
+            "nested": json!({"x": 1}),
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"a\\\"b\""));
+        assert!(s.contains("\"n\": 3"));
+        assert!(s.contains("\"neg\": -4"));
+        assert!(s.contains("\"pi\": 3.5"));
+        assert!(s.contains("\"missing\": null"));
+        assert!(s.contains("\"x\": 1"));
+    }
+
+    #[test]
+    fn vec_of_values_and_strings() {
+        let rows: Vec<Value> = vec![json!({"k": 1}), json!({"k": 2})];
+        let v = json!({ "rows": rows, "s": String::from("hi") });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"rows\": ["));
+        assert!(s.contains("\"s\": \"hi\""));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let s = to_string_pretty(&json!(f64::NAN)).unwrap();
+        assert_eq!(s, "null");
+    }
+}

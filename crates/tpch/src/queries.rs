@@ -18,9 +18,12 @@
 //! selectivity under our comment generator.
 
 use crate::dates::{add_months, ymd};
+use midas_engines::data::Table;
+use midas_engines::error::EngineError;
 use midas_engines::expr::Expr;
-use midas_engines::ops::{AggExpr, JoinType, PhysicalPlan};
+use midas_engines::ops::{AggExpr, JoinType, PhysicalPlan, WorkProfile};
 use midas_engines::Value;
+use std::collections::HashMap;
 
 /// Which of the paper's queries a template instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,6 +70,37 @@ pub struct TwoTableQuery {
     pub right_prepare: PhysicalPlan,
     /// Join-site plan over `@frag0` (prepared left) and `@frag1` (right).
     pub combine: PhysicalPlan,
+}
+
+impl TwoTableQuery {
+    /// Runs the whole three-plan pipeline locally through `exec` (either
+    /// [`midas_engines::ops::execute`] or
+    /// [`midas_engines::ops::execute_scalar`]), wiring the prepared sides
+    /// into the catalog as `@frag0` / `@frag1`.
+    ///
+    /// `catalog` must hold the query's base tables; the fragment entries
+    /// are (re)inserted in place, so repeated calls — as in the
+    /// scalar-vs-vectorized benchmarks — don't re-clone the base data.
+    /// Returns the final table plus the three work profiles in execution
+    /// order (left prepare, right prepare, combine).
+    pub fn execute_local<E>(
+        &self,
+        catalog: &mut HashMap<String, Table>,
+        exec: E,
+    ) -> Result<(Table, [WorkProfile; 3]), EngineError>
+    where
+        E: Fn(
+            &PhysicalPlan,
+            &HashMap<String, Table>,
+        ) -> Result<(Table, WorkProfile), EngineError>,
+    {
+        let (left, left_profile) = exec(&self.left_prepare, catalog)?;
+        let (right, right_profile) = exec(&self.right_prepare, catalog)?;
+        catalog.insert("@frag0".to_string(), left);
+        catalog.insert("@frag1".to_string(), right);
+        let (out, combine_profile) = exec(&self.combine, catalog)?;
+        Ok((out, [left_profile, right_profile, combine_profile]))
+    }
 }
 
 fn scan(t: &str) -> Box<PhysicalPlan> {

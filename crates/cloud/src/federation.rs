@@ -94,6 +94,15 @@ impl Federation {
         self.link(from, to).transfer(bytes)
     }
 
+    /// Per-site concurrent-fragment capacities, in site order — the slot
+    /// metadata a federation runtime sizes its admission queues from
+    /// (derived via [`crate::provider::ResourcePool::admission_slots`]).
+    pub fn admission_capacities(&self) -> Vec<(SiteId, u32)> {
+        self.site_ids()
+            .map(|id| (id, self.site(id).pool.admission_slots()))
+            .collect()
+    }
+
     /// Egress fee for the transfer (charged by the sending site).
     pub fn transfer_cost(&self, from: SiteId, _to: SiteId, bytes: u64) -> crate::Money {
         self.site(from).pricing.egress_cost(bytes)
@@ -138,6 +147,13 @@ mod tests {
         assert_eq!(fed.site_by_name("cloud-B"), Some(b));
         assert_eq!(fed.site_by_name("cloud-Z"), None);
         assert_eq!(fed.site(a).pool.configuration_count(), 18_200);
+    }
+
+    #[test]
+    fn admission_capacities_follow_pool_sizes() {
+        let (fed, a, b) = example_federation();
+        // 70 vCPUs / 8 per slot = 8; 32 / 8 = 4.
+        assert_eq!(fed.admission_capacities(), vec![(a, 8), (b, 4)]);
     }
 
     #[test]

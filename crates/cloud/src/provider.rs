@@ -89,6 +89,9 @@ impl InstanceType {
     }
 }
 
+/// vCPUs of pool capacity backing one concurrent-fragment admission slot.
+pub const ADMISSION_SLOT_VCPUS: u32 = 8;
+
 /// The resource pool of one site: how much compute a tenant may allocate.
 ///
 /// Example 3.1: a pool of 70 vCPU and 260 GB of memory yields
@@ -118,6 +121,17 @@ impl ResourcePool {
     pub fn fits(&self, shape: &InstanceType, count: u32) -> bool {
         shape.vcpus * count <= self.vcpus
             && shape.memory_gib * count as f64 <= self.memory_gib as f64
+    }
+
+    /// How many query fragments this pool can execute concurrently.
+    ///
+    /// A fragment occupies a slice of the pool while it runs; slots are
+    /// provisioned at one per [`ADMISSION_SLOT_VCPUS`] allocatable vCPUs
+    /// (minimum one), so a 70-vCPU site admits 8 concurrent fragments and a
+    /// 32-vCPU site admits 4. The federation runtime's per-site admission
+    /// queues are sized from this number.
+    pub fn admission_slots(&self) -> u32 {
+        (self.vcpus / ADMISSION_SLOT_VCPUS).max(1)
     }
 
     /// Largest count of `shape` that fits.

@@ -90,7 +90,12 @@ pub struct FitReport {
 ///
 /// Implementations must be deterministic given the same history (stochastic
 /// learners seed from fixed state) so experiments are reproducible.
-pub trait CostEstimator {
+///
+/// The `Send + Sync` supertraits let a boxed estimator live inside the
+/// lock-guarded per-query-class Modelling modules that concurrent federation
+/// workers share; estimators are plain data (no interior mutability), so
+/// every implementor satisfies the bounds structurally.
+pub trait CostEstimator: Send + Sync {
     /// Short human-readable name ("DREAM", "BML-2N", …) used in reports.
     fn name(&self) -> String;
 

@@ -108,8 +108,8 @@ pub fn estimate_cost_value_incremental(
         }
         for (k, sums_k) in sums.iter_mut().enumerate() {
             let c = obs.costs[k];
-            for i in 0..p {
-                sums_k.v[i] += c * a[i];
+            for (vi, ai) in sums_k.v.iter_mut().zip(a.iter()) {
+                *vi += c * ai;
             }
             sums_k.s1 += c;
             sums_k.s2 += c * c;

@@ -36,12 +36,13 @@
 
 pub mod dream;
 pub mod estimator;
-pub mod incremental;
 pub mod history;
+pub mod incremental;
 pub mod mlr;
 
 pub use crate::dream::{
-    estimate_cost_value, DreamConfig, DreamEstimator, DreamOutcome, GrowthPolicy, QualityMetric,
+    estimate_cost_value, DreamConfig, DreamEstimator, DreamOutcome, FitPath, GrowthPolicy,
+    QualityMetric,
 };
 pub use estimator::{CostEstimator, EstimationError, FitReport};
 pub use incremental::estimate_cost_value_incremental;

@@ -12,10 +12,12 @@
 use crate::engine::{EngineKind, EngineProfile};
 use crate::error::EngineError;
 use crate::ops::{execute, OpKind, PhysicalPlan, WorkProfile};
-use crate::sim::SimulationEnv;
+use crate::sim::{SimulationEnv, SiteAdmission};
 use crate::data::Table;
 use midas_cloud::{Federation, Money, SiteId};
 use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// One unit of site-pinned work.
 #[derive(Debug, Clone)]
@@ -134,104 +136,299 @@ impl<'a> Executor<'a> {
         base_tables: &HashMap<String, Table>,
         work_scale: f64,
     ) -> Result<ExecutionOutcome, EngineError> {
-        let work_scale = if work_scale.is_finite() && work_scale > 0.0 {
-            work_scale
+        run_federated(
+            self.federation,
+            &mut EnvHandle::Exclusive(&mut self.env),
+            None,
+            0.0,
+            query,
+            base_tables,
+            work_scale,
+        )
+    }
+}
+
+/// How a run reaches the simulation environment: exclusively (the legacy
+/// single-threaded [`Executor`]) or through a shared lock (the concurrent
+/// [`SharedExecutor`]). Both take the env ops (`load`, `noise`, `tick`) on
+/// exactly the same code path, which is what makes a single-worker shared
+/// run bit-identical to a sequential one.
+enum EnvHandle<'e> {
+    /// Direct mutable access.
+    Exclusive(&'e mut SimulationEnv),
+    /// Lock-per-fragment access.
+    Shared(&'e Mutex<SimulationEnv>),
+}
+
+impl EnvHandle<'_> {
+    fn with<R>(&mut self, f: impl FnOnce(&mut SimulationEnv) -> R) -> R {
+        match self {
+            EnvHandle::Exclusive(env) => f(env),
+            EnvHandle::Shared(env) => f(&mut env.lock().expect("simulation env poisoned")),
+        }
+    }
+}
+
+/// An executor over a *shared* simulation environment, safe to call from
+/// many worker threads at once.
+///
+/// Three concurrency controls compose here:
+///
+/// 1. **Per-site admission** — before a fragment's relational work runs, a
+///    slot is acquired from the [`SiteAdmission`] gate of its site; workers
+///    queue when the site is saturated, exactly like queries queue on a real
+///    federation site with a bounded resource pool.
+/// 2. **Locked env sections** — the drift/noise/clock bookkeeping of each
+///    fragment happens under one short lock of the shared
+///    [`SimulationEnv`], so per-site RNG streams stay internally
+///    consistent no matter how executions interleave.
+/// 3. **Pacing** — optionally, each fragment *occupies its site slot* for a
+///    wall-clock duration proportional to its **nominal** occupancy (its
+///    work profile simulated at unit load with no noise; `pacing` wall
+///    seconds per nominal simulated second). This models what a runtime
+///    actually experiences while a remote site executes a fragment: the
+///    submitting worker waits, and *other* queries can run meanwhile.
+///    Pacing never feeds back into simulated outcomes, and because the
+///    nominal base is a pure function of plan and data, a workload's total
+///    paced wall-clock is identical at every worker count — which is what
+///    makes multi-worker throughput numbers comparable.
+pub struct SharedExecutor<'a> {
+    federation: &'a Federation,
+    env: &'a Mutex<SimulationEnv>,
+    admission: &'a SiteAdmission,
+    pacing: f64,
+}
+
+impl<'a> SharedExecutor<'a> {
+    /// Binds a shared executor to a federation, a lock-guarded environment
+    /// and an admission layer. No pacing by default.
+    pub fn new(
+        federation: &'a Federation,
+        env: &'a Mutex<SimulationEnv>,
+        admission: &'a SiteAdmission,
+    ) -> Self {
+        SharedExecutor {
+            federation,
+            env,
+            admission,
+            pacing: 0.0,
+        }
+    }
+
+    /// Sets the wall-clock dilation: `pacing` wall seconds slept per
+    /// *nominal* simulated second, while the fragment's site slot is held.
+    pub fn with_pacing(mut self, pacing: f64) -> Self {
+        self.pacing = if pacing.is_finite() && pacing > 0.0 {
+            pacing
         } else {
-            1.0
+            0.0
         };
-        let mut catalog: HashMap<String, Table> = base_tables.clone();
-        let mut outcomes: Vec<FragmentOutcome> = Vec::with_capacity(query.fragments.len());
-        // Remember where each fragment output lives and how big it is.
-        let mut frag_sites: Vec<SiteId> = Vec::new();
-        let mut frag_bytes: Vec<u64> = Vec::new();
-        let mut last_table = Table::empty("empty");
-        let mut total_elapsed = 0.0;
-        let mut total_money = Money::ZERO;
-        let mut total_intermediate = 0u64;
+        self
+    }
 
-        for (idx, fragment) in query.fragments.iter().enumerate() {
-            // Transfers: every upstream fragment output this fragment scans
-            // that lives on a different site must be shipped in.
-            let mut transfer_s = 0.0;
-            let mut transfer_money = Money::ZERO;
-            let mut ingress = 0u64;
-            for dep in referenced_fragments(&fragment.plan) {
-                if dep >= idx {
-                    return Err(EngineError::Unavailable(format!(
-                        "fragment {idx} references later fragment {dep}"
-                    )));
-                }
-                let from = frag_sites[dep];
-                if from != fragment.site {
-                    let bytes = (frag_bytes[dep] as f64 * work_scale) as u64;
-                    let est = self.federation.transfer(from, fragment.site, bytes);
-                    transfer_s += est.seconds;
-                    transfer_money += self.federation.transfer_cost(from, fragment.site, bytes);
-                    ingress += bytes;
-                }
+    /// Executes a federated query against base tables (logical scale 1).
+    pub fn run(
+        &self,
+        query: &FederatedQuery,
+        base_tables: &HashMap<String, Table>,
+    ) -> Result<ExecutionOutcome, EngineError> {
+        self.run_with_scale(query, base_tables, 1.0)
+    }
+
+    /// Like [`SharedExecutor::run`] with an explicit logical work scale
+    /// (see [`Executor::run_with_scale`]).
+    pub fn run_with_scale(
+        &self,
+        query: &FederatedQuery,
+        base_tables: &HashMap<String, Table>,
+        work_scale: f64,
+    ) -> Result<ExecutionOutcome, EngineError> {
+        run_federated(
+            self.federation,
+            &mut EnvHandle::Shared(self.env),
+            Some(self.admission),
+            self.pacing,
+            query,
+            base_tables,
+            work_scale,
+        )
+    }
+}
+
+/// The one federated-execution loop behind both executors.
+fn run_federated(
+    federation: &Federation,
+    env: &mut EnvHandle<'_>,
+    admission: Option<&SiteAdmission>,
+    pacing: f64,
+    query: &FederatedQuery,
+    base_tables: &HashMap<String, Table>,
+    work_scale: f64,
+) -> Result<ExecutionOutcome, EngineError> {
+    let work_scale = if work_scale.is_finite() && work_scale > 0.0 {
+        work_scale
+    } else {
+        1.0
+    };
+    // Seed the execution catalog with only the base tables the query's
+    // scans actually reference — cloning the whole data catalog per query
+    // would dominate a concurrent runtime's wall-clock.
+    let mut catalog: HashMap<String, Table> = HashMap::new();
+    for fragment in &query.fragments {
+        for name in referenced_base_tables(&fragment.plan) {
+            if let Some(table) = base_tables.get(&name) {
+                catalog.entry(name).or_insert_with(|| table.clone());
             }
+        }
+    }
+    let mut outcomes: Vec<FragmentOutcome> = Vec::with_capacity(query.fragments.len());
+    // Remember where each fragment output lives and how big it is.
+    let mut frag_sites: Vec<SiteId> = Vec::new();
+    let mut frag_bytes: Vec<u64> = Vec::new();
+    let mut last_table = Table::empty("empty");
+    let mut total_elapsed = 0.0;
+    let mut total_money = Money::ZERO;
+    let mut total_intermediate = 0u64;
 
-            // Real execution over the accumulated catalog.
-            let (table, work) = execute(&fragment.plan, &catalog)?;
-
-            // Simulated processing time.
-            let shape = self
-                .federation
-                .site(fragment.site)
-                .catalog
-                .by_name(&fragment.instance)
-                .ok_or_else(|| {
-                    EngineError::Unavailable(format!(
-                        "instance {} at site {}",
-                        fragment.instance,
-                        self.federation.site(fragment.site).name
-                    ))
-                })?
-                .clone();
-            let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);
-            let profile = EngineProfile::for_engine(fragment.engine);
-            let load = self.env.load(fragment.site);
-            let noise = self.env.noise(fragment.site);
-            let compute_s =
-                simulate_fragment_seconds_scaled(&work, &profile, workers, load, noise, work_scale);
-            let elapsed = compute_s + transfer_s;
-
-            // Billing: VMs for the fragment duration plus the egress already
-            // accounted.
-            let site = self.federation.site(fragment.site);
-            let vm_money = site
-                .pricing
-                .instance_cost(&shape, fragment.vm_count.max(1), elapsed);
-            let money = vm_money + transfer_money;
-
-            let bytes_out = table.estimated_bytes();
-            catalog.insert(format!("@frag{idx}"), table.clone());
-            frag_sites.push(fragment.site);
-            frag_bytes.push(bytes_out);
-            total_intermediate += work.total_intermediate_bytes();
-            total_elapsed += elapsed;
-            total_money += money;
-            last_table = table;
-
-            outcomes.push(FragmentOutcome {
-                elapsed_s: elapsed,
-                money,
-                ingress_bytes: ingress,
-                work,
-            });
-
-            // The world moves on while the fragment runs.
-            self.env.tick(elapsed);
+    for (idx, fragment) in query.fragments.iter().enumerate() {
+        // Transfers: every upstream fragment output this fragment scans
+        // that lives on a different site must be shipped in.
+        let mut transfer_s = 0.0;
+        let mut transfer_money = Money::ZERO;
+        let mut ingress = 0u64;
+        for dep in referenced_fragments(&fragment.plan) {
+            if dep >= idx {
+                return Err(EngineError::Unavailable(format!(
+                    "fragment {idx} references later fragment {dep}"
+                )));
+            }
+            let from = frag_sites[dep];
+            if from != fragment.site {
+                let bytes = (frag_bytes[dep] as f64 * work_scale) as u64;
+                let est = federation.transfer(from, fragment.site, bytes);
+                transfer_s += est.seconds;
+                transfer_money += federation.transfer_cost(from, fragment.site, bytes);
+                ingress += bytes;
+            }
         }
 
-        Ok(ExecutionOutcome {
-            result: last_table,
-            elapsed_s: total_elapsed,
-            money: total_money,
-            intermediate_bytes: total_intermediate,
-            fragments: outcomes,
-        })
+        // Queue for an execution slot at the fragment's site; the permit
+        // is held across the relational work AND the paced wait, because
+        // that is the span during which the site is actually busy.
+        let permit = admission.map(|a| a.acquire(fragment.site));
+
+        // Real execution over the accumulated catalog.
+        let (table, work) = execute(&fragment.plan, &catalog)?;
+
+        // Simulated processing time.
+        let shape = federation
+            .site(fragment.site)
+            .catalog
+            .by_name(&fragment.instance)
+            .ok_or_else(|| {
+                EngineError::Unavailable(format!(
+                    "instance {} at site {}",
+                    fragment.instance,
+                    federation.site(fragment.site).name
+                ))
+            })?
+            .clone();
+        let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);
+        let profile = EngineProfile::for_engine(fragment.engine);
+        // One env section per fragment: read load, draw noise, advance
+        // the world by the fragment's elapsed time. Keeping the three
+        // ops atomic preserves per-site RNG stream consistency under
+        // concurrent callers and keeps the op sequence identical to the
+        // legacy single-threaded executor.
+        let elapsed = env.with(|env| {
+            let load = env.load(fragment.site);
+            let noise = env.noise(fragment.site);
+            let compute_s = simulate_fragment_seconds_scaled(
+                &work, &profile, workers, load, noise, work_scale,
+            );
+            let elapsed = compute_s + transfer_s;
+            // The world moves on while the fragment runs.
+            env.tick(elapsed);
+            elapsed
+        });
+
+        // Billing: VMs for the fragment duration plus the egress already
+        // accounted.
+        let site = federation.site(fragment.site);
+        let vm_money = site
+            .pricing
+            .instance_cost(&shape, fragment.vm_count.max(1), elapsed);
+        let money = vm_money + transfer_money;
+
+        // Nominal occupancy (unit load, no noise) for pacing: a pure
+        // function of the plan and the data, so every run sleeps the same
+        // total regardless of how worker interleaving assigns the noisy
+        // env draws — throughput comparisons across worker counts measure
+        // overlap, not luck.
+        let nominal_s = if pacing > 0.0 {
+            transfer_s
+                + simulate_fragment_seconds_scaled(&work, &profile, workers, 1.0, 1.0, work_scale)
+        } else {
+            0.0
+        };
+
+        let bytes_out = table.estimated_bytes();
+        catalog.insert(format!("@frag{idx}"), table.clone());
+        frag_sites.push(fragment.site);
+        frag_bytes.push(bytes_out);
+        total_intermediate += work.total_intermediate_bytes();
+        total_elapsed += elapsed;
+        total_money += money;
+        last_table = table;
+
+        outcomes.push(FragmentOutcome {
+            elapsed_s: elapsed,
+            money,
+            ingress_bytes: ingress,
+            work,
+        });
+
+        // Dilate site occupancy into wall-clock while the slot is still
+        // held, so concurrent queries bound for this site queue behind it —
+        // then release.
+        if pacing > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(nominal_s * pacing));
+        }
+        drop(permit);
     }
+
+    Ok(ExecutionOutcome {
+        result: last_table,
+        elapsed_s: total_elapsed,
+        money: total_money,
+        intermediate_bytes: total_intermediate,
+        fragments: outcomes,
+    })
+}
+
+/// Base-table scan names (everything but `@frag<N>`) referenced by a plan.
+fn referenced_base_tables(plan: &PhysicalPlan) -> Vec<String> {
+    fn walk(plan: &PhysicalPlan, out: &mut Vec<String>) {
+        match plan {
+            PhysicalPlan::Scan { table } | PhysicalPlan::PrunedScan { table, .. } => {
+                if !table.starts_with("@frag") && !out.iter().any(|t| t == table) {
+                    out.push(table.clone());
+                }
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Aggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => walk(input, out),
+            PhysicalPlan::HashJoin { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut out);
+    out
 }
 
 /// Scan names of the form `@frag<N>` referenced by a plan.

@@ -37,8 +37,8 @@ pub mod sim;
 pub use data::{Column, ColumnData, DataType, Table, Value};
 pub use engine::{EngineKind, EngineProfile};
 pub use error::EngineError;
-pub use exec::{ExecutionOutcome, Executor, QepConfig};
+pub use exec::{ExecutionOutcome, Executor, QepConfig, SharedExecutor};
 pub use expr::Expr;
 pub use ops::{AggExpr, JoinType, PhysicalPlan, WorkProfile};
 pub use placement::Placement;
-pub use sim::{LoadModel, SimulationEnv};
+pub use sim::{split_seed, AdmissionStats, LoadModel, SimulationEnv, SiteAdmission};

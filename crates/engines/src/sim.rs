@@ -13,6 +13,23 @@ use midas_cloud::SiteId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Derives an independent RNG stream from a base seed (SplitMix64 mix).
+///
+/// Concurrent components — per-tenant workload generators, per-site load
+/// models, per-worker jitter — must not share one RNG sequence, or the
+/// values any one of them observes would depend on thread interleaving.
+/// Splitting the seed instead gives every `stream` its own deterministic
+/// sequence: a fixed `(seed, stream)` pair always produces the same draws
+/// no matter how many other streams run beside it.
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// How strongly a site's load evolves over time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,9 +172,208 @@ impl SimulationEnv {
     }
 }
 
+/// Aggregate contention statistics of one site's admission gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdmissionStats {
+    /// Fragments admitted so far.
+    pub admitted: u64,
+    /// Total wall-clock seconds fragments spent queued for a slot.
+    pub total_wait_s: f64,
+    /// Largest number of fragments ever waiting at once.
+    pub peak_queue: u32,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    in_use: u32,
+    waiting: u32,
+    /// Next ticket to hand out; tickets admit strictly in order.
+    next_ticket: u64,
+    /// Ticket currently allowed to take a slot.
+    serving: u64,
+    stats: AdmissionStats,
+}
+
+#[derive(Debug)]
+struct Gate {
+    capacity: u32,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+/// Per-site admission queues: the concurrency counterpart of the load model.
+///
+/// A cloud site hosts a bounded number of concurrently executing query
+/// fragments (its resource pool is finite); a concurrent federation runtime
+/// must therefore *queue* fragments bound for a busy site rather than
+/// pretending the site scales without limit. Each site gets a slot gate
+/// sized from its capacity metadata (`ResourcePool::admission_slots` in
+/// `midas-cloud`); acquiring blocks the calling worker until a slot frees,
+/// and the permit releases on drop. Sites without a registered gate are
+/// unmetered.
+///
+/// The gate bounds per-site concurrency; it does not serialize the
+/// simulation RNG. A site's noise draws are consumed in env-lock
+/// acquisition order, which with capacity > 1 (and with ticks from other
+/// sites' fragments interleaving) still depends on thread scheduling — so
+/// multi-worker simulated costs are scheduling-dependent, exactly like load
+/// assignment on a real federation. Only the single-worker configuration is
+/// fully deterministic (and bit-identical to the sequential executor).
+#[derive(Debug, Default)]
+pub struct SiteAdmission {
+    gates: HashMap<SiteId, Gate>,
+}
+
+impl SiteAdmission {
+    /// Builds gates from `(site, slot-count)` pairs; a zero slot count is
+    /// promoted to one (a site that exists can always run *something*).
+    pub fn new(capacities: impl IntoIterator<Item = (SiteId, u32)>) -> Self {
+        SiteAdmission {
+            gates: capacities
+                .into_iter()
+                .map(|(site, slots)| {
+                    (
+                        site,
+                        Gate {
+                            capacity: slots.max(1),
+                            state: Mutex::new(GateState::default()),
+                            freed: Condvar::new(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// An admission layer that never queues (every site unmetered).
+    pub fn unmetered() -> Self {
+        SiteAdmission::default()
+    }
+
+    /// Blocks until the site has a free execution slot; the returned permit
+    /// holds the slot until dropped. Unmetered sites admit immediately.
+    ///
+    /// Admission is FIFO: each caller takes a ticket, and a slot goes to
+    /// the lowest outstanding ticket — a late arrival can never barge past
+    /// a queued waiter, so per-fragment wait times reflect arrival order,
+    /// not OS scheduling luck.
+    pub fn acquire(&self, site: SiteId) -> AdmissionPermit<'_> {
+        let Some(gate) = self.gates.get(&site) else {
+            return AdmissionPermit { gate: None };
+        };
+        let queued_at = Instant::now();
+        let mut state = gate.state.lock().expect("admission gate poisoned");
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        if state.in_use >= gate.capacity || state.serving != ticket {
+            state.waiting += 1;
+            state.stats.peak_queue = state.stats.peak_queue.max(state.waiting);
+            while state.in_use >= gate.capacity || state.serving != ticket {
+                state = gate.freed.wait(state).expect("admission gate poisoned");
+            }
+            state.waiting -= 1;
+        }
+        state.serving += 1;
+        state.in_use += 1;
+        state.stats.admitted += 1;
+        state.stats.total_wait_s += queued_at.elapsed().as_secs_f64();
+        drop(state);
+        // The next ticket holder may be any of the waiters; wake them all so
+        // it re-checks (notify_one could wake the wrong one and stall).
+        gate.freed.notify_all();
+        AdmissionPermit { gate: Some(gate) }
+    }
+
+    /// Slot capacity of a site (`None` when unmetered).
+    pub fn capacity(&self, site: SiteId) -> Option<u32> {
+        self.gates.get(&site).map(|g| g.capacity)
+    }
+
+    /// Contention statistics per metered site.
+    pub fn stats(&self) -> Vec<(SiteId, AdmissionStats)> {
+        let mut out: Vec<(SiteId, AdmissionStats)> = self
+            .gates
+            .iter()
+            .map(|(site, gate)| {
+                (
+                    *site,
+                    gate.state.lock().expect("admission gate poisoned").stats,
+                )
+            })
+            .collect();
+        out.sort_by_key(|(site, _)| *site);
+        out
+    }
+}
+
+/// A held execution slot; dropping it wakes one queued waiter.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    gate: Option<&'a Gate>,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.gate {
+            let mut state = gate.state.lock().expect("admission gate poisoned");
+            state.in_use -= 1;
+            drop(state);
+            gate.freed.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_seed_streams_are_distinct_and_stable() {
+        let a = split_seed(42, 0);
+        let b = split_seed(42, 1);
+        let c = split_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, split_seed(42, 0), "streams are pure functions");
+        // Streams feed independent generators.
+        let mut ra = StdRng::seed_from_u64(a);
+        let mut rb = StdRng::seed_from_u64(b);
+        assert_ne!(ra.gen_range(0..u64::MAX), rb.gen_range(0..u64::MAX));
+    }
+
+    #[test]
+    fn admission_serializes_beyond_capacity() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let admission = SiteAdmission::new([(SiteId(0), 2)]);
+        let running = AtomicU32::new(0);
+        let peak = AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                scope.spawn(|| {
+                    let _permit = admission.acquire(SiteId(0));
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "capacity violated");
+        let stats = admission.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.admitted, 6);
+    }
+
+    #[test]
+    fn unmetered_sites_admit_immediately() {
+        let admission = SiteAdmission::unmetered();
+        let _a = admission.acquire(SiteId(7));
+        let _b = admission.acquire(SiteId(7));
+        assert_eq!(admission.capacity(SiteId(7)), None);
+        assert!(admission.stats().is_empty());
+        let metered = SiteAdmission::new([(SiteId(1), 0)]);
+        assert_eq!(metered.capacity(SiteId(1)), Some(1), "zero promotes to 1");
+    }
 
     #[test]
     fn stationary_model_never_moves() {

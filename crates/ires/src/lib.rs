@@ -29,6 +29,6 @@ pub mod scheduler;
 
 pub use costmodel::PlanCostModel;
 pub use enumerate::{assemble, CandidateConfig, EnumerationSpace};
-pub use modelling::Modelling;
+pub use modelling::{EstimatorFactory, Modelling, ModellingRegistry};
 pub use optimizer::{moqp_ga, moqp_wsm, MoqpOutcome};
-pub use scheduler::{ExecutedQuery, Scheduler, SchedulerConfig};
+pub use scheduler::{ExecutedQuery, Scheduler, SchedulerConfig, SchedulerError};

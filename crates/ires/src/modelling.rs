@@ -5,23 +5,25 @@
 //! describes: the training set is handed to the algorithm, which derives its
 //! own (smaller) "new training set" before fitting.
 
-use midas_dream::{CostEstimator, EstimationError, FitReport, History};
+use midas_dream::{CostEstimator, DreamEstimator, EstimationError, FitReport, History};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A history-backed, estimator-agnostic cost model for one query class.
+///
+/// `CostEstimator` is `Send + Sync`, so a `Modelling` can sit behind an
+/// `Arc<Mutex<…>>` and be fed by many runtime workers; see
+/// [`ModellingRegistry`].
 pub struct Modelling {
     history: History,
-    estimator: Box<dyn CostEstimator + Send>,
+    estimator: Box<dyn CostEstimator>,
     last_fit: Option<FitReport>,
 }
 
 impl Modelling {
     /// A Modelling module over `n_features` regressors and `n_metrics` cost
     /// metrics, using the supplied estimator.
-    pub fn new(
-        n_features: usize,
-        n_metrics: usize,
-        estimator: Box<dyn CostEstimator + Send>,
-    ) -> Self {
+    pub fn new(n_features: usize, n_metrics: usize, estimator: Box<dyn CostEstimator>) -> Self {
         Modelling {
             history: History::new(n_features, n_metrics),
             estimator,
@@ -60,6 +62,127 @@ impl Modelling {
     /// The report of the most recent fit, if any.
     pub fn last_fit(&self) -> Option<&FitReport> {
         self.last_fit.as_ref()
+    }
+}
+
+/// Builds the estimator a [`ModellingRegistry`] installs for a new class;
+/// called with the class's feature count.
+pub type EstimatorFactory = Box<dyn Fn(usize) -> Box<dyn CostEstimator> + Send + Sync>;
+
+/// The concurrent Modelling store: one lock-guarded [`Modelling`] per query
+/// class, shared by every worker of a federation runtime.
+///
+/// Workers executing queries of *different* classes learn fully in parallel
+/// (each class has its own mutex); workers of the *same* class serialize
+/// only for the record + refit critical section. Classes are created on
+/// first observation; the per-class estimator comes from the registry's
+/// factory (DREAM with the paper defaults unless overridden), whose default
+/// online path is the incremental `O(L³)` Algorithm 1 — a concurrent
+/// learner never refits its window sums from scratch.
+pub struct ModellingRegistry {
+    n_metrics: usize,
+    factory: EstimatorFactory,
+    classes: Mutex<HashMap<String, Arc<Mutex<Modelling>>>>,
+}
+
+impl ModellingRegistry {
+    /// A registry producing per-class estimators from `factory`.
+    pub fn new(n_metrics: usize, factory: EstimatorFactory) -> Self {
+        ModellingRegistry {
+            n_metrics,
+            factory,
+            classes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A registry of paper-default DREAM estimators over `n_metrics` cost
+    /// metrics.
+    pub fn dream_defaults(n_metrics: usize) -> Self {
+        Self::new(
+            n_metrics,
+            Box::new(move |_n_features| Box::new(DreamEstimator::paper_defaults(n_metrics))),
+        )
+    }
+
+    /// The shared Modelling module of `class`, created on first use with
+    /// `n_features` regressors.
+    pub fn class(&self, class: &str, n_features: usize) -> Arc<Mutex<Modelling>> {
+        let mut classes = self.classes.lock().expect("modelling registry poisoned");
+        classes
+            .entry(class.to_string())
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(Modelling::new(
+                    n_features,
+                    self.n_metrics,
+                    (self.factory)(n_features),
+                )))
+            })
+            .clone()
+    }
+
+    /// The shared Modelling module of `class` if it already exists.
+    pub fn get(&self, class: &str) -> Option<Arc<Mutex<Modelling>>> {
+        self.classes
+            .lock()
+            .expect("modelling registry poisoned")
+            .get(class)
+            .cloned()
+    }
+
+    /// Records one executed plan into its class and refits online.
+    ///
+    /// Returns the fit report, or `None` while the class's history is still
+    /// too shallow to fit (the estimator keeps collecting). Any *other*
+    /// refit failure — singular designs, NaN costs — is a real estimation
+    /// problem and propagates.
+    pub fn observe(
+        &self,
+        class: &str,
+        features: &[f64],
+        costs: &[f64],
+    ) -> Result<Option<FitReport>, EstimationError> {
+        let modelling = self.class(class, features.len());
+        let mut modelling = modelling.lock().expect("modelling module poisoned");
+        modelling.record(features, costs)?;
+        match modelling.refit() {
+            Ok(report) => Ok(Some(report)),
+            Err(EstimationError::NotEnoughData { .. }) => Ok(None), // keep collecting
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Class labels seen so far, sorted.
+    pub fn class_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .classes
+            .lock()
+            .expect("modelling registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Recorded observations per class, sorted by class label.
+    pub fn history_lens(&self) -> Vec<(String, usize)> {
+        let classes = self.classes.lock().expect("modelling registry poisoned");
+        let mut out: Vec<(String, usize)> = classes
+            .iter()
+            .map(|(name, m)| {
+                (
+                    name.clone(),
+                    m.lock().expect("modelling module poisoned").history().len(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Total observations across every class.
+    pub fn total_observations(&self) -> usize {
+        self.history_lens().iter().map(|(_, n)| n).sum()
     }
 }
 
@@ -102,6 +225,46 @@ mod tests {
         assert_eq!(m.estimator_name(), "BML-2N");
         let est = m.estimate(&[29.0, 2.0]).unwrap();
         assert!((est[0] - 70.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn registry_learns_per_class_concurrently() {
+        let registry = ModellingRegistry::dream_defaults(2);
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let registry = &registry;
+                scope.spawn(move || {
+                    for i in 0..10u64 {
+                        let class = if (worker + i) % 2 == 0 { "Q12" } else { "Q13" };
+                        let x = [(worker * 10 + i) as f64, (i % 3) as f64];
+                        registry
+                            .observe(class, &x, &[10.0 + 2.0 * x[0] + x[1], 1.0 + 0.1 * x[0]])
+                            .expect("observation recorded");
+                    }
+                });
+            }
+        });
+        // 4 workers x 10 observations, none lost.
+        assert_eq!(registry.total_observations(), 40);
+        assert_eq!(registry.class_names(), vec!["Q12", "Q13"]);
+        let lens = registry.history_lens();
+        assert_eq!(lens.iter().map(|(_, n)| n).sum::<usize>(), 40);
+        // Both classes are deep enough to fit (m >= L + 2 = 4).
+        for class in ["Q12", "Q13"] {
+            let m = registry.get(class).expect("class exists");
+            let m = m.lock().unwrap();
+            assert!(m.last_fit().is_some(), "{class} fitted online");
+            assert_eq!(m.estimator_name(), "DREAM");
+        }
+        assert!(registry.get("Q99").is_none());
+    }
+
+    #[test]
+    fn registry_surfaces_arity_errors() {
+        let registry = ModellingRegistry::dream_defaults(1);
+        registry.observe("Q12", &[1.0, 2.0], &[3.0]).unwrap();
+        // Same class, different feature arity: the history rejects it.
+        assert!(registry.observe("Q12", &[1.0], &[3.0]).is_err());
     }
 
     #[test]

@@ -56,6 +56,15 @@ pub enum SchedulerError {
     Engine(EngineError),
     /// Estimation failed.
     Estimation(EstimationError),
+    /// A query referenced a base table the data catalog does not hold.
+    ///
+    /// Historically this was swallowed by treating the missing table as
+    /// empty (`map_or(0, …)` on the lookup), which silently fed zero-row
+    /// features to the learners; now it is a first-class error.
+    MissingTable {
+        /// The table the query asked for.
+        table: String,
+    },
 }
 
 impl std::fmt::Display for SchedulerError {
@@ -63,6 +72,9 @@ impl std::fmt::Display for SchedulerError {
         match self {
             SchedulerError::Engine(e) => write!(f, "engine: {e}"),
             SchedulerError::Estimation(e) => write!(f, "estimation: {e}"),
+            SchedulerError::MissingTable { table } => {
+                write!(f, "table {table:?} is not in the data catalog")
+            }
         }
     }
 }
@@ -134,23 +146,12 @@ impl<'a> Scheduler<'a> {
         tables: &HashMap<String, Table>,
     ) -> Result<ExecutedQuery, SchedulerError> {
         let federated = assemble(self.federation, &self.placement, query, config)?;
-        let left_rows = tables
-            .get(&query.left_table)
-            .map_or(0, |t| t.n_rows()) as f64;
-        let right_rows = tables
-            .get(&query.right_table)
-            .map_or(0, |t| t.n_rows()) as f64;
+        let left_rows = base_rows(tables, &query.left_table)?;
+        let right_rows = base_rows(tables, &query.right_table)?;
         let outcome = self
             .executor
             .run_with_scale(&federated, tables, self.work_scale)?;
-        // All sizes are *logical* (physical × work_scale) so estimations
-        // transfer across physically-capped datasets.
-        let features = vec![
-            left_rows * self.work_scale,
-            right_rows * self.work_scale,
-            outcome.fragments[0].work.output_rows() as f64 * self.work_scale,
-            outcome.fragments[1].work.output_rows() as f64 * self.work_scale,
-        ];
+        let features = features_from(left_rows, right_rows, &outcome, self.work_scale);
         let costs = outcome.cost_vector();
         Ok(ExecutedQuery {
             label: query.label.clone(),
@@ -167,6 +168,40 @@ impl<'a> Scheduler<'a> {
             self.executor.env_mut().tick(dt_s);
         }
     }
+}
+
+/// The "size of data" feature vector of the paper's Section 3, shared by the
+/// sequential [`Scheduler`] and the concurrent federation runtime so the two
+/// paths can never drift apart: raw base-table row counts plus the two
+/// prepared-side output row counts. All sizes are *logical*
+/// (physical × `work_scale`) so estimations transfer across
+/// physically-capped datasets.
+pub fn features_from(
+    left_rows: f64,
+    right_rows: f64,
+    outcome: &ExecutionOutcome,
+    work_scale: f64,
+) -> Vec<f64> {
+    vec![
+        left_rows * work_scale,
+        right_rows * work_scale,
+        outcome.fragments[0].work.output_rows() as f64 * work_scale,
+        outcome.fragments[1].work.output_rows() as f64 * work_scale,
+    ]
+}
+
+/// Looks up a base table's row count, surfacing a missing table as a
+/// [`SchedulerError::MissingTable`] instead of silently treating it as empty.
+pub fn base_rows(
+    tables: &HashMap<String, Table>,
+    name: &str,
+) -> Result<f64, SchedulerError> {
+    tables
+        .get(name)
+        .map(|t| t.n_rows() as f64)
+        .ok_or_else(|| SchedulerError::MissingTable {
+            table: name.to_string(),
+        })
 }
 
 #[cfg(test)]
@@ -257,6 +292,20 @@ mod tests {
         // (drift + noise at work).
         let first = times[0];
         assert!(times.iter().any(|t| (t - first).abs() > 1e-6), "{times:?}");
+    }
+
+    #[test]
+    fn missing_base_table_is_a_first_class_error() {
+        let (fed, _, _) = example_federation();
+        let (mut sched, db) = setup(&fed);
+        let q = q12("MAIL", "SHIP", 1994);
+        let mut tables = db.tables().clone();
+        tables.remove("lineitem");
+        let err = sched.execute_with_config(&q, &config(), &tables);
+        match err {
+            Err(SchedulerError::MissingTable { table }) => assert_eq!(table, "lineitem"),
+            other => panic!("expected MissingTable, got {other:?}"),
+        }
     }
 
     #[test]

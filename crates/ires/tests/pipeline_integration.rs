@@ -5,7 +5,7 @@ use midas_cloud::Federation;
 use midas_engines::{EngineKind, Placement};
 use midas_ires::{assemble, CandidateConfig, EnumerationSpace, PlanCostModel};
 use midas_tpch::gen::{GenConfig, TpchDb};
-use midas_tpch::queries::{q12, q13, q14, q17, TwoTableQuery};
+use midas_tpch::queries::{q12, q13, q14, q17};
 
 fn setup() -> (Federation, Placement, TpchDb) {
     let (fed, a, b) = example_federation();

@@ -63,7 +63,7 @@ impl EstimatorKind {
     }
 
     /// Instantiates the estimator for `n_metrics` cost metrics.
-    pub fn build(&self, n_metrics: usize, m_max: usize, r2: f64) -> Box<dyn CostEstimator + Send> {
+    pub fn build(&self, n_metrics: usize, m_max: usize, r2: f64) -> Box<dyn CostEstimator> {
         use midas_mlearn::{BmlEstimator, WindowSpec};
         match self {
             EstimatorKind::BmlN => {
@@ -120,6 +120,7 @@ impl MreConfig {
                 scale_factor: 0.1,
                 seed,
                 max_lineitem_rows: Some(200_000),
+                encoding: Default::default(),
             },
             drift: DriftIntensity::Strong,
             warmup_runs: 40,
@@ -137,6 +138,7 @@ impl MreConfig {
                 scale_factor: 1.0,
                 seed,
                 max_lineitem_rows: Some(400_000),
+                encoding: Default::default(),
             },
             ..Self::table3(seed)
         }
@@ -280,7 +282,7 @@ fn evaluate(
     // reuse the previous model, or fall back to persistence (the last
     // observed cost). Every estimator is scored on every test point — no
     // silent skipping of the hard cases.
-    let mut last_fitted: Option<Box<dyn CostEstimator + Send>> = None;
+    let mut last_fitted: Option<Box<dyn CostEstimator>> = None;
 
     for i in cfg.warmup_runs..(cfg.warmup_runs + cfg.test_runs) {
         let mut history = History::new(n_features, n_metrics);

@@ -26,6 +26,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod runtime;
 pub mod system;
 
+pub use runtime::{
+    FederationRuntime, RuntimeConfig, RuntimeJob, RuntimeReport, TenantReport, TenantStats,
+};
 pub use system::{Midas, MidasReport, MidasSession, QueryPolicy};

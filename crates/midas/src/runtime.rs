@@ -1,0 +1,352 @@
+//! The concurrent multi-tenant federation runtime.
+//!
+//! The paper's MIDAS pipeline serves *many hospitals submitting queries
+//! concurrently* to a cloud federation, while [`crate::system::MidasSession`]
+//! processes one query at a time on one thread. [`FederationRuntime`] turns
+//! the same admit → plan → execute → learn loop into a worker-pool service:
+//!
+//! * **Admit** — a stream of `(tenant, query, policy)` jobs feeds a shared
+//!   queue; `workers` OS threads drain it.
+//! * **Plan** — QEP enumeration, analytic costing and multi-objective
+//!   selection are pure CPU work and run fully in parallel across workers.
+//! * **Execute** — relational execution is serialized *per simulated site*
+//!   through the federation's admission queues
+//!   ([`midas_engines::sim::SiteAdmission`], sized from each site's
+//!   [`midas_cloud::ResourcePool::admission_slots`]): a site with `k` slots
+//!   runs at most `k` fragments at once, and further fragments queue exactly
+//!   as they would on a real, capacity-bounded cloud site. The drifting
+//!   [`SimulationEnv`] is shared behind one lock with per-fragment critical
+//!   sections.
+//! * **Learn** — observations feed the shared, lock-guarded per-query-class
+//!   [`ModellingRegistry`]; its DREAM estimators default to the incremental
+//!   `O(L³)` Algorithm 1 path, so concurrent learners never refit a window
+//!   from scratch.
+//!
+//! **Determinism.** With `workers == 1` the runtime performs exactly the
+//! operation sequence of the legacy sequential
+//! [`Scheduler`](midas_ires::Scheduler)-backed session — same plans, same
+//! simulated costs bit-for-bit, same learned history (the
+//! `runtime_concurrency` integration test pins this). With more workers the
+//! per-site RNG streams stay internally consistent (each site's draws are
+//! handed out in admission order under the env lock), but global
+//! interleaving — and therefore which query absorbs which noise draw — is
+//! scheduling-dependent, as it is on a real federation.
+
+use crate::system::{MidasReport, QueryPolicy};
+use midas_cloud::Federation;
+use midas_engines::exec::SharedExecutor;
+use midas_engines::sim::{AdmissionStats, DriftIntensity, SimulationEnv, SiteAdmission};
+use midas_engines::{Placement, Table};
+use midas_ires::optimizer::moqp_exhaustive;
+use midas_ires::scheduler::{base_rows, features_from, SchedulerError};
+use midas_ires::{assemble, EnumerationSpace, ModellingRegistry, PlanCostModel};
+use midas_moo::WeightedSumModel;
+use midas_tpch::TwoTableQuery;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Construction parameters of a [`FederationRuntime`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Simulation seed (shared with the legacy scheduler's derivation so a
+    /// single-worker runtime reproduces it exactly).
+    pub seed: u64,
+    /// Environment drift intensity.
+    pub drift: DriftIntensity,
+    /// Logical rows per physical row (see `Executor::run_with_scale`).
+    pub work_scale: f64,
+    /// VM-count cap during enumeration.
+    pub max_vms: u32,
+    /// Wall-clock seconds slept per *nominal* simulated second (the
+    /// fragment's work profile at unit load, noise-free) while a fragment
+    /// holds its site slot (`0.0` = no dilation). Pacing models the wait
+    /// for a remote site without feeding back into simulated outcomes; it
+    /// is what lets a multi-worker runtime overlap in-flight queries even
+    /// on one core, and its deterministic base keeps throughput numbers
+    /// comparable across worker counts.
+    pub pacing: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            seed: 42,
+            drift: DriftIntensity::Strong,
+            work_scale: 1.0,
+            max_vms: 8,
+            pacing: 0.0,
+        }
+    }
+}
+
+/// One admitted unit of work: a tenant's query under a policy.
+#[derive(Debug, Clone)]
+pub struct RuntimeJob {
+    /// Submitting tenant ("hospital-A", …).
+    pub tenant: String,
+    /// The bound query.
+    pub query: TwoTableQuery,
+    /// The tenant's objective weights and budgets.
+    pub policy: QueryPolicy,
+}
+
+impl RuntimeJob {
+    /// Convenience constructor.
+    pub fn new(tenant: &str, query: TwoTableQuery, policy: QueryPolicy) -> Self {
+        RuntimeJob {
+            tenant: tenant.to_string(),
+            query,
+            policy,
+        }
+    }
+}
+
+/// One completed job, annotated with service metadata.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Admission order of the job (0-based).
+    pub sequence: usize,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Which worker served it.
+    pub worker: usize,
+    /// Wall-clock seconds from dequeue to completion.
+    pub wall_latency_s: f64,
+    /// The full pipeline report.
+    pub report: MidasReport,
+}
+
+/// Per-tenant service aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantStats {
+    /// Completed queries.
+    pub queries: usize,
+    /// Mean wall-clock latency per query.
+    pub mean_latency_s: f64,
+    /// Total simulated execution seconds billed to the tenant.
+    pub sim_time_s: f64,
+    /// Total simulated dollars billed to the tenant.
+    pub money: f64,
+}
+
+/// What one [`FederationRuntime::run`] call returns.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Per-job reports, in admission (submission) order.
+    pub completed: Vec<TenantReport>,
+    /// Failed jobs as `(sequence, tenant, error)`, in admission order.
+    pub failed: Vec<(usize, String, String)>,
+    /// Wall-clock seconds the whole batch took.
+    pub wall_s: f64,
+    /// Completed queries per wall-clock second.
+    pub throughput_qps: f64,
+    /// Simulated seconds on the shared federation clock after the batch.
+    pub sim_clock_s: f64,
+    /// Per-site admission contention, keyed by site name.
+    pub admission: Vec<(String, AdmissionStats)>,
+    /// Per-tenant aggregates, sorted by tenant name.
+    pub tenants: Vec<(String, TenantStats)>,
+}
+
+/// The concurrent federation query service (see the module docs).
+pub struct FederationRuntime<'a> {
+    federation: &'a Federation,
+    placement: &'a Placement,
+    tables: &'a HashMap<String, Table>,
+    config: RuntimeConfig,
+    env: Mutex<SimulationEnv>,
+    admission: SiteAdmission,
+    registry: ModellingRegistry,
+}
+
+impl<'a> FederationRuntime<'a> {
+    /// Builds a runtime over a federation, a placement and a data catalog.
+    ///
+    /// Sites are registered in the shared simulation environment with the
+    /// same seed derivation the legacy [`midas_ires::Scheduler`] uses, and
+    /// admission gates are sized from the federation's capacity metadata.
+    pub fn new(
+        federation: &'a Federation,
+        placement: &'a Placement,
+        tables: &'a HashMap<String, Table>,
+        config: RuntimeConfig,
+    ) -> Self {
+        let mut env = SimulationEnv::new();
+        for site in federation.site_ids() {
+            env.register_site(site, config.seed, config.drift);
+        }
+        let admission = SiteAdmission::new(federation.admission_capacities());
+        FederationRuntime {
+            federation,
+            placement,
+            tables,
+            config,
+            env: Mutex::new(env),
+            admission,
+            registry: ModellingRegistry::dream_defaults(2),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The shared per-query-class learning state.
+    pub fn registry(&self) -> &ModellingRegistry {
+        &self.registry
+    }
+
+    /// Simulated seconds on the shared federation clock.
+    pub fn clock_s(&self) -> f64 {
+        self.env.lock().expect("simulation env poisoned").clock_s
+    }
+
+    /// Per-site admission contention so far, keyed by site name.
+    pub fn admission_stats(&self) -> Vec<(String, AdmissionStats)> {
+        self.admission
+            .stats()
+            .into_iter()
+            .map(|(site, stats)| (self.federation.site(site).name.clone(), stats))
+            .collect()
+    }
+
+    /// Admits a batch of jobs and drains it with the configured worker
+    /// pool, blocking until every job completed or failed.
+    ///
+    /// Jobs are dequeued in submission order; with one worker they also
+    /// *complete* in submission order, which is the determinism-harness
+    /// configuration. Learning state persists across `run` calls, so a
+    /// caller can stream batch after batch into one runtime.
+    pub fn run(&self, jobs: Vec<RuntimeJob>) -> RuntimeReport {
+        let started = Instant::now();
+        let n_jobs = jobs.len();
+        let queue: Mutex<VecDeque<(usize, RuntimeJob)>> =
+            Mutex::new(jobs.into_iter().enumerate().collect());
+        let completed: Mutex<Vec<TenantReport>> = Mutex::new(Vec::with_capacity(n_jobs));
+        let failed: Mutex<Vec<(usize, String, String)>> = Mutex::new(Vec::new());
+
+        let workers = self.config.workers.max(1);
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let queue = &queue;
+                let completed = &completed;
+                let failed = &failed;
+                scope.spawn(move || loop {
+                    let job = queue.lock().expect("job queue poisoned").pop_front();
+                    let Some((sequence, job)) = job else {
+                        break;
+                    };
+                    let dequeued = Instant::now();
+                    match self.process(&job) {
+                        Ok(report) => {
+                            completed.lock().expect("report sink poisoned").push(
+                                TenantReport {
+                                    sequence,
+                                    tenant: job.tenant.clone(),
+                                    worker,
+                                    wall_latency_s: dequeued.elapsed().as_secs_f64(),
+                                    report,
+                                },
+                            );
+                        }
+                        Err(e) => failed
+                            .lock()
+                            .expect("error sink poisoned")
+                            .push((sequence, job.tenant.clone(), e.to_string())),
+                    }
+                });
+            }
+        });
+
+        let mut completed = completed.into_inner().expect("report sink poisoned");
+        completed.sort_by_key(|r| r.sequence);
+        let mut failed = failed.into_inner().expect("error sink poisoned");
+        failed.sort_by_key(|(sequence, _, _)| *sequence);
+
+        let wall_s = started.elapsed().as_secs_f64();
+        let mut tenants: HashMap<String, TenantStats> = HashMap::new();
+        for r in &completed {
+            let t = tenants.entry(r.tenant.clone()).or_default();
+            t.queries += 1;
+            t.mean_latency_s += r.wall_latency_s;
+            t.sim_time_s += r.report.actual_costs[0];
+            t.money += r.report.actual_costs[1];
+        }
+        let mut tenants: Vec<(String, TenantStats)> = tenants
+            .into_iter()
+            .map(|(name, mut stats)| {
+                stats.mean_latency_s /= stats.queries.max(1) as f64;
+                (name, stats)
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+
+        RuntimeReport {
+            throughput_qps: if wall_s > 0.0 {
+                completed.len() as f64 / wall_s
+            } else {
+                0.0
+            },
+            completed,
+            failed,
+            wall_s,
+            sim_clock_s: self.clock_s(),
+            admission: self.admission_stats(),
+            tenants,
+        }
+    }
+
+    /// One pass of the pipeline for one job — the concurrent counterpart of
+    /// `MidasSession::submit`, operation for operation.
+    fn process(&self, job: &RuntimeJob) -> Result<MidasReport, SchedulerError> {
+        let query = &job.query;
+        // Plan: enumerate the QEP space, cost it analytically, select under
+        // the tenant's policy. Pure CPU — runs fully in parallel.
+        let space = EnumerationSpace::for_query(
+            self.federation,
+            self.placement,
+            query,
+            self.config.max_vms,
+        )
+        .map_err(SchedulerError::Engine)?;
+        let model = PlanCostModel::build(self.placement, query, self.tables)
+            .map_err(SchedulerError::Engine)?;
+        let weights = WeightedSumModel::new(&job.policy.weights);
+        let outcome = moqp_exhaustive(
+            &space,
+            &model,
+            self.federation,
+            &weights,
+            &job.policy.constraints,
+        );
+
+        // Execute: per-site admission + shared drifting environment.
+        let left_rows = base_rows(self.tables, &query.left_table)?;
+        let right_rows = base_rows(self.tables, &query.right_table)?;
+        let federated = assemble(self.federation, self.placement, query, &outcome.chosen)?;
+        let executor = SharedExecutor::new(self.federation, &self.env, &self.admission)
+            .with_pacing(self.config.pacing);
+        let executed = executor.run_with_scale(&federated, self.tables, self.config.work_scale)?;
+        let features = features_from(left_rows, right_rows, &executed, self.config.work_scale);
+        let costs = executed.cost_vector();
+
+        // Learn: shared per-class modelling, incremental DREAM refit.
+        let fit = self.registry.observe(query.class(), &features, &costs)?;
+
+        Ok(MidasReport {
+            label: query.label.clone(),
+            space_size: space.len(),
+            pareto_size: outcome.pareto.len(),
+            predicted_costs: outcome.chosen_costs,
+            actual_costs: costs,
+            dream_window: fit.map(|report| report.window_used),
+            result_rows: executed.result.n_rows(),
+            chosen: outcome.chosen,
+        })
+    }
+}

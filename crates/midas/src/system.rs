@@ -7,7 +7,7 @@ use midas_engines::sim::DriftIntensity;
 use midas_engines::{EngineKind, Placement, Table};
 use midas_ires::optimizer::{moqp_exhaustive, MoqpOutcome};
 use midas_ires::scheduler::{Scheduler, SchedulerConfig, SchedulerError};
-use midas_ires::{EnumerationSpace, Modelling, PlanCostModel};
+use midas_ires::{CandidateConfig, EnumerationSpace, Modelling, PlanCostModel};
 use midas_moo::select::Constraints;
 use midas_moo::WeightedSumModel;
 use midas_tpch::TwoTableQuery;
@@ -73,6 +73,10 @@ pub struct MidasReport {
     pub dream_window: Option<usize>,
     /// The result table's row count.
     pub result_rows: usize,
+    /// The configuration Algorithm 2 selected (join site, engine, instance,
+    /// VM count) — the "plan" half of the decision, pinned by the
+    /// runtime-vs-scheduler determinism harness.
+    pub chosen: CandidateConfig,
 }
 
 /// The MIDAS deployment: federation, placement and data.
@@ -127,6 +131,28 @@ impl Midas {
     /// The table placement.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// Opens a concurrent multi-tenant runtime over this deployment with
+    /// `workers` threads (see [`crate::runtime::FederationRuntime`]). The
+    /// runtime inherits the deployment's seed and drift, so a one-worker
+    /// runtime replays exactly what [`Midas::session`] would do.
+    pub fn runtime<'a>(
+        &'a self,
+        tables: &'a std::collections::HashMap<String, Table>,
+        workers: usize,
+    ) -> crate::runtime::FederationRuntime<'a> {
+        crate::runtime::FederationRuntime::new(
+            &self.federation,
+            &self.placement,
+            tables,
+            crate::runtime::RuntimeConfig {
+                workers,
+                seed: self.seed,
+                drift: self.drift,
+                ..Default::default()
+            },
+        )
     }
 
     /// Opens a session: scheduler plus per-query-class online learners.
@@ -192,20 +218,17 @@ impl MidasSession<'_> {
             .execute_with_config(query, &outcome.chosen, tables)?;
 
         // Learn: per query class (Q12, Q13, …), keyed by the class prefix.
-        let class = query
-            .label
-            .split('(')
-            .next()
-            .unwrap_or(&query.label)
-            .to_string();
         let n_features = executed.features.len();
-        let modelling = self.modelling.entry(class).or_insert_with(|| {
+        let modelling = self.modelling.entry(query.class().to_string()).or_insert_with(|| {
             Modelling::new(n_features, 2, Box::new(DreamEstimator::paper_defaults(2)))
         });
         modelling.record(&executed.features, &executed.costs)?;
+        // Mirrors ModellingRegistry::observe: a shallow history keeps
+        // collecting, any other refit failure is a real estimation problem.
         let dream_window = match modelling.refit() {
             Ok(report) => Some(report.window_used),
-            Err(_) => None, // not enough history yet — keep collecting
+            Err(midas_dream::EstimationError::NotEnoughData { .. }) => None,
+            Err(e) => return Err(e.into()),
         };
 
         Ok(MidasReport {
@@ -216,6 +239,7 @@ impl MidasSession<'_> {
             actual_costs: executed.costs,
             dream_window,
             result_rows: executed.outcome.result.n_rows(),
+            chosen: outcome.chosen,
         })
     }
 

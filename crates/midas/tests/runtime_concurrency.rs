@@ -1,0 +1,179 @@
+//! Concurrency harness for the [`FederationRuntime`]:
+//!
+//! 1. **Determinism** — a fixed-seed single-worker runtime must reproduce
+//!    the legacy sequential `MidasSession` decision-for-decision: identical
+//!    chosen plans, identical predicted and observed cost vectors
+//!    (bit-for-bit `f64` equality, not tolerances), and an identical learned
+//!    per-class history.
+//! 2. **Stress** — N workers × M tenants must lose no observations and grow
+//!    every query class's shared history monotonically across batches.
+
+use midas::runtime::RuntimeJob;
+use midas::{Midas, QueryPolicy};
+use midas_tpch::gen::{GenConfig, TpchDb};
+use midas_tpch::queries::{q12, q13, q14, q17};
+
+/// A mixed Q12/Q13/Q14/Q17 workload across four "hospital" tenants, with
+/// per-tenant policies (some time-first, some money-first, one budgeted).
+fn mixed_jobs(rounds: usize) -> Vec<RuntimeJob> {
+    let modes = [
+        ("MAIL", "SHIP"),
+        ("AIR", "RAIL"),
+        ("TRUCK", "FOB"),
+        ("REG AIR", "SHIP"),
+    ];
+    let mut jobs = Vec::new();
+    for round in 0..rounds {
+        let (m1, m2) = modes[round % modes.len()];
+        let year = 1993 + (round % 5) as i32;
+        jobs.push(RuntimeJob::new(
+            "hospital-A",
+            q12(m1, m2, year),
+            QueryPolicy::balanced(),
+        ));
+        jobs.push(RuntimeJob::new(
+            "hospital-B",
+            q13("special", "requests"),
+            QueryPolicy::fastest(),
+        ));
+        jobs.push(RuntimeJob::new(
+            "hospital-C",
+            q14(1993 + (round % 5) as i32, 1 + (round % 12) as u32),
+            QueryPolicy::cheapest(),
+        ));
+        jobs.push(RuntimeJob::new(
+            "hospital-D",
+            q17("Brand#23", "MED BOX"),
+            QueryPolicy::balanced().with_money_budget(50.0),
+        ));
+    }
+    jobs
+}
+
+fn deployment() -> (Midas, TpchDb) {
+    let (midas, _, _) = Midas::example_deployment(&["lineitem", "customer"], &["orders", "part"]);
+    (midas, TpchDb::generate(GenConfig::new(0.002, 5)))
+}
+
+#[test]
+fn single_worker_runtime_reproduces_the_sequential_scheduler() {
+    let (midas, db) = deployment();
+    let jobs = mixed_jobs(2);
+
+    // Legacy path: one sequential session, submission order.
+    let mut session = midas.session();
+    let mut legacy = Vec::with_capacity(jobs.len());
+    for job in &jobs {
+        legacy.push(
+            session
+                .submit(&job.query, db.tables(), &job.policy)
+                .expect("sequential submit succeeds"),
+        );
+    }
+
+    // Concurrent path, one worker, same seed/drift.
+    let runtime = midas.runtime(db.tables(), 1);
+    let report = runtime.run(jobs.clone());
+    assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+    assert_eq!(report.completed.len(), legacy.len());
+
+    for (concurrent, sequential) in report.completed.iter().zip(legacy.iter()) {
+        let c = &concurrent.report;
+        assert_eq!(c.label, sequential.label);
+        assert_eq!(c.space_size, sequential.space_size);
+        assert_eq!(c.pareto_size, sequential.pareto_size);
+        assert_eq!(c.chosen, sequential.chosen, "{}: plan drifted", c.label);
+        // Bit-for-bit, not approximate: both paths must take the exact same
+        // arithmetic through costing, selection, simulation and learning.
+        assert_eq!(c.predicted_costs, sequential.predicted_costs, "{}", c.label);
+        assert_eq!(c.actual_costs, sequential.actual_costs, "{}", c.label);
+        assert_eq!(c.dream_window, sequential.dream_window, "{}", c.label);
+        assert_eq!(c.result_rows, sequential.result_rows, "{}", c.label);
+    }
+
+    // The simulated world ended in the same state...
+    assert_eq!(runtime.clock_s(), session.clock_s());
+
+    // ...and the learned histories are identical, observation for
+    // observation.
+    for class in runtime.registry().class_names() {
+        let shared = runtime.registry().get(&class).expect("class exists");
+        let shared = shared.lock().expect("modelling lock");
+        let sequential = session
+            .modelling(&class)
+            .unwrap_or_else(|| panic!("legacy session never saw {class}"));
+        assert_eq!(shared.history().len(), sequential.history().len());
+        for (a, b) in shared
+            .history()
+            .all()
+            .iter()
+            .zip(sequential.history().all().iter())
+        {
+            assert_eq!(a.features, b.features, "{class}: features drifted");
+            assert_eq!(a.costs, b.costs, "{class}: costs drifted");
+        }
+    }
+}
+
+#[test]
+fn stressed_multi_worker_runtime_loses_no_observations() {
+    let (midas, db) = deployment();
+    let runtime = midas.runtime(db.tables(), 4);
+
+    let first = mixed_jobs(3); // 12 jobs across 4 tenants
+    let n_first = first.len();
+    let report = runtime.run(first);
+    assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+    assert_eq!(report.completed.len(), n_first);
+    assert!(report.throughput_qps > 0.0);
+    assert!(report.sim_clock_s > 0.0);
+
+    // Completion order may interleave, but the report is in admission order.
+    let sequences: Vec<usize> = report.completed.iter().map(|r| r.sequence).collect();
+    assert_eq!(sequences, (0..n_first).collect::<Vec<_>>());
+
+    // No lost observations: every executed query landed in the shared
+    // learning state, under the right class.
+    assert_eq!(runtime.registry().total_observations(), n_first);
+    let lens: std::collections::HashMap<String, usize> =
+        runtime.registry().history_lens().into_iter().collect();
+    assert_eq!(lens["Q12"], 3);
+    assert_eq!(lens["Q13"], 3);
+    assert_eq!(lens["Q14"], 3);
+    assert_eq!(lens["Q17"], 3);
+
+    // All four tenants were served and billed.
+    assert_eq!(report.tenants.len(), 4);
+    for (tenant, stats) in &report.tenants {
+        assert_eq!(stats.queries, 3, "{tenant}");
+        assert!(stats.sim_time_s > 0.0 && stats.money > 0.0, "{tenant}");
+    }
+
+    // Every fragment passed through a metered admission gate (3 fragments
+    // per two-table query), and capacities were respected.
+    let admitted: u64 = report.admission.iter().map(|(_, s)| s.admitted).sum();
+    assert_eq!(admitted as usize, 3 * n_first);
+
+    // Second batch into the same runtime: per-class history grows
+    // monotonically — shared state persists and keeps accumulating.
+    let before = runtime.registry().history_lens();
+    let second = mixed_jobs(2);
+    let n_second = second.len();
+    let report = runtime.run(second);
+    assert!(report.failed.is_empty());
+    assert_eq!(report.completed.len(), n_second);
+    let after: std::collections::HashMap<String, usize> =
+        runtime.registry().history_lens().into_iter().collect();
+    for (class, len_before) in before {
+        assert!(
+            after[&class] > len_before,
+            "{class}: history shrank or stalled ({} -> {})",
+            len_before,
+            after[&class]
+        );
+    }
+    assert_eq!(
+        runtime.registry().total_observations(),
+        n_first + n_second
+    );
+}

@@ -8,7 +8,7 @@ use midas_dream::EstimationError;
 /// model family mapping a feature vector to a scalar cost qualifies. Models
 /// are fitted per cost metric; [`crate::selection::BmlEstimator`] assembles
 /// them into the multi-metric [`midas_dream::CostEstimator`] interface.
-pub trait Regressor: Send {
+pub trait Regressor: Send + Sync {
     /// Family name for reports ("ols", "bagging", "mlp", "knn").
     fn family(&self) -> &'static str;
 

@@ -210,7 +210,7 @@ mod tests {
         let g = unit_grid();
         let a = |x: &[f64]| vec![x[0], 10.0 - x[0]];
         let b = |x: &[f64]| vec![10.0 - x[0], x[0]];
-        let c = |x: &[f64]| vec![5.0, 5.0];
+        let c = |_x: &[f64]| vec![5.0, 5.0];
         let plans: Vec<&dyn ParametricPlan> = vec![&a, &b, &c];
         let mut covered = vec![false; g.len()];
         for (i, p) in plans.iter().enumerate() {

@@ -126,6 +126,6 @@ proptest! {
             prop_assert!(s.is_finite());
             prop_assert!(s >= 0.0);
         }
-        prop_assert_eq!(spacing(&costs[..1].to_vec()), None);
+        prop_assert_eq!(spacing(&costs[..1]), None);
     }
 }

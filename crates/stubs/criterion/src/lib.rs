@@ -107,18 +107,10 @@ impl BenchResult {
 }
 
 /// The benchmark driver (stub of `criterion::Criterion`).
+#[derive(Default)]
 pub struct Criterion {
     test_mode: bool,
     results: Vec<BenchResult>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion {
-            test_mode: false,
-            results: Vec::new(),
-        }
-    }
 }
 
 impl Criterion {

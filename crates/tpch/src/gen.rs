@@ -29,9 +29,11 @@ const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "
 const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 
-/// Container components (`p_container` = size kind).
-const CONTAINER_SIZE: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
-const CONTAINER_KIND: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+/// Container size components (`p_container` = size kind).
+pub const CONTAINER_SIZES: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+
+/// Container kind components (`p_container` = size kind).
+pub const CONTAINER_KINDS: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Lexicon for comment columns; "special" + "requests" drive Q13.
 const WORDS: [&str; 16] = [
@@ -39,6 +41,25 @@ const WORDS: [&str; 16] = [
     "theodolites", "instructions", "dependencies", "foxes", "ideas", "platelets", "asymptotes",
     "pinto",
 ];
+
+/// How the generator materializes low-cardinality string columns.
+///
+/// Dictionary encoding never changes the generated *logical* rows — codes
+/// are positional in the same spec value order the generator draws from,
+/// and the RNG stream is identical under both encodings — only the physical
+/// column type changes (`Utf8` strings vs `Int64` codes). The code ↔ value
+/// mappings live in [`crate::dict::TpchDictionaries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StringEncoding {
+    /// UTF-8 string columns (the original layout).
+    #[default]
+    Plain,
+    /// Integer dictionary codes for `l_shipmode`, `o_orderpriority`,
+    /// `p_brand` and `p_container`, so predicates and group-by on them
+    /// compare machine words instead of byte strings. High-cardinality
+    /// strings (comments, part types, names) stay UTF-8.
+    Dictionary,
+}
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +70,8 @@ pub struct GenConfig {
     pub seed: u64,
     /// Cap on physical lineitem rows; `None` generates the full count.
     pub max_lineitem_rows: Option<usize>,
+    /// Physical layout of the low-cardinality string columns.
+    pub encoding: StringEncoding,
 }
 
 impl GenConfig {
@@ -58,7 +81,15 @@ impl GenConfig {
             scale_factor,
             seed,
             max_lineitem_rows: None,
+            encoding: StringEncoding::default(),
         }
+    }
+
+    /// Switches the low-cardinality string columns to dictionary codes
+    /// (builder style).
+    pub fn dictionary_encoded(mut self) -> Self {
+        self.encoding = StringEncoding::Dictionary;
+        self
     }
 
     /// The paper's 100 MiB dataset (SF 0.1), uncapped.
@@ -73,6 +104,7 @@ impl GenConfig {
             scale_factor: 1.0,
             seed,
             max_lineitem_rows: Some(1_200_000),
+            encoding: StringEncoding::default(),
         }
     }
 }
@@ -109,10 +141,13 @@ impl TpchDb {
         tables.insert("region".to_string(), gen_region());
         tables.insert("nation".to_string(), gen_nation());
         tables.insert("customer".to_string(), gen_customer(n_customers, &mut rng));
-        tables.insert("part".to_string(), gen_part(n_parts, &mut rng));
+        tables.insert(
+            "part".to_string(),
+            gen_part(n_parts, &mut rng, config.encoding),
+        );
         tables.insert("supplier".to_string(), gen_supplier(n_suppliers, &mut rng));
-        let orders = gen_orders(n_orders, n_customers, &mut rng);
-        let lineitem = gen_lineitem(&orders, n_parts, n_suppliers, &mut rng);
+        let orders = gen_orders(n_orders, n_customers, &mut rng, config.encoding);
+        let lineitem = gen_lineitem(&orders, n_parts, n_suppliers, &mut rng, config.encoding);
         tables.insert(
             "partsupp".to_string(),
             gen_partsupp(n_parts, n_suppliers, &mut rng),
@@ -125,6 +160,16 @@ impl TpchDb {
             config,
             rescale,
         }
+    }
+
+    /// The physical layout of this database's low-cardinality string
+    /// columns. Queries must be built for the *same* encoding
+    /// ([`crate::queries::q12_with`]/[`crate::queries::q17_with`]): a plain
+    /// string predicate against a code column (or vice versa) compares
+    /// across types, which — like any type-mismatched predicate in the
+    /// engine — matches no row and silently returns an empty result.
+    pub fn encoding(&self) -> StringEncoding {
+        self.config.encoding
     }
 
     /// The table map, keyed by lowercase table name.
@@ -258,40 +303,63 @@ fn gen_customer(n: usize, rng: &mut StdRng) -> Table {
     .expect("generated columns are aligned")
 }
 
-fn gen_part(n: usize, rng: &mut StdRng) -> Table {
+fn gen_part(n: usize, rng: &mut StdRng, encoding: StringEncoding) -> Table {
     let mut keys = Vec::with_capacity(n);
-    let mut brands = Vec::with_capacity(n);
+    // Draw the low-cardinality component indices first; the same draws in
+    // the same order under either encoding, so one seed generates one
+    // logical database regardless of physical layout.
+    let mut brand_mn = Vec::with_capacity(n);
     let mut types = Vec::with_capacity(n);
-    let mut containers = Vec::with_capacity(n);
+    let mut container_sk = Vec::with_capacity(n);
     let mut prices = Vec::with_capacity(n);
     for i in 0..n {
         let key = i as i64 + 1;
         keys.push(key);
-        brands.push(format!(
-            "Brand#{}{}",
-            rng.gen_range(1..=5),
-            rng.gen_range(1..=5)
-        ));
+        brand_mn.push((rng.gen_range(1..=5i64), rng.gen_range(1..=5i64)));
         types.push(format!(
             "{} {} {}",
             TYPE_S1[rng.gen_range(0..TYPE_S1.len())],
             TYPE_S2[rng.gen_range(0..TYPE_S2.len())],
             TYPE_S3[rng.gen_range(0..TYPE_S3.len())]
         ));
-        containers.push(format!(
-            "{} {}",
-            CONTAINER_SIZE[rng.gen_range(0..CONTAINER_SIZE.len())],
-            CONTAINER_KIND[rng.gen_range(0..CONTAINER_KIND.len())]
+        container_sk.push((
+            rng.gen_range(0..CONTAINER_SIZES.len()),
+            rng.gen_range(0..CONTAINER_KINDS.len()),
         ));
         prices.push(900.0 + (key % 1000) as f64 * 0.1);
     }
+    let brand = match encoding {
+        StringEncoding::Plain => ColumnData::Utf8(
+            brand_mn
+                .iter()
+                .map(|(m, n)| format!("Brand#{m}{n}"))
+                .collect(),
+        ),
+        StringEncoding::Dictionary => {
+            ColumnData::Int64(brand_mn.iter().map(|(m, n)| (m - 1) * 5 + (n - 1)).collect())
+        }
+    };
+    let container = match encoding {
+        StringEncoding::Plain => ColumnData::Utf8(
+            container_sk
+                .iter()
+                .map(|(s, k)| format!("{} {}", CONTAINER_SIZES[*s], CONTAINER_KINDS[*k]))
+                .collect(),
+        ),
+        StringEncoding::Dictionary => ColumnData::Int64(
+            container_sk
+                .iter()
+                .map(|(s, k)| (s * CONTAINER_KINDS.len() + k) as i64)
+                .collect(),
+        ),
+    };
     Table::new(
         "part",
         vec![
             Column::new("p_partkey", ColumnData::Int64(keys)),
-            Column::new("p_brand", ColumnData::Utf8(brands)),
+            Column::new("p_brand", brand),
             Column::new("p_type", ColumnData::Utf8(types)),
-            Column::new("p_container", ColumnData::Utf8(containers)),
+            Column::new("p_container", container),
             Column::new("p_retailprice", ColumnData::Float64(prices)),
         ],
     )
@@ -342,35 +410,49 @@ fn gen_partsupp(n_parts: usize, n_suppliers: usize, rng: &mut StdRng) -> Table {
     .expect("generated columns are aligned")
 }
 
-fn gen_orders(n: usize, n_customers: usize, rng: &mut StdRng) -> Table {
+fn gen_orders(n: usize, n_customers: usize, rng: &mut StdRng, encoding: StringEncoding) -> Table {
     let start = dates::tpch_start();
     let end = dates::tpch_end() - 151; // spec: last order date leaves room for shipping
     let mut keys = Vec::with_capacity(n);
     let mut custs = Vec::with_capacity(n);
     let mut odates = Vec::with_capacity(n);
-    let mut prios = Vec::with_capacity(n);
+    let mut prio_idx = Vec::with_capacity(n);
     let mut comments = Vec::with_capacity(n);
     for i in 0..n {
         keys.push(i as i64 + 1);
         custs.push(rng.gen_range(0..n_customers as i64) + 1);
         odates.push(rng.gen_range(start..=end));
-        prios.push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string());
+        prio_idx.push(rng.gen_range(0..PRIORITIES.len()));
         comments.push(comment(rng));
     }
+    let priority = match encoding {
+        StringEncoding::Plain => {
+            ColumnData::Utf8(prio_idx.iter().map(|&i| PRIORITIES[i].to_string()).collect())
+        }
+        StringEncoding::Dictionary => {
+            ColumnData::Int64(prio_idx.iter().map(|&i| i as i64).collect())
+        }
+    };
     Table::new(
         "orders",
         vec![
             Column::new("o_orderkey", ColumnData::Int64(keys)),
             Column::new("o_custkey", ColumnData::Int64(custs)),
             Column::new("o_orderdate", ColumnData::Date(odates)),
-            Column::new("o_orderpriority", ColumnData::Utf8(prios)),
+            Column::new("o_orderpriority", priority),
             Column::new("o_comment", ColumnData::Utf8(comments)),
         ],
     )
     .expect("generated columns are aligned")
 }
 
-fn gen_lineitem(orders: &Table, n_parts: usize, n_suppliers: usize, rng: &mut StdRng) -> Table {
+fn gen_lineitem(
+    orders: &Table,
+    n_parts: usize,
+    n_suppliers: usize,
+    rng: &mut StdRng,
+    encoding: StringEncoding,
+) -> Table {
     let okeys = match &orders.column_by_name("o_orderkey").expect("schema").data {
         ColumnData::Int64(v) => v.clone(),
         _ => unreachable!("o_orderkey is Int64"),
@@ -410,9 +492,20 @@ fn gen_lineitem(orders: &Table, n_parts: usize, n_suppliers: usize, rng: &mut St
             l_shipdate.push(ship);
             l_commitdate.push(commit);
             l_receiptdate.push(receipt);
-            l_shipmode.push(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string());
+            l_shipmode.push(rng.gen_range(0..SHIP_MODES.len()));
         }
     }
+    let shipmode = match encoding {
+        StringEncoding::Plain => ColumnData::Utf8(
+            l_shipmode
+                .iter()
+                .map(|&i| SHIP_MODES[i].to_string())
+                .collect(),
+        ),
+        StringEncoding::Dictionary => {
+            ColumnData::Int64(l_shipmode.iter().map(|&i| i as i64).collect())
+        }
+    };
 
     Table::new(
         "lineitem",
@@ -426,7 +519,7 @@ fn gen_lineitem(orders: &Table, n_parts: usize, n_suppliers: usize, rng: &mut St
             Column::new("l_shipdate", ColumnData::Date(l_shipdate)),
             Column::new("l_commitdate", ColumnData::Date(l_commitdate)),
             Column::new("l_receiptdate", ColumnData::Date(l_receiptdate)),
-            Column::new("l_shipmode", ColumnData::Utf8(l_shipmode)),
+            Column::new("l_shipmode", shipmode),
         ],
     )
     .expect("generated columns are aligned")
@@ -475,6 +568,7 @@ mod tests {
             scale_factor: 0.01,
             seed: 3,
             max_lineitem_rows: Some(10_000),
+            encoding: StringEncoding::default(),
         });
         assert!(capped.rescale < 1.0);
         assert!(capped.table("lineitem").unwrap().n_rows() <= 12_000);

@@ -23,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod dates;
+pub mod dict;
 pub mod gen;
 pub mod medical;
 pub mod queries;
 pub mod workload;
 
-pub use gen::{GenConfig, TpchDb};
+pub use dict::{Dictionary, TpchDictionaries};
+pub use gen::{GenConfig, StringEncoding, TpchDb};
 pub use queries::{QueryId, TwoTableQuery};
 pub use workload::{QueryInstance, WorkloadGenerator};

@@ -18,6 +18,8 @@
 //! selectivity under our comment generator.
 
 use crate::dates::{add_months, ymd};
+use crate::dict::TpchDictionaries;
+use crate::gen::StringEncoding;
 use midas_engines::data::Table;
 use midas_engines::error::EngineError;
 use midas_engines::expr::Expr;
@@ -73,6 +75,14 @@ pub struct TwoTableQuery {
 }
 
 impl TwoTableQuery {
+    /// The query class ("Q12", "Medical", …) under which executions are
+    /// recorded and learned: the label up to its parameter binding. The
+    /// sequential session and the concurrent runtime both key their
+    /// Modelling state by this, so it must have exactly one definition.
+    pub fn class(&self) -> &str {
+        self.label.split('(').next().unwrap_or(&self.label)
+    }
+
     /// Runs the whole three-plan pipeline locally through `exec` (either
     /// [`midas_engines::ops::execute`] or
     /// [`midas_engines::ops::execute_scalar`]), wiring the prepared sides
@@ -109,9 +119,36 @@ fn scan(t: &str) -> Box<PhysicalPlan> {
     })
 }
 
+/// A literal from a dictionary-encodable column domain: the value's code
+/// under [`StringEncoding::Dictionary`], or the string itself when plain.
+///
+/// A value outside the domain encodes as `-1`, a code no row carries — the
+/// exact analogue of a string literal no row equals — so both encodings
+/// agree that an unknown parameter selects nothing.
+fn domain_literal(encoding: StringEncoding, dict: &crate::dict::Dictionary, value: &str) -> Value {
+    match encoding {
+        StringEncoding::Plain => Value::Utf8(value.to_string()),
+        StringEncoding::Dictionary => {
+            Value::Int64(dict.code(value).map_or(-1, |code| code as i64))
+        }
+    }
+}
+
 /// TPC-H Q12: for lineitems shipped by two given modes and received within a
 /// year, count lines from high-priority vs other orders, per ship mode.
 pub fn q12(mode1: &str, mode2: &str, year: i32) -> TwoTableQuery {
+    q12_with(StringEncoding::Plain, mode1, mode2, year)
+}
+
+/// [`q12`] against a database of the given string encoding: under
+/// [`StringEncoding::Dictionary`] the ship-mode and priority predicates (and
+/// the ship-mode group-by) compare dictionary codes instead of strings.
+///
+/// `encoding` must match the database's layout
+/// ([`crate::gen::TpchDb::encoding`]); a mismatch type-mismatches every
+/// domain predicate and silently selects nothing.
+pub fn q12_with(encoding: StringEncoding, mode1: &str, mode2: &str, year: i32) -> TwoTableQuery {
+    let dicts = TpchDictionaries::cached();
     // lineitem columns: 0 okey 1 pkey 2 skey 3 qty 4 extprice 5 disc
     //                   6 shipdate 7 commitdate 8 receiptdate 9 shipmode
     let left_prepare = PhysicalPlan::Project {
@@ -119,8 +156,8 @@ pub fn q12(mode1: &str, mode2: &str, year: i32) -> TwoTableQuery {
             input: scan("lineitem"),
             predicate: Expr::col(9)
                 .in_list(vec![
-                    Value::Utf8(mode1.to_string()),
-                    Value::Utf8(mode2.to_string()),
+                    domain_literal(encoding, &dicts.ship_mode, mode1),
+                    domain_literal(encoding, &dicts.ship_mode, mode2),
                 ])
                 .and(Expr::col(7).lt(Expr::col(8)))
                 .and(Expr::col(6).lt(Expr::col(7)))
@@ -141,8 +178,8 @@ pub fn q12(mode1: &str, mode2: &str, year: i32) -> TwoTableQuery {
         ],
     };
     let high = Expr::col(3).in_list(vec![
-        Value::Utf8("1-URGENT".to_string()),
-        Value::Utf8("2-HIGH".to_string()),
+        domain_literal(encoding, &dicts.priority, "1-URGENT"),
+        domain_literal(encoding, &dicts.priority, "2-HIGH"),
     ]);
     let combine = PhysicalPlan::Sort {
         input: Box::new(PhysicalPlan::Aggregate {
@@ -297,6 +334,18 @@ pub fn q14(year: i32, month: u32) -> TwoTableQuery {
 /// TPC-H Q17: average yearly revenue lost if small-quantity orders for one
 /// brand/container were no longer taken.
 pub fn q17(brand: &str, container: &str) -> TwoTableQuery {
+    q17_with(StringEncoding::Plain, brand, container)
+}
+
+/// [`q17`] against a database of the given string encoding: under
+/// [`StringEncoding::Dictionary`] the brand and container predicates compare
+/// dictionary codes instead of strings.
+///
+/// `encoding` must match the database's layout
+/// ([`crate::gen::TpchDb::encoding`]); a mismatch type-mismatches every
+/// domain predicate and silently selects nothing.
+pub fn q17_with(encoding: StringEncoding, brand: &str, container: &str) -> TwoTableQuery {
+    let dicts = TpchDictionaries::cached();
     let left_prepare = PhysicalPlan::Project {
         input: scan("lineitem"),
         exprs: vec![
@@ -309,8 +358,11 @@ pub fn q17(brand: &str, container: &str) -> TwoTableQuery {
         input: Box::new(PhysicalPlan::Filter {
             input: scan("part"),
             predicate: Expr::col(1)
-                .eq(Expr::str(brand))
-                .and(Expr::col(3).eq(Expr::str(container))),
+                .eq(Expr::Lit(domain_literal(encoding, &dicts.brand, brand)))
+                .and(
+                    Expr::col(3)
+                        .eq(Expr::Lit(domain_literal(encoding, &dicts.container, container))),
+                ),
         }),
         exprs: vec![("p_partkey".to_string(), Expr::col(0))],
     };

@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  weights ({wt:.1}, {wm:.1})  →  {:6.2} s  ${:8.5}   ({} x{} VMs)",
             costs[0],
             costs[1],
-            cfg.join_engine.to_string(),
+            cfg.join_engine,
             cfg.vm_count
         );
     }
@@ -99,7 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  budget ${budget:<6}  →  {:6.2} s  ${:8.5}   ({} x{} VMs)",
             costs[0],
             costs[1],
-            cfg.join_engine.to_string(),
+            cfg.join_engine,
             cfg.vm_count
         );
     }

@@ -4,11 +4,14 @@
 # Stages:
 #   1. release build of every crate;
 #   2. the full test suite (unit, golden, property and differential tests);
-#   3. clippy on the execution-engine crate with warnings denied;
+#   3. clippy on every workspace crate with warnings denied;
 #   4. a smoke run of the engine_exec criterion benches (--test mode);
 #   5. the scalar-vs-vectorized timing run, which records
 #      BENCH_engine_exec.json (target/repro/ and repo root) so the
-#      executor's perf trajectory is tracked across PRs.
+#      executor's perf trajectory is tracked across PRs;
+#   6. the concurrent-runtime throughput run, which records
+#      BENCH_runtime_throughput.json (target/repro/ and repo root) —
+#      the multi-worker scaling trajectory of the FederationRuntime.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,13 +21,16 @@ cargo build --release --offline
 echo "==> tests"
 cargo test -q --offline
 
-echo "==> clippy (midas-engines, -D warnings)"
-cargo clippy --offline -p midas-engines --all-targets -- -D warnings
+echo "==> clippy (workspace, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> bench smoke (engine_exec --test)"
 cargo bench --offline -p midas-bench --bench engine_exec -- --test
 
 echo "==> perf trajectory (BENCH_engine_exec.json)"
 cargo run -q --release --offline -p midas-bench --bin repro_bench_engine_exec
+
+echo "==> runtime throughput (BENCH_runtime_throughput.json)"
+cargo run -q --release --offline -p midas-bench --bin repro_bench_runtime
 
 echo "verify: OK"

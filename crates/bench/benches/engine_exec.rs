@@ -26,7 +26,7 @@ fn bench_generation(c: &mut Criterion) {
 
 fn bench_operators(c: &mut Criterion) {
     let db = TpchDb::generate(GenConfig::new(0.01, 2));
-    let catalog = db.tables().clone();
+    let catalog = db.catalog().clone();
     let queries: Vec<(&str, TwoTableQuery)> = vec![
         ("q12", q12("MAIL", "SHIP", 1994)),
         ("q13", q13("special", "requests")),
@@ -82,7 +82,7 @@ fn bench_federated_execution(c: &mut Criterion) {
             );
             black_box(
                 sched
-                    .execute_with_config(&q12("MAIL", "SHIP", 1994), &config, db.tables())
+                    .execute_with_config(&q12("MAIL", "SHIP", 1994), &config, db.catalog())
                     .expect("runs"),
             )
         })
@@ -107,7 +107,7 @@ fn bench_scalar_vs_vectorized(c: &mut Criterion) {
     let mut group = c.benchmark_group("scalar_vs_vectorized");
     group.sample_size(10);
     for (name, q) in &queries {
-        let mut cat = db.tables().clone();
+        let mut cat = db.catalog().clone();
         group.bench_function(BenchmarkId::new("scalar", *name), |b| {
             b.iter(|| black_box(q.execute_local(&mut cat, execute_scalar).expect("runs")))
         });

@@ -20,7 +20,7 @@ fn bench_moqp(c: &mut Criterion) {
     let db = TpchDb::generate(GenConfig::new(0.005, 3));
     let query = q12("MAIL", "SHIP", 1994);
     let space = EnumerationSpace::for_query(&fed, &placement, &query, 12).expect("placed");
-    let model = PlanCostModel::build(&placement, &query, db.tables()).expect("buildable");
+    let model = PlanCostModel::build(&placement, &query, db.catalog()).expect("buildable");
     let weights = WeightedSumModel::new(&[0.5, 0.5]);
     let none = Constraints::none(2);
     let ga_cfg = Nsga2Config {

@@ -37,7 +37,7 @@ fn bench_costing_18200(c: &mut Criterion) {
     placement.place("orders", b, EngineKind::PostgreSql);
     let db = TpchDb::generate(GenConfig::new(0.005, 3));
     let query = q12("MAIL", "SHIP", 1994);
-    let model = PlanCostModel::build(&placement, &query, db.tables()).expect("buildable");
+    let model = PlanCostModel::build(&placement, &query, db.catalog()).expect("buildable");
     let n_instances = fed.site(a).catalog.instances().len();
 
     let mut group = c.benchmark_group("qep_costing");

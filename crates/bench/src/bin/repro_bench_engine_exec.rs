@@ -47,7 +47,7 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_rows: Vec<serde_json::Value> = Vec::new();
     for (name, q) in &queries {
-        let mut cat = db.tables().clone();
+        let mut cat = db.catalog().clone();
         // Equality cross-check before timing.
         let (out_v, _) = q.execute_local(&mut cat, execute).expect("vectorized runs");
         let (out_s, _) = q

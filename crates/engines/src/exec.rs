@@ -8,15 +8,24 @@
 //! under the engine profile, VM parallelism, current site load and noise —
 //! plus billed money under the site's pricing model, including egress for
 //! cross-site fragment inputs.
+//!
+//! The data plane is zero-copy: base tables live in a shared
+//! [`Catalog`] of `Arc<Table>` entries, the per-query execution catalog is
+//! seeded by `Arc::clone` (a refcount bump, never a byte copy — pinned by
+//! [`ExecutionOutcome::catalog_cloned_bytes`]), and fragment outputs enter
+//! the catalog `Arc::new`-ed exactly once. Because the catalog is immutable
+//! during a wave of independent fragments, those fragments can execute
+//! *concurrently* (see [`SharedExecutor::with_parallel_fragments`]) while
+//! the simulation bookkeeping still runs in deterministic fragment order.
 
+use crate::catalog::Catalog;
 use crate::engine::{EngineKind, EngineProfile};
 use crate::error::EngineError;
 use crate::ops::{execute, OpKind, PhysicalPlan, WorkProfile};
 use crate::sim::{SimulationEnv, SiteAdmission};
 use crate::data::Table;
-use midas_cloud::{Federation, Money, SiteId};
-use std::collections::HashMap;
-use std::sync::Mutex;
+use midas_cloud::{Federation, InstanceType, Money, SiteId};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// One unit of site-pinned work.
@@ -65,6 +74,15 @@ pub struct ExecutionOutcome {
     pub money: Money,
     /// Total intermediate bytes produced across fragments.
     pub intermediate_bytes: u64,
+    /// Bytes of base-table data the per-query catalog *references* through
+    /// shared `Arc<Table>` handles — the volume the pre-Arc executor
+    /// deep-copied for every job.
+    pub catalog_shared_bytes: u64,
+    /// Bytes of base-table data deep-copied while seeding the per-query
+    /// catalog. Structurally zero on the `Arc` path; surfaced (and recorded
+    /// by the runtime bench) as a regression gate so a reintroduced
+    /// per-job copy fails loudly.
+    pub catalog_cloned_bytes: u64,
     /// Per-fragment breakdown.
     pub fragments: Vec<FragmentOutcome>,
 }
@@ -113,11 +131,11 @@ impl<'a> Executor<'a> {
         &mut self.env
     }
 
-    /// Executes a federated query against base tables.
+    /// Executes a federated query against a shared base-table catalog.
     pub fn run(
         &mut self,
         query: &FederatedQuery,
-        base_tables: &HashMap<String, Table>,
+        base_tables: &Catalog,
     ) -> Result<ExecutionOutcome, EngineError> {
         self.run_with_scale(query, base_tables, 1.0)
     }
@@ -133,19 +151,34 @@ impl<'a> Executor<'a> {
     pub fn run_with_scale(
         &mut self,
         query: &FederatedQuery,
-        base_tables: &HashMap<String, Table>,
+        base_tables: &Catalog,
         work_scale: f64,
     ) -> Result<ExecutionOutcome, EngineError> {
         run_federated(
             self.federation,
             &mut EnvHandle::Exclusive(&mut self.env),
-            None,
-            0.0,
+            RunOptions {
+                admission: None,
+                pacing: 0.0,
+                parallel: false,
+                work_scale,
+            },
             query,
             base_tables,
-            work_scale,
         )
     }
+}
+
+/// Per-run execution knobs of [`run_federated`].
+struct RunOptions<'a> {
+    /// Per-site admission gates (`None` = unmetered legacy executor).
+    admission: Option<&'a SiteAdmission>,
+    /// Wall seconds slept per nominal simulated second of site occupancy.
+    pacing: f64,
+    /// Run independent fragments of one wave on scoped threads.
+    parallel: bool,
+    /// Logical rows per physical row.
+    work_scale: f64,
 }
 
 /// How a run reaches the simulation environment: exclusively (the legacy
@@ -197,6 +230,7 @@ pub struct SharedExecutor<'a> {
     env: &'a Mutex<SimulationEnv>,
     admission: &'a SiteAdmission,
     pacing: f64,
+    parallel_fragments: bool,
 }
 
 impl<'a> SharedExecutor<'a> {
@@ -212,6 +246,7 @@ impl<'a> SharedExecutor<'a> {
             env,
             admission,
             pacing: 0.0,
+            parallel_fragments: false,
         }
     }
 
@@ -226,11 +261,25 @@ impl<'a> SharedExecutor<'a> {
         self
     }
 
+    /// Enables intra-query parallelism: mutually independent fragments (one
+    /// *wave* of the dependency DAG — e.g. the two scan fragments of a
+    /// two-table query) execute concurrently on scoped threads, each under
+    /// its own site admission permit.
+    ///
+    /// Only wall-clock overlap changes: the simulation bookkeeping (load
+    /// reads, noise draws, clock ticks) still runs in fragment order, so
+    /// the *simulated* outcome of a query is bit-for-bit identical with the
+    /// flag on or off.
+    pub fn with_parallel_fragments(mut self, enabled: bool) -> Self {
+        self.parallel_fragments = enabled;
+        self
+    }
+
     /// Executes a federated query against base tables (logical scale 1).
     pub fn run(
         &self,
         query: &FederatedQuery,
-        base_tables: &HashMap<String, Table>,
+        base_tables: &Catalog,
     ) -> Result<ExecutionOutcome, EngineError> {
         self.run_with_scale(query, base_tables, 1.0)
     }
@@ -240,170 +289,340 @@ impl<'a> SharedExecutor<'a> {
     pub fn run_with_scale(
         &self,
         query: &FederatedQuery,
-        base_tables: &HashMap<String, Table>,
+        base_tables: &Catalog,
         work_scale: f64,
     ) -> Result<ExecutionOutcome, EngineError> {
         run_federated(
             self.federation,
             &mut EnvHandle::Shared(self.env),
-            Some(self.admission),
-            self.pacing,
+            RunOptions {
+                admission: Some(self.admission),
+                pacing: self.pacing,
+                parallel: self.parallel_fragments,
+                work_scale,
+            },
             query,
             base_tables,
-            work_scale,
         )
     }
 }
 
 /// The one federated-execution loop behind both executors.
+///
+/// Execution is staged so the *relational* work (pure data processing over
+/// the shared catalog) decouples from the *simulation* bookkeeping:
+///
+/// 1. **Dependency analysis** groups fragments into waves — fragment `i`'s
+///    wave is its depth in the `@frag` dependency DAG, so fragments of one
+///    wave are mutually independent.
+/// 2. **Relational phase**, wave by wave: each fragment acquires its site
+///    permit, runs [`execute`] over the catalog, holds the permit through
+///    its paced occupancy, then releases. With `parallel` on, a wave's
+///    fragments do this on scoped threads concurrently. Cross-site
+///    transfer costs and instance shapes are resolved before the wave
+///    (pure functions of earlier waves' outputs).
+/// 3. **Simulation phase**: after each wave, one env section per newly
+///    completed fragment (read load, draw noise, tick the clock) plus
+///    billing — always consumed in fragment *index* order, advancing a
+///    cursor over the completed prefix. On a failure the cursor still
+///    advances over the fragments that did complete before the error is
+///    surfaced, so a shared env sees the same draws/ticks the historical
+///    fragment-at-a-time loop had already consumed when *it* hit the
+///    error.
+///
+/// Because simulation sections always run in index order and the
+/// relational phase never touches the env, the simulated outcome is
+/// bit-for-bit identical whether a wave executed serially or in parallel —
+/// and identical to the historical fragment-at-a-time loop. One caveat on
+/// *error* paths of non-prefix DAGs (a lower-index fragment scheduled in a
+/// later wave than a failing higher-index one — impossible for the
+/// prepare/prepare/combine plans [`crate::exec`] callers assemble): the
+/// failing wave surfaces its own lowest-index error, and env sections of
+/// lower-index fragments that never executed are not replayed. Malformed
+/// (forward-referencing) queries likewise fail during up-front validation,
+/// before any env interaction.
 fn run_federated(
     federation: &Federation,
     env: &mut EnvHandle<'_>,
-    admission: Option<&SiteAdmission>,
-    pacing: f64,
+    opts: RunOptions<'_>,
     query: &FederatedQuery,
-    base_tables: &HashMap<String, Table>,
-    work_scale: f64,
+    base_tables: &Catalog,
 ) -> Result<ExecutionOutcome, EngineError> {
+    let RunOptions {
+        admission,
+        pacing,
+        parallel,
+        work_scale,
+    } = opts;
     let work_scale = if work_scale.is_finite() && work_scale > 0.0 {
         work_scale
     } else {
         1.0
     };
+    let n = query.fragments.len();
+
+    // Dependency analysis: reject forward references, assign waves.
+    let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut wave_of: Vec<usize> = Vec::with_capacity(n);
+    for (idx, fragment) in query.fragments.iter().enumerate() {
+        let frag_deps = referenced_fragments(&fragment.plan);
+        if let Some(&dep) = frag_deps.iter().find(|&&dep| dep >= idx) {
+            return Err(EngineError::Unavailable(format!(
+                "fragment {idx} references later fragment {dep}"
+            )));
+        }
+        wave_of.push(frag_deps.iter().map(|&d| wave_of[d] + 1).max().unwrap_or(0));
+        deps.push(frag_deps);
+    }
+    let n_waves = wave_of.iter().max().map_or(0, |&w| w + 1);
+
     // Seed the execution catalog with only the base tables the query's
-    // scans actually reference — cloning the whole data catalog per query
-    // would dominate a concurrent runtime's wall-clock.
-    let mut catalog: HashMap<String, Table> = HashMap::new();
+    // scans actually reference — by `Arc::clone`, a refcount bump. The
+    // shared/cloned split is *measured* by pointer identity against the
+    // base catalog, not assumed: if seeding ever regresses to a deep copy
+    // (a fresh allocation), those bytes land in `catalog_cloned_bytes`
+    // and trip the runtime bench's zero-copy gate.
+    let mut catalog = Catalog::new();
+    let mut catalog_shared_bytes = 0u64;
+    let mut catalog_cloned_bytes = 0u64;
     for fragment in &query.fragments {
         for name in referenced_base_tables(&fragment.plan) {
-            if let Some(table) = base_tables.get(&name) {
-                catalog.entry(name).or_insert_with(|| table.clone());
+            if catalog.contains(&name) {
+                continue;
+            }
+            if let Some(table) = base_tables.get_shared(&name) {
+                catalog.insert_shared(name.clone(), Arc::clone(table));
+                let seeded = catalog.get_shared(&name).expect("just inserted");
+                if Arc::ptr_eq(seeded, table) {
+                    catalog_shared_bytes += table.estimated_bytes();
+                } else {
+                    catalog_cloned_bytes += table.estimated_bytes();
+                }
             }
         }
     }
-    let mut outcomes: Vec<FragmentOutcome> = Vec::with_capacity(query.fragments.len());
-    // Remember where each fragment output lives and how big it is.
-    let mut frag_sites: Vec<SiteId> = Vec::new();
-    let mut frag_bytes: Vec<u64> = Vec::new();
-    let mut last_table = Table::empty("empty");
-    let mut total_elapsed = 0.0;
-    let mut total_money = Money::ZERO;
-    let mut total_intermediate = 0u64;
 
-    for (idx, fragment) in query.fragments.iter().enumerate() {
-        // Transfers: every upstream fragment output this fragment scans
-        // that lives on a different site must be shipped in.
-        let mut transfer_s = 0.0;
-        let mut transfer_money = Money::ZERO;
-        let mut ingress = 0u64;
-        for dep in referenced_fragments(&fragment.plan) {
-            if dep >= idx {
-                return Err(EngineError::Unavailable(format!(
-                    "fragment {idx} references later fragment {dep}"
-                )));
+    // Per-fragment state filled wave by wave.
+    let mut executed: Vec<Option<(Arc<Table>, WorkProfile)>> = (0..n).map(|_| None).collect();
+    let mut shapes: Vec<Option<Result<InstanceType, EngineError>>> =
+        (0..n).map(|_| None).collect();
+    let mut transfers: Vec<(f64, Money, u64)> = vec![(0.0, Money::ZERO, 0); n];
+    let mut frag_bytes: Vec<u64> = vec![0; n];
+    let mut sim = SimCursor::new(n);
+
+    for wave in 0..n_waves {
+        let members: Vec<usize> = (0..n).filter(|&i| wave_of[i] == wave).collect();
+
+        // Pure pre-computation: cross-site transfer of every upstream
+        // fragment output this wave scans, and instance-shape resolution
+        // (needed in-phase for paced occupancy; its error, if any, is
+        // surfaced in fragment order below).
+        for &idx in &members {
+            let fragment = &query.fragments[idx];
+            let mut transfer_s = 0.0;
+            let mut transfer_money = Money::ZERO;
+            let mut ingress = 0u64;
+            for &dep in &deps[idx] {
+                let from = query.fragments[dep].site;
+                if from != fragment.site {
+                    let bytes = (frag_bytes[dep] as f64 * work_scale) as u64;
+                    let est = federation.transfer(from, fragment.site, bytes);
+                    transfer_s += est.seconds;
+                    transfer_money += federation.transfer_cost(from, fragment.site, bytes);
+                    ingress += bytes;
+                }
             }
-            let from = frag_sites[dep];
-            if from != fragment.site {
-                let bytes = (frag_bytes[dep] as f64 * work_scale) as u64;
-                let est = federation.transfer(from, fragment.site, bytes);
-                transfer_s += est.seconds;
-                transfer_money += federation.transfer_cost(from, fragment.site, bytes);
-                ingress += bytes;
-            }
-        }
-
-        // Queue for an execution slot at the fragment's site; the permit
-        // is held across the relational work AND the paced wait, because
-        // that is the span during which the site is actually busy.
-        let permit = admission.map(|a| a.acquire(fragment.site));
-
-        // Real execution over the accumulated catalog.
-        let (table, work) = execute(&fragment.plan, &catalog)?;
-
-        // Simulated processing time.
-        let shape = federation
-            .site(fragment.site)
-            .catalog
-            .by_name(&fragment.instance)
-            .ok_or_else(|| {
-                EngineError::Unavailable(format!(
-                    "instance {} at site {}",
-                    fragment.instance,
-                    federation.site(fragment.site).name
-                ))
-            })?
-            .clone();
-        let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);
-        let profile = EngineProfile::for_engine(fragment.engine);
-        // One env section per fragment: read load, draw noise, advance
-        // the world by the fragment's elapsed time. Keeping the three
-        // ops atomic preserves per-site RNG stream consistency under
-        // concurrent callers and keeps the op sequence identical to the
-        // legacy single-threaded executor.
-        let elapsed = env.with(|env| {
-            let load = env.load(fragment.site);
-            let noise = env.noise(fragment.site);
-            let compute_s = simulate_fragment_seconds_scaled(
-                &work, &profile, workers, load, noise, work_scale,
+            transfers[idx] = (transfer_s, transfer_money, ingress);
+            shapes[idx] = Some(
+                federation
+                    .site(fragment.site)
+                    .catalog
+                    .by_name(&fragment.instance)
+                    .cloned()
+                    .ok_or_else(|| {
+                        EngineError::Unavailable(format!(
+                            "instance {} at site {}",
+                            fragment.instance,
+                            federation.site(fragment.site).name
+                        ))
+                    }),
             );
-            let elapsed = compute_s + transfer_s;
-            // The world moves on while the fragment runs.
-            env.tick(elapsed);
-            elapsed
-        });
-
-        // Billing: VMs for the fragment duration plus the egress already
-        // accounted.
-        let site = federation.site(fragment.site);
-        let vm_money = site
-            .pricing
-            .instance_cost(&shape, fragment.vm_count.max(1), elapsed);
-        let money = vm_money + transfer_money;
-
-        // Nominal occupancy (unit load, no noise) for pacing: a pure
-        // function of the plan and the data, so every run sleeps the same
-        // total regardless of how worker interleaving assigns the noisy
-        // env draws — throughput comparisons across worker counts measure
-        // overlap, not luck.
-        let nominal_s = if pacing > 0.0 {
-            transfer_s
-                + simulate_fragment_seconds_scaled(&work, &profile, workers, 1.0, 1.0, work_scale)
-        } else {
-            0.0
-        };
-
-        let bytes_out = table.estimated_bytes();
-        catalog.insert(format!("@frag{idx}"), table.clone());
-        frag_sites.push(fragment.site);
-        frag_bytes.push(bytes_out);
-        total_intermediate += work.total_intermediate_bytes();
-        total_elapsed += elapsed;
-        total_money += money;
-        last_table = table;
-
-        outcomes.push(FragmentOutcome {
-            elapsed_s: elapsed,
-            money,
-            ingress_bytes: ingress,
-            work,
-        });
-
-        // Dilate site occupancy into wall-clock while the slot is still
-        // held, so concurrent queries bound for this site queue behind it —
-        // then release.
-        if pacing > 0.0 {
-            std::thread::sleep(Duration::from_secs_f64(nominal_s * pacing));
         }
-        drop(permit);
+
+        // Relational phase. Queue for an execution slot at the fragment's
+        // site; the permit is held across the relational work AND the
+        // paced wait, because that is the span during which the site is
+        // actually busy. Nominal occupancy (unit load, no noise) is a pure
+        // function of plan and data, so every run sleeps the same total
+        // regardless of interleaving — throughput comparisons across
+        // worker counts (and fragment-parallel modes) measure overlap,
+        // not luck.
+        let run_one = |idx: usize| -> Result<(Table, WorkProfile), EngineError> {
+            let fragment = &query.fragments[idx];
+            let permit = admission.map(|a| a.acquire(fragment.site));
+            let result = execute(&fragment.plan, &catalog);
+            if pacing > 0.0 {
+                if let (Ok((_, work)), Some(Ok(shape))) = (&result, &shapes[idx]) {
+                    let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);
+                    let profile = EngineProfile::for_engine(fragment.engine);
+                    let nominal_s = transfers[idx].0
+                        + simulate_fragment_seconds_scaled(
+                            work, &profile, workers, 1.0, 1.0, work_scale,
+                        );
+                    std::thread::sleep(Duration::from_secs_f64(nominal_s * pacing));
+                }
+            }
+            drop(permit);
+            result
+        };
+        let results: Vec<Result<(Table, WorkProfile), EngineError>> =
+            if parallel && members.len() > 1 {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = members
+                        .iter()
+                        .map(|&idx| scope.spawn(move || run_one(idx)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fragment thread panicked"))
+                        .collect()
+                })
+            } else {
+                members.iter().map(|&idx| run_one(idx)).collect()
+            };
+
+        // Collect in fragment order; the lowest-index failure wins, with a
+        // fragment's execution error preceding its instance-lookup error —
+        // exactly what the sequential fragment-at-a-time loop surfaced.
+        // Before surfacing an error, the sim cursor advances over the
+        // fragments that *did* complete, consuming the env draws/ticks the
+        // sequential loop had already consumed at that point — a shared
+        // env must end an aborted query in the same state either way.
+        for (&idx, result) in members.iter().zip(results) {
+            let (table, work) = match result {
+                Ok(ok) => ok,
+                Err(e) => {
+                    sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale);
+                    return Err(e);
+                }
+            };
+            if shapes[idx].as_ref().is_some_and(|shape| shape.is_err()) {
+                sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale);
+                return Err(shapes[idx].take().expect("staged").unwrap_err());
+            }
+            let table = Arc::new(table);
+            frag_bytes[idx] = table.estimated_bytes();
+            catalog.insert_shared(format!("@frag{idx}"), Arc::clone(&table));
+            executed[idx] = Some((table, work));
+        }
+        sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale);
     }
+
+    // The catalog holds the only other reference to the final fragment's
+    // output; dropping it first makes the unwrap zero-copy.
+    drop(catalog);
+    let result = match sim.last_table {
+        Some(table) => Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone()),
+        None => Table::empty("empty"),
+    };
 
     Ok(ExecutionOutcome {
-        result: last_table,
-        elapsed_s: total_elapsed,
-        money: total_money,
-        intermediate_bytes: total_intermediate,
-        fragments: outcomes,
+        result,
+        elapsed_s: sim.total_elapsed,
+        money: sim.total_money,
+        intermediate_bytes: sim.total_intermediate,
+        catalog_shared_bytes,
+        catalog_cloned_bytes,
+        fragments: sim.outcomes,
     })
+}
+
+/// The simulation-phase cursor of [`run_federated`]: consumes completed
+/// fragments strictly in index order, giving each its env section (read
+/// load, draw noise, advance the world by the fragment's elapsed time —
+/// the three ops atomic under one lock, preserving per-site RNG stream
+/// consistency no matter how the relational phase interleaved) and its
+/// billing.
+struct SimCursor {
+    /// Fragments `[0, next)` have been simulated and billed.
+    next: usize,
+    outcomes: Vec<FragmentOutcome>,
+    last_table: Option<Arc<Table>>,
+    total_elapsed: f64,
+    total_money: Money,
+    total_intermediate: u64,
+}
+
+impl SimCursor {
+    fn new(n: usize) -> Self {
+        SimCursor {
+            next: 0,
+            outcomes: Vec::with_capacity(n),
+            last_table: None,
+            total_elapsed: 0.0,
+            total_money: Money::ZERO,
+            total_intermediate: 0,
+        }
+    }
+
+    /// Processes the maximal completed prefix of fragments past the
+    /// cursor. Entries consumed here always have an `Ok` shape — the wave
+    /// collector surfaces shape errors before marking a fragment executed.
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &mut self,
+        env: &mut EnvHandle<'_>,
+        federation: &Federation,
+        query: &FederatedQuery,
+        executed: &mut [Option<(Arc<Table>, WorkProfile)>],
+        shapes: &mut [Option<Result<InstanceType, EngineError>>],
+        transfers: &[(f64, Money, u64)],
+        work_scale: f64,
+    ) {
+        while self.next < executed.len() && executed[self.next].is_some() {
+            let idx = self.next;
+            let fragment = &query.fragments[idx];
+            let (table, work) = executed[idx].take().expect("checked above");
+            let shape = shapes[idx]
+                .take()
+                .expect("resolved with its wave")
+                .expect("errors surfaced before execution was recorded");
+            let (transfer_s, transfer_money, ingress) = transfers[idx];
+            let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);
+            let profile = EngineProfile::for_engine(fragment.engine);
+            let elapsed = env.with(|env| {
+                let load = env.load(fragment.site);
+                let noise = env.noise(fragment.site);
+                let compute_s = simulate_fragment_seconds_scaled(
+                    &work, &profile, workers, load, noise, work_scale,
+                );
+                let elapsed = compute_s + transfer_s;
+                // The world moves on while the fragment runs.
+                env.tick(elapsed);
+                elapsed
+            });
+
+            // Billing: VMs for the fragment duration plus the egress
+            // already accounted.
+            let site = federation.site(fragment.site);
+            let vm_money = site
+                .pricing
+                .instance_cost(&shape, fragment.vm_count.max(1), elapsed);
+            let money = vm_money + transfer_money;
+
+            self.total_intermediate += work.total_intermediate_bytes();
+            self.total_elapsed += elapsed;
+            self.total_money += money;
+            self.last_table = Some(table);
+            self.outcomes.push(FragmentOutcome {
+                elapsed_s: elapsed,
+                money,
+                ingress_bytes: ingress,
+                work,
+            });
+            self.next += 1;
+        }
+    }
 }
 
 /// Base-table scan names (everything but `@frag<N>`) referenced by a plan.
@@ -511,7 +730,7 @@ mod tests {
     use crate::sim::DriftIntensity;
     use midas_cloud::federation::example_federation;
 
-    fn base_tables(rows: usize) -> HashMap<String, Table> {
+    fn base_tables(rows: usize) -> Catalog {
         let left = Table::new(
             "left",
             vec![
@@ -531,9 +750,9 @@ mod tests {
             )],
         )
         .unwrap();
-        let mut m = HashMap::new();
-        m.insert("left".to_string(), left);
-        m.insert("right".to_string(), right);
+        let mut m = Catalog::new();
+        m.insert("left", left);
+        m.insert("right", right);
         m
     }
 
@@ -646,8 +865,51 @@ mod tests {
                 vm_count: 1,
             }],
         };
-        let err = executor(&fed).run(&q, &HashMap::new());
+        let err = executor(&fed).run(&q, &Catalog::new());
         assert!(matches!(err, Err(EngineError::Unavailable(_))));
+    }
+
+    #[test]
+    fn failed_query_still_consumes_completed_fragments_env_sections() {
+        let (fed, a, b) = example_federation();
+        // Fragment 0 scans a present table; fragment 1 scans a missing one
+        // (both in wave 0 — no dependencies).
+        let q = FederatedQuery {
+            fragments: vec![
+                Fragment {
+                    plan: PhysicalPlan::Scan {
+                        table: "right".to_string(),
+                    },
+                    site: b,
+                    engine: EngineKind::PostgreSql,
+                    instance: "B2S".to_string(),
+                    vm_count: 1,
+                },
+                Fragment {
+                    plan: PhysicalPlan::Scan {
+                        table: "ghost".to_string(),
+                    },
+                    site: a,
+                    engine: EngineKind::Hive,
+                    instance: "a1.large".to_string(),
+                    vm_count: 1,
+                },
+            ],
+        };
+        let mut ex = executor(&fed);
+        let err = ex.run(&q, &base_tables(50));
+        assert!(matches!(err, Err(EngineError::UnknownTable(_))));
+        // The completed fragment's env section (load, noise, tick) was
+        // consumed before the error surfaced — exactly the state the
+        // sequential fragment-at-a-time loop left a shared env in.
+        let clock_after_failure = ex.env().clock_s;
+        assert!(clock_after_failure > 0.0);
+        let q0 = FederatedQuery {
+            fragments: vec![q.fragments[0].clone()],
+        };
+        let mut ex0 = executor(&fed);
+        ex0.run(&q0, &base_tables(50)).unwrap();
+        assert_eq!(ex0.env().clock_s.to_bits(), clock_after_failure.to_bits());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod data;
 pub mod engine;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod ops;
 pub mod placement;
 pub mod sim;
 
+pub use catalog::Catalog;
 pub use data::{Column, ColumnData, DataType, Table, Value};
 pub use engine::{EngineKind, EngineProfile};
 pub use error::EngineError;

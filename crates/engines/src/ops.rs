@@ -20,6 +20,7 @@
 //! unaffected by which executor runs. `tests/vectorized_differential.rs`
 //! enforces the equivalence property-test-style.
 
+use crate::catalog::Catalog;
 use crate::data::{Column, ColumnData, DataType, Table, Value};
 use crate::error::EngineError;
 use crate::expr::{BatchVals, Expr, NumTy, SelView};
@@ -227,10 +228,14 @@ impl WorkProfile {
 }
 
 /// Hashable key for joins and group-by.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum KeyVal {
+///
+/// Strings are *borrowed* from their column: hashing or comparing a key row
+/// allocates nothing, and even interning a previously unseen key into a
+/// build map only copies `Copy` variants and string references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyVal<'a> {
     Int(i64),
-    Str(String),
+    Str(&'a str),
     Date(i32),
     Bool(bool),
     /// Floats keyed by bit pattern.
@@ -238,27 +243,32 @@ enum KeyVal {
     Null,
 }
 
-fn key_of(v: &Value) -> KeyVal {
-    match v {
-        Value::Int64(x) => KeyVal::Int(*x),
-        Value::Utf8(s) => KeyVal::Str(s.clone()),
-        Value::Date(d) => KeyVal::Date(*d),
-        Value::Bool(b) => KeyVal::Bool(*b),
-        Value::Float64(f) => KeyVal::Float(f.to_bits()),
-        Value::Null => KeyVal::Null,
+/// The key part of one row of one column, read straight from typed storage
+/// (no `Value` materialization, no string clone).
+fn key_part(col: &Column, row: usize) -> KeyVal<'_> {
+    if !col.is_valid(row) {
+        return KeyVal::Null;
+    }
+    match &col.data {
+        ColumnData::Int64(v) => KeyVal::Int(v[row]),
+        ColumnData::Utf8(v) => KeyVal::Str(&v[row]),
+        ColumnData::Date(v) => KeyVal::Date(v[row]),
+        ColumnData::Bool(v) => KeyVal::Bool(v[row]),
+        ColumnData::Float64(v) => KeyVal::Float(v[row].to_bits()),
     }
 }
 
-/// Executes a plan against a catalog of base tables using the default
+/// Executes a plan against a [`Catalog`] of base tables using the default
 /// vectorized engine: batch expression evaluation, selection vectors, and
 /// allocation-free hash joins.
 ///
 /// Returns the result table and the work profile. Base tables are shared
-/// (`&Table`), never copied for scans beyond what operators materialize.
-/// Semantics and work accounting are identical to [`execute_scalar`].
+/// (borrowed through the catalog's `Arc<Table>` entries), never copied for
+/// scans beyond what operators materialize. Semantics and work accounting
+/// are identical to [`execute_scalar`].
 pub fn execute(
     plan: &PhysicalPlan,
-    catalog: &HashMap<String, Table>,
+    catalog: &Catalog,
 ) -> Result<(Table, WorkProfile), EngineError> {
     let mut profile = WorkProfile::default();
     let batch = run_vec(plan, catalog, &mut profile)?;
@@ -272,7 +282,7 @@ pub fn execute(
 /// the vectorized path exactly.
 pub fn execute_scalar(
     plan: &PhysicalPlan,
-    catalog: &HashMap<String, Table>,
+    catalog: &Catalog,
 ) -> Result<(Table, WorkProfile), EngineError> {
     let mut profile = WorkProfile::default();
     let table = run(plan, catalog, &mut profile)?;
@@ -290,7 +300,7 @@ fn record(profile: &mut WorkProfile, kind: OpKind, rows_in: u64, out: &Table) {
 
 fn run(
     plan: &PhysicalPlan,
-    catalog: &HashMap<String, Table>,
+    catalog: &Catalog,
     profile: &mut WorkProfile,
 ) -> Result<Table, EngineError> {
     match plan {
@@ -458,18 +468,22 @@ fn column_from_values(name: &str, values: Vec<Value>) -> Result<Column, EngineEr
 
 /// Fills `out` with the key of `row` — reusing the caller's scratch buffer
 /// instead of allocating a fresh `Vec<KeyVal>` per row, so the scalar join
-/// and aggregation baselines measure hashing, not allocator traffic.
-fn row_key_into(
-    t: &Table,
-    keys: &[usize],
-    row: usize,
-    out: &mut Vec<KeyVal>,
-) -> Result<(), EngineError> {
+/// and aggregation baselines measure hashing, not allocator traffic. Key
+/// parts borrow from the columns: no per-row `String` clone.
+fn row_key_into<'a>(cols: &[&'a Column], row: usize, out: &mut Vec<KeyVal<'a>>) {
     out.clear();
-    for &k in keys {
-        out.push(key_of(&t.column(k)?.value(row)));
+    for col in cols {
+        out.push(key_part(col, row));
     }
-    Ok(())
+}
+
+/// Resolves key columns, but — matching the vectorized executor's lazy
+/// per-row validation — only when the side actually has rows.
+fn key_columns<'a>(t: &'a Table, keys: &[usize]) -> Result<Vec<&'a Column>, EngineError> {
+    if t.n_rows() == 0 {
+        return Ok(Vec::new());
+    }
+    keys.iter().map(|&k| t.column(k)).collect()
 }
 
 fn hash_join(
@@ -486,11 +500,14 @@ fn hash_join(
     }
     // Build on the right side, probe from the left so LeftOuter preserves
     // every left row naturally. One scratch key buffer serves every row;
-    // it is only cloned when a new key enters the build map.
-    let mut scratch: Vec<KeyVal> = Vec::with_capacity(right_keys.len());
-    let mut build: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
+    // it is only cloned (cheaply: `KeyVal` is `Copy`) when a new key enters
+    // the build map.
+    let rcols = key_columns(right, right_keys)?;
+    let lcols = key_columns(left, left_keys)?;
+    let mut scratch: Vec<KeyVal<'_>> = Vec::with_capacity(right_keys.len());
+    let mut build: HashMap<Vec<KeyVal<'_>>, Vec<usize>> = HashMap::new();
     for row in 0..right.n_rows() {
-        row_key_into(right, right_keys, row, &mut scratch)?;
+        row_key_into(&rcols, row, &mut scratch);
         if scratch.iter().any(|k| matches!(k, KeyVal::Null)) {
             continue; // NULL keys never match
         }
@@ -505,7 +522,7 @@ fn hash_join(
     let mut left_idx: Vec<usize> = Vec::new();
     let mut right_idx: Vec<Option<usize>> = Vec::new();
     for row in 0..left.n_rows() {
-        row_key_into(left, left_keys, row, &mut scratch)?;
+        row_key_into(&lcols, row, &mut scratch);
         let matches = if scratch.iter().any(|k| matches!(k, KeyVal::Null)) {
             None
         } else {
@@ -568,11 +585,12 @@ fn aggregate(
 ) -> Result<Table, EngineError> {
     // Group rows. The scratch key buffer is reused across rows and cloned
     // only when a previously unseen group appears.
-    let mut groups: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
-    let mut first_seen: Vec<Vec<KeyVal>> = Vec::new();
-    let mut scratch: Vec<KeyVal> = Vec::with_capacity(group_by.len());
+    let gcols = key_columns(t, group_by)?;
+    let mut groups: HashMap<Vec<KeyVal<'_>>, Vec<usize>> = HashMap::new();
+    let mut first_seen: Vec<Vec<KeyVal<'_>>> = Vec::new();
+    let mut scratch: Vec<KeyVal<'_>> = Vec::with_capacity(group_by.len());
     for row in 0..t.n_rows() {
-        row_key_into(t, group_by, row, &mut scratch)?;
+        row_key_into(&gcols, row, &mut scratch);
         match groups.get_mut(&scratch) {
             Some(rows) => rows.push(row),
             None => {
@@ -803,7 +821,7 @@ fn record_batch(profile: &mut WorkProfile, kind: OpKind, rows_in: u64, batch: &B
 
 fn run_vec<'a>(
     plan: &PhysicalPlan,
-    catalog: &'a HashMap<String, Table>,
+    catalog: &'a Catalog,
     profile: &mut WorkProfile,
 ) -> Result<Batch<'a>, EngineError> {
     match plan {
@@ -1602,7 +1620,7 @@ mod tests {
     use super::*;
     use crate::data::{Column, ColumnData};
 
-    fn catalog() -> HashMap<String, Table> {
+    fn catalog() -> Catalog {
         let orders = Table::new(
             "orders",
             vec![
@@ -1631,9 +1649,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut cat = HashMap::new();
-        cat.insert("orders".to_string(), orders);
-        cat.insert("customer".to_string(), customer);
+        let mut cat = Catalog::new();
+        cat.insert("orders", orders);
+        cat.insert("customer", customer);
         cat
     }
 
@@ -1855,7 +1873,7 @@ mod tests {
             )],
         )
         .unwrap();
-        cat.insert("nullkey".to_string(), t);
+        cat.insert("nullkey", t);
         let plan = PhysicalPlan::HashJoin {
             left: Box::new(scan("nullkey")),
             right: Box::new(scan("customer")),

@@ -1,10 +1,10 @@
 //! Property-based tests of the relational executor's algebraic laws.
 
 use midas_engines::data::{Column, ColumnData, Table, Value};
+use midas_engines::Catalog;
 use midas_engines::expr::Expr;
 use midas_engines::ops::{execute, AggExpr, JoinType, PhysicalPlan};
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 fn table_of(name: &str, rows: &[(i64, i64)]) -> Table {
     Table::new(
@@ -32,7 +32,7 @@ proptest! {
     fn group_sums_partition_the_total(
         rows in proptest::collection::vec((0i64..8, -100i64..100), 1..60),
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let grouped = PhysicalPlan::Aggregate {
             input: scan("t"),
@@ -60,7 +60,7 @@ proptest! {
         rows in proptest::collection::vec((0i64..20, -50i64..50), 0..40),
         threshold in -50i64..50,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let pred = Expr::col(0).ge(Expr::int(threshold));
         let filter_then_project = PhysicalPlan::Project {
@@ -88,7 +88,7 @@ proptest! {
         left in proptest::collection::vec((0i64..6, 0i64..5), 0..30),
         right in proptest::collection::vec((0i64..6, 0i64..5), 0..30),
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("l".to_string(), table_of("l", &left));
         catalog.insert("r".to_string(), table_of("r", &right));
         let plan = PhysicalPlan::HashJoin {
@@ -115,7 +115,7 @@ proptest! {
         left in proptest::collection::vec((0i64..6, 0i64..5), 0..30),
         right in proptest::collection::vec((0i64..6, 0i64..5), 0..30),
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("l".to_string(), table_of("l", &left));
         catalog.insert("r".to_string(), table_of("r", &right));
         let plan = PhysicalPlan::HashJoin {
@@ -139,7 +139,7 @@ proptest! {
     fn sort_is_an_ordered_permutation(
         rows in proptest::collection::vec((-20i64..20, -50i64..50), 0..40),
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let plan = PhysicalPlan::Sort {
             input: scan("t"),
@@ -168,7 +168,7 @@ proptest! {
         rows in proptest::collection::vec((0i64..30, -50i64..50), 0..50),
         threshold in -50i64..50,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let pred = Expr::col(1).lt(Expr::int(threshold));
         let pruned = PhysicalPlan::PrunedScan {

@@ -2,9 +2,9 @@
 //! with hand-computed expected outputs, plus work-profile invariants.
 
 use midas_engines::data::{Column, ColumnData, Table, Value};
+use midas_engines::Catalog;
 use midas_engines::expr::Expr;
 use midas_engines::ops::{execute, AggExpr, JoinType, PhysicalPlan};
-use std::collections::HashMap;
 
 /// Sales: (region, product, qty, price)
 fn sales() -> Table {
@@ -43,8 +43,8 @@ fn products() -> Table {
     .expect("aligned")
 }
 
-fn catalog() -> HashMap<String, Table> {
-    let mut m = HashMap::new();
+fn catalog() -> Catalog {
+    let mut m = Catalog::new();
     m.insert("sales".to_string(), sales());
     m.insert("products".to_string(), products());
     m

@@ -4,10 +4,10 @@
 //! identical result tables *and* identical `WorkProfile`s.
 
 use midas_engines::data::{Column, ColumnData, Table, Value};
+use midas_engines::Catalog;
 use midas_engines::expr::Expr;
 use midas_engines::ops::{execute, execute_scalar, AggExpr, JoinType, PhysicalPlan, WorkProfile};
 use proptest::prelude::*;
-use std::collections::HashMap;
 
 const WORDS: [&str; 5] = ["alpha", "beta", "gamma", "delta", ""];
 
@@ -105,7 +105,7 @@ type Executed = (Table, WorkProfile);
 /// Runs both executors and asserts tables and profiles match.
 fn both(
     plan: &PhysicalPlan,
-    catalog: &HashMap<String, Table>,
+    catalog: &Catalog,
 ) -> Result<(Executed, Executed), proptest::test_runner::TestCaseError> {
     let vec_out = execute(plan, catalog);
     let sca_out = execute_scalar(plan, catalog);
@@ -128,7 +128,7 @@ fn both(
 /// error on the vectorized path either.
 #[test]
 fn constant_division_by_zero_over_empty_input_matches_scalar() {
-    let mut catalog = HashMap::new();
+    let mut catalog = Catalog::new();
     catalog.insert("t".to_string(), table_of("t", &[]));
     let plan = PhysicalPlan::Filter {
         input: scan("t"),
@@ -159,7 +159,7 @@ fn constant_division_by_zero_over_empty_input_matches_scalar() {
 #[test]
 fn huge_int_literal_projects_exactly() {
     let big = (1i64 << 53) + 1; // not representable in f64
-    let mut catalog = HashMap::new();
+    let mut catalog = Catalog::new();
     catalog.insert(
         "t".to_string(),
         table_of("t", &[((1, 1, 0.5), (0, 1, 0), (0, 1))]),
@@ -189,7 +189,7 @@ proptest! {
         d1 in -100i64..100,
         bits in 0i64..216,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let pred = pred_of(t1, f1, w, d1, bits);
         both(
@@ -211,7 +211,7 @@ proptest! {
         t1 in -20i64..20,
         bits in 0i64..216,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let plan = PhysicalPlan::Project {
             input: Box::new(PhysicalPlan::Filter {
@@ -242,7 +242,7 @@ proptest! {
         outer in 0i64..2,
         composite in 0i64..2,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("l".to_string(), table_of("l", &left));
         catalog.insert("r".to_string(), table_of("r", &right));
         let join_type = if outer == 0 { JoinType::Inner } else { JoinType::LeftOuter };
@@ -270,7 +270,7 @@ proptest! {
         global in 0i64..2,
         bits in 0i64..216,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let group_by = if global == 0 { vec![0usize, 2] } else { Vec::new() };
         let plan = PhysicalPlan::Aggregate {
@@ -304,7 +304,7 @@ proptest! {
         limit in 0usize..20,
         desc in 0i64..2,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let plan = PhysicalPlan::Limit {
             input: Box::new(PhysicalPlan::Sort {
@@ -326,7 +326,7 @@ proptest! {
         bits in 0i64..216,
         limit in 1usize..10,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("l".to_string(), table_of("l", &left));
         catalog.insert("r".to_string(), table_of("r", &right));
         let plan = PhysicalPlan::Limit {

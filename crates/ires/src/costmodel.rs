@@ -13,9 +13,8 @@ use midas_cloud::{Federation, Money, SiteId};
 use midas_engines::engine::EngineProfile;
 use midas_engines::exec::simulate_fragment_seconds;
 use midas_engines::ops::{execute, WorkProfile};
-use midas_engines::{EngineError, EngineKind, Placement, Table};
+use midas_engines::{Catalog, EngineError, EngineKind, Placement};
 use midas_tpch::TwoTableQuery;
-use std::collections::HashMap;
 
 /// A reusable cost evaluator for one query over one database.
 #[derive(Debug, Clone)]
@@ -36,7 +35,7 @@ impl PlanCostModel {
     pub fn build(
         placement: &Placement,
         query: &TwoTableQuery,
-        tables: &HashMap<String, Table>,
+        tables: &Catalog,
     ) -> Result<Self, EngineError> {
         let left = placement.locate(&query.left_table)?;
         let right = placement.locate(&query.right_table)?;
@@ -46,9 +45,11 @@ impl PlanCostModel {
         let left_bytes = left_table.estimated_bytes();
         let right_bytes = right_table.estimated_bytes();
 
+        // Cloning a catalog copies Arc handles, not table bytes; only the
+        // two prepared intermediates are owned here.
         let mut catalog = tables.clone();
-        catalog.insert("@frag0".to_string(), left_table);
-        catalog.insert("@frag1".to_string(), right_table);
+        catalog.insert("@frag0", left_table);
+        catalog.insert("@frag1", right_table);
         let (_, work_combine) = execute(&query.combine, &catalog)?;
 
         Ok(PlanCostModel {
@@ -161,7 +162,7 @@ mod tests {
     #[test]
     fn build_and_cost() {
         let (fed, placement, query, db) = setup();
-        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        let model = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
         let (lr, rr) = model.prepared_rows();
         assert!(lr > 0 && rr > 0);
         let cfg = CandidateConfig {
@@ -178,7 +179,7 @@ mod tests {
     #[test]
     fn cost_is_deterministic() {
         let (fed, placement, query, db) = setup();
-        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        let model = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
         let cfg = CandidateConfig {
             join_site: SiteId(1),
             join_engine: EngineKind::Hive,
@@ -191,7 +192,7 @@ mod tests {
     #[test]
     fn more_vms_cut_time_for_parallel_engines() {
         let (fed, placement, query, db) = setup();
-        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        let model = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
         let mk = |vm| CandidateConfig {
             join_site: SiteId(0),
             join_engine: EngineKind::Spark,
@@ -206,7 +207,7 @@ mod tests {
     #[test]
     fn joining_at_the_remote_site_pays_transfer() {
         let (fed, placement, query, db) = setup();
-        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        let model = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
         // Join at lineitem's site: only the (small) orders side ships.
         // Join at orders' site: the (large) lineitem side ships.
         let at_left = model.cost(

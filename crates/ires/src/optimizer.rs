@@ -142,7 +142,7 @@ mod tests {
         let query = q14(1995, 6);
         let db = TpchDb::generate(GenConfig::new(0.002, 5));
         let space = EnumerationSpace::for_query(&fed, &placement, &query, 6).unwrap();
-        let model = PlanCostModel::build(&placement, &query, db.tables()).unwrap();
+        let model = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
         Fixture { fed, space, model }
     }
 

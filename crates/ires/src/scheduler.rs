@@ -10,9 +10,8 @@ use midas_cloud::Federation;
 use midas_dream::EstimationError;
 use midas_engines::exec::{ExecutionOutcome, Executor};
 use midas_engines::sim::{DriftIntensity, SimulationEnv};
-use midas_engines::{EngineError, Placement, Table};
+use midas_engines::{Catalog, EngineError, Placement};
 use midas_tpch::TwoTableQuery;
-use std::collections::HashMap;
 
 /// Scheduler construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -143,7 +142,7 @@ impl<'a> Scheduler<'a> {
         &mut self,
         query: &TwoTableQuery,
         config: &CandidateConfig,
-        tables: &HashMap<String, Table>,
+        tables: &Catalog,
     ) -> Result<ExecutedQuery, SchedulerError> {
         let federated = assemble(self.federation, &self.placement, query, config)?;
         let left_rows = base_rows(tables, &query.left_table)?;
@@ -192,10 +191,7 @@ pub fn features_from(
 
 /// Looks up a base table's row count, surfacing a missing table as a
 /// [`SchedulerError::MissingTable`] instead of silently treating it as empty.
-pub fn base_rows(
-    tables: &HashMap<String, Table>,
-    name: &str,
-) -> Result<f64, SchedulerError> {
+pub fn base_rows(tables: &Catalog, name: &str) -> Result<f64, SchedulerError> {
     tables
         .get(name)
         .map(|t| t.n_rows() as f64)
@@ -237,7 +233,7 @@ mod tests {
         let (mut sched, db) = setup(&fed);
         let q = q12("MAIL", "SHIP", 1994);
         let run = sched
-            .execute_with_config(&q, &config(), db.tables())
+            .execute_with_config(&q, &config(), db.catalog())
             .unwrap();
         assert_eq!(run.features.len(), 4);
         assert_eq!(
@@ -267,7 +263,7 @@ mod tests {
         let q = q13("special", "requests");
         assert_eq!(sched.clock_s(), 0.0);
         sched
-            .execute_with_config(&q, &config(), db.tables())
+            .execute_with_config(&q, &config(), db.catalog())
             .unwrap();
         let after_exec = sched.clock_s();
         assert!(after_exec > 0.0);
@@ -283,7 +279,7 @@ mod tests {
         let mut times = Vec::new();
         for _ in 0..6 {
             let run = sched
-                .execute_with_config(&q, &config(), db.tables())
+                .execute_with_config(&q, &config(), db.catalog())
                 .unwrap();
             times.push(run.costs[0]);
             sched.idle(5, 60.0);
@@ -299,7 +295,7 @@ mod tests {
         let (fed, _, _) = example_federation();
         let (mut sched, db) = setup(&fed);
         let q = q12("MAIL", "SHIP", 1994);
-        let mut tables = db.tables().clone();
+        let mut tables = db.catalog().clone();
         tables.remove("lineitem");
         let err = sched.execute_with_config(&q, &config(), &tables);
         match err {
@@ -313,7 +309,7 @@ mod tests {
         let (fed, _, _) = example_federation();
         let (mut sched, db) = setup(&fed);
         let q = midas_tpch::queries::q14(1995, 3); // part is not placed
-        let err = sched.execute_with_config(&q, &config(), db.tables());
+        let err = sched.execute_with_config(&q, &config(), db.catalog());
         assert!(matches!(err, Err(SchedulerError::Engine(_))));
     }
 }

@@ -91,7 +91,7 @@ fn cost_model_orders_engines_sensibly_on_small_inputs() {
     // same site/instance/VM count.
     let (fed, placement, db) = setup();
     let query = q14(1995, 7);
-    let model = PlanCostModel::build(&placement, &query, db.tables()).expect("buildable");
+    let model = PlanCostModel::build(&placement, &query, db.catalog()).expect("buildable");
     let site = placement.locate("lineitem").expect("placed").site;
     let mk = |engine| CandidateConfig {
         join_site: site,
@@ -110,7 +110,7 @@ fn cost_model_orders_engines_sensibly_on_small_inputs() {
 fn bigger_instances_cost_more_money_per_time_saved() {
     let (fed, placement, db) = setup();
     let query = q12("MAIL", "RAIL", 1995);
-    let model = PlanCostModel::build(&placement, &query, db.tables()).expect("buildable");
+    let model = PlanCostModel::build(&placement, &query, db.catalog()).expect("buildable");
     let site = placement.locate("lineitem").expect("placed").site;
     let mk = |idx| CandidateConfig {
         join_site: site,
@@ -127,8 +127,8 @@ fn bigger_instances_cost_more_money_per_time_saved() {
 #[test]
 fn prepared_rows_track_query_selectivity() {
     let (fed, placement, db) = setup();
-    let narrow = PlanCostModel::build(&placement, &q14(1995, 7), db.tables()).expect("builds");
-    let wide = PlanCostModel::build(&placement, &q17("Brand#11", "SM CASE"), db.tables())
+    let narrow = PlanCostModel::build(&placement, &q14(1995, 7), db.catalog()).expect("builds");
+    let wide = PlanCostModel::build(&placement, &q17("Brand#11", "SM CASE"), db.catalog())
         .expect("builds");
     // Q14 filters lineitem to one month; Q17 projects all of it.
     assert!(narrow.prepared_rows().0 < wide.prepared_rows().0);

@@ -55,7 +55,7 @@ pub fn run_example31(
     placement.place("orders", b, EngineKind::PostgreSql);
     let db = TpchDb::generate(GenConfig::new(scale_factor, seed));
     let query = q12("MAIL", "SHIP", 1994);
-    let model = PlanCostModel::build(&placement, &query, db.tables())?;
+    let model = PlanCostModel::build(&placement, &query, db.catalog())?;
 
     let n_instances = fed.site(a).catalog.instances().len();
     let start = Instant::now();

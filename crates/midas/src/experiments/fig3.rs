@@ -59,7 +59,7 @@ pub fn run_fig3(scale_factor: f64, seed: u64) -> Result<Fig3Report, Box<dyn std:
     let db = TpchDb::generate(GenConfig::new(scale_factor, seed));
     let query = q12("MAIL", "SHIP", 1994);
     let space = EnumerationSpace::for_query(&fed, &placement, &query, 12)?;
-    let model = PlanCostModel::build(&placement, &query, db.tables())?;
+    let model = PlanCostModel::build(&placement, &query, db.catalog())?;
 
     let sweep: [(f64, f64); 5] = [(0.9, 0.1), (0.7, 0.3), (0.5, 0.5), (0.3, 0.7), (0.1, 0.9)];
     let none = Constraints::none(2);

@@ -36,7 +36,7 @@ use crate::system::{MidasReport, QueryPolicy};
 use midas_cloud::Federation;
 use midas_engines::exec::SharedExecutor;
 use midas_engines::sim::{AdmissionStats, DriftIntensity, SimulationEnv, SiteAdmission};
-use midas_engines::{Placement, Table};
+use midas_engines::{Catalog, Placement};
 use midas_ires::optimizer::moqp_exhaustive;
 use midas_ires::scheduler::{base_rows, features_from, SchedulerError};
 use midas_ires::{assemble, EnumerationSpace, ModellingRegistry, PlanCostModel};
@@ -68,6 +68,12 @@ pub struct RuntimeConfig {
     /// on one core, and its deterministic base keeps throughput numbers
     /// comparable across worker counts.
     pub pacing: f64,
+    /// Run independent fragments of one query concurrently (scoped threads
+    /// under their per-site admission permits; see
+    /// [`SharedExecutor::with_parallel_fragments`]). Simulated outcomes are
+    /// bit-identical with the flag on or off — only wall-clock overlap
+    /// changes.
+    pub parallel_fragments: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -79,6 +85,7 @@ impl Default for RuntimeConfig {
             work_scale: 1.0,
             max_vms: 8,
             pacing: 0.0,
+            parallel_fragments: false,
         }
     }
 }
@@ -156,7 +163,7 @@ pub struct RuntimeReport {
 pub struct FederationRuntime<'a> {
     federation: &'a Federation,
     placement: &'a Placement,
-    tables: &'a HashMap<String, Table>,
+    catalog: Catalog,
     config: RuntimeConfig,
     env: Mutex<SimulationEnv>,
     admission: SiteAdmission,
@@ -164,15 +171,20 @@ pub struct FederationRuntime<'a> {
 }
 
 impl<'a> FederationRuntime<'a> {
-    /// Builds a runtime over a federation, a placement and a data catalog.
+    /// Builds a runtime over a federation, a placement and a shared data
+    /// catalog.
     ///
-    /// Sites are registered in the shared simulation environment with the
-    /// same seed derivation the legacy [`midas_ires::Scheduler`] uses, and
-    /// admission gates are sized from the federation's capacity metadata.
+    /// The runtime *owns* its (immutable) catalog — taking one is an
+    /// `Arc`-handle copy, never a table copy — and every worker, tenant and
+    /// concurrently executing fragment reads through the same shared
+    /// tables. Sites are registered in the shared simulation environment
+    /// with the same seed derivation the legacy [`midas_ires::Scheduler`]
+    /// uses, and admission gates are sized from the federation's capacity
+    /// metadata.
     pub fn new(
         federation: &'a Federation,
         placement: &'a Placement,
-        tables: &'a HashMap<String, Table>,
+        catalog: Catalog,
         config: RuntimeConfig,
     ) -> Self {
         let mut env = SimulationEnv::new();
@@ -183,12 +195,19 @@ impl<'a> FederationRuntime<'a> {
         FederationRuntime {
             federation,
             placement,
-            tables,
+            catalog,
             config,
             env: Mutex::new(env),
             admission,
             registry: ModellingRegistry::dream_defaults(2),
         }
+    }
+
+    /// Toggles intra-query fragment parallelism (builder style); see
+    /// [`RuntimeConfig::parallel_fragments`].
+    pub fn with_parallel_fragments(mut self, enabled: bool) -> Self {
+        self.config.parallel_fragments = enabled;
+        self
     }
 
     /// The configuration in use.
@@ -314,7 +333,7 @@ impl<'a> FederationRuntime<'a> {
             self.config.max_vms,
         )
         .map_err(SchedulerError::Engine)?;
-        let model = PlanCostModel::build(self.placement, query, self.tables)
+        let model = PlanCostModel::build(self.placement, query, &self.catalog)
             .map_err(SchedulerError::Engine)?;
         let weights = WeightedSumModel::new(&job.policy.weights);
         let outcome = moqp_exhaustive(
@@ -325,13 +344,16 @@ impl<'a> FederationRuntime<'a> {
             &job.policy.constraints,
         );
 
-        // Execute: per-site admission + shared drifting environment.
-        let left_rows = base_rows(self.tables, &query.left_table)?;
-        let right_rows = base_rows(self.tables, &query.right_table)?;
+        // Execute: per-site admission + shared drifting environment, over
+        // the runtime-wide shared catalog (seeded per query by Arc::clone).
+        let left_rows = base_rows(&self.catalog, &query.left_table)?;
+        let right_rows = base_rows(&self.catalog, &query.right_table)?;
         let federated = assemble(self.federation, self.placement, query, &outcome.chosen)?;
         let executor = SharedExecutor::new(self.federation, &self.env, &self.admission)
-            .with_pacing(self.config.pacing);
-        let executed = executor.run_with_scale(&federated, self.tables, self.config.work_scale)?;
+            .with_pacing(self.config.pacing)
+            .with_parallel_fragments(self.config.parallel_fragments);
+        let executed =
+            executor.run_with_scale(&federated, &self.catalog, self.config.work_scale)?;
         let features = features_from(left_rows, right_rows, &executed, self.config.work_scale);
         let costs = executed.cost_vector();
 
@@ -346,6 +368,7 @@ impl<'a> FederationRuntime<'a> {
             actual_costs: costs,
             dream_window: fit.map(|report| report.window_used),
             result_rows: executed.result.n_rows(),
+            catalog_cloned_bytes: executed.catalog_cloned_bytes,
             chosen: outcome.chosen,
         })
     }

@@ -4,7 +4,7 @@ use midas_cloud::federation::example_federation;
 use midas_cloud::{Federation, SiteId};
 use midas_dream::DreamEstimator;
 use midas_engines::sim::DriftIntensity;
-use midas_engines::{EngineKind, Placement, Table};
+use midas_engines::{Catalog, EngineKind, Placement};
 use midas_ires::optimizer::{moqp_exhaustive, MoqpOutcome};
 use midas_ires::scheduler::{Scheduler, SchedulerConfig, SchedulerError};
 use midas_ires::{CandidateConfig, EnumerationSpace, Modelling, PlanCostModel};
@@ -73,6 +73,10 @@ pub struct MidasReport {
     pub dream_window: Option<usize>,
     /// The result table's row count.
     pub result_rows: usize,
+    /// Bytes of base-table data deep-copied while seeding this query's
+    /// execution catalog — zero on the shared-`Arc` data plane (the runtime
+    /// bench records and gates this).
+    pub catalog_cloned_bytes: u64,
     /// The configuration Algorithm 2 selected (join site, engine, instance,
     /// VM count) — the "plan" half of the decision, pinned by the
     /// runtime-vs-scheduler determinism harness.
@@ -136,16 +140,17 @@ impl Midas {
     /// Opens a concurrent multi-tenant runtime over this deployment with
     /// `workers` threads (see [`crate::runtime::FederationRuntime`]). The
     /// runtime inherits the deployment's seed and drift, so a one-worker
-    /// runtime replays exactly what [`Midas::session`] would do.
+    /// runtime replays exactly what [`Midas::session`] would do. The
+    /// catalog is shared by `Arc` handle — no table bytes are copied.
     pub fn runtime<'a>(
         &'a self,
-        tables: &'a std::collections::HashMap<String, Table>,
+        catalog: &Catalog,
         workers: usize,
     ) -> crate::runtime::FederationRuntime<'a> {
         crate::runtime::FederationRuntime::new(
             &self.federation,
             &self.placement,
-            tables,
+            catalog.clone(),
             crate::runtime::RuntimeConfig {
                 workers,
                 seed: self.seed,
@@ -196,7 +201,7 @@ impl MidasSession<'_> {
     pub fn submit(
         &mut self,
         query: &TwoTableQuery,
-        tables: &HashMap<String, Table>,
+        tables: &Catalog,
         policy: &QueryPolicy,
     ) -> Result<MidasReport, SchedulerError> {
         let space =
@@ -239,6 +244,7 @@ impl MidasSession<'_> {
             actual_costs: executed.costs,
             dream_window,
             result_rows: executed.outcome.result.n_rows(),
+            catalog_cloned_bytes: executed.outcome.catalog_cloned_bytes,
             chosen: outcome.chosen,
         })
     }
@@ -273,7 +279,7 @@ mod tests {
         let mut session = midas.session();
         session.set_max_vms(4);
         let report = session
-            .submit(&q12("MAIL", "SHIP", 1994), db.tables(), &QueryPolicy::balanced())
+            .submit(&q12("MAIL", "SHIP", 1994), db.catalog(), &QueryPolicy::balanced())
             .unwrap();
         assert!(report.space_size > 0);
         assert!(report.pareto_size > 0);
@@ -295,7 +301,7 @@ mod tests {
             let report = session
                 .submit(
                     &q12("MAIL", "SHIP", year),
-                    db.tables(),
+                    db.catalog(),
                     &QueryPolicy::fastest(),
                 )
                 .unwrap();
@@ -320,11 +326,11 @@ mod tests {
 
         let mut fast_session = midas.session();
         let fast = fast_session
-            .submit(&q, db.tables(), &QueryPolicy::fastest())
+            .submit(&q, db.catalog(), &QueryPolicy::fastest())
             .unwrap();
         let mut cheap_session = midas.session();
         let cheap = cheap_session
-            .submit(&q, db.tables(), &QueryPolicy::cheapest())
+            .submit(&q, db.catalog(), &QueryPolicy::cheapest())
             .unwrap();
         // The time-first plan must not be slower than the money-first plan
         // in prediction; the money-first plan must not cost more.

@@ -4,9 +4,12 @@
 //!    the legacy sequential `MidasSession` decision-for-decision: identical
 //!    chosen plans, identical predicted and observed cost vectors
 //!    (bit-for-bit `f64` equality, not tolerances), and an identical learned
-//!    per-class history.
+//!    per-class history — with intra-query fragment parallelism off *and*
+//!    on (parallel fragments overlap wall-clock only, never simulation).
 //! 2. **Stress** — N workers × M tenants must lose no observations and grow
-//!    every query class's shared history monotonically across batches.
+//!    every query class's shared history monotonically across batches; with
+//!    parallel fragments the learned *feature* history stays deterministic
+//!    run to run (features are pure relational sizes).
 
 use midas::runtime::RuntimeJob;
 use midas::{Midas, QueryPolicy};
@@ -57,6 +60,17 @@ fn deployment() -> (Midas, TpchDb) {
 
 #[test]
 fn single_worker_runtime_reproduces_the_sequential_scheduler() {
+    single_worker_parity(false);
+}
+
+#[test]
+fn single_worker_runtime_with_parallel_fragments_is_still_bit_identical() {
+    // Independent fragments overlap wall-clock, but the simulation phase
+    // runs in fragment order either way — same plans, costs and history.
+    single_worker_parity(true);
+}
+
+fn single_worker_parity(parallel_fragments: bool) {
     let (midas, db) = deployment();
     let jobs = mixed_jobs(2);
 
@@ -66,13 +80,15 @@ fn single_worker_runtime_reproduces_the_sequential_scheduler() {
     for job in &jobs {
         legacy.push(
             session
-                .submit(&job.query, db.tables(), &job.policy)
+                .submit(&job.query, db.catalog(), &job.policy)
                 .expect("sequential submit succeeds"),
         );
     }
 
     // Concurrent path, one worker, same seed/drift.
-    let runtime = midas.runtime(db.tables(), 1);
+    let runtime = midas
+        .runtime(db.catalog(), 1)
+        .with_parallel_fragments(parallel_fragments);
     let report = runtime.run(jobs.clone());
     assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
     assert_eq!(report.completed.len(), legacy.len());
@@ -89,6 +105,9 @@ fn single_worker_runtime_reproduces_the_sequential_scheduler() {
         assert_eq!(c.actual_costs, sequential.actual_costs, "{}", c.label);
         assert_eq!(c.dream_window, sequential.dream_window, "{}", c.label);
         assert_eq!(c.result_rows, sequential.result_rows, "{}", c.label);
+        // The zero-copy data plane holds on both paths.
+        assert_eq!(c.catalog_cloned_bytes, 0, "{}", c.label);
+        assert_eq!(sequential.catalog_cloned_bytes, 0, "{}", c.label);
     }
 
     // The simulated world ended in the same state...
@@ -118,7 +137,7 @@ fn single_worker_runtime_reproduces_the_sequential_scheduler() {
 #[test]
 fn stressed_multi_worker_runtime_loses_no_observations() {
     let (midas, db) = deployment();
-    let runtime = midas.runtime(db.tables(), 4);
+    let runtime = midas.runtime(db.catalog(), 4);
 
     let first = mixed_jobs(3); // 12 jobs across 4 tenants
     let n_first = first.len();
@@ -176,4 +195,55 @@ fn stressed_multi_worker_runtime_loses_no_observations() {
         runtime.registry().total_observations(),
         n_first + n_second
     );
+}
+
+#[test]
+fn parallel_fragments_under_many_workers_lose_nothing_and_learn_deterministic_features() {
+    // Two independent 4-worker, parallel-fragment runs over the same jobs:
+    // every observation must land (none lost to fragment threads), and the
+    // learned *feature* history — pure relational sizes, independent of
+    // scheduling — must be identical run to run, class by class, sorted
+    // into a canonical order (completion order may differ).
+    let collect = |rounds: usize| {
+        let (midas, db) = deployment();
+        let runtime = midas
+            .runtime(db.catalog(), 4)
+            .with_parallel_fragments(true);
+        let jobs = mixed_jobs(rounds);
+        let n_jobs = jobs.len();
+        let report = runtime.run(jobs);
+        assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+        assert_eq!(report.completed.len(), n_jobs);
+        for r in &report.completed {
+            assert_eq!(r.report.catalog_cloned_bytes, 0, "{}", r.report.label);
+        }
+        assert_eq!(runtime.registry().total_observations(), n_jobs);
+
+        let mut per_class: Vec<(String, Vec<Vec<u64>>)> = Vec::new();
+        for class in runtime.registry().class_names() {
+            let modelling = runtime.registry().get(&class).expect("class exists");
+            let modelling = modelling.lock().expect("modelling lock");
+            let mut features: Vec<Vec<u64>> = modelling
+                .history()
+                .all()
+                .iter()
+                .map(|obs| obs.features.iter().map(|f| f.to_bits()).collect())
+                .collect();
+            features.sort_unstable();
+            per_class.push((class.clone(), features));
+        }
+        per_class.sort_by(|a, b| a.0.cmp(&b.0));
+        per_class
+    };
+
+    let first = collect(3);
+    let second = collect(3);
+    assert_eq!(
+        first, second,
+        "parallel-fragment runs learned different feature histories"
+    );
+    // Every class saw exactly one observation per round.
+    for (class, features) in &first {
+        assert_eq!(features.len(), 3, "{class} lost observations");
+    }
 }

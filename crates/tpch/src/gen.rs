@@ -14,9 +14,9 @@
 
 use crate::dates;
 use midas_engines::data::{Column, ColumnData, Table};
+use midas_engines::Catalog;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// The seven lineitem ship modes of the spec.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -110,9 +110,14 @@ impl GenConfig {
 }
 
 /// A generated database.
+///
+/// Tables are held in a shared [`Catalog`] (`Arc<Table>` entries), so
+/// handing the database to an executor, a cost model or a concurrent
+/// runtime never copies table bytes — callers `Arc::clone` their way to
+/// the data.
 #[derive(Debug, Clone)]
 pub struct TpchDb {
-    tables: HashMap<String, Table>,
+    tables: Catalog,
     /// The configuration that produced it.
     pub config: GenConfig,
     /// Ratio of physical to nominal rows after the cap (1.0 = uncapped).
@@ -137,23 +142,17 @@ impl TpchDb {
         let n_suppliers = (((10_000.0 * sf) * rescale) as usize).max(1);
 
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut tables = HashMap::new();
-        tables.insert("region".to_string(), gen_region());
-        tables.insert("nation".to_string(), gen_nation());
-        tables.insert("customer".to_string(), gen_customer(n_customers, &mut rng));
-        tables.insert(
-            "part".to_string(),
-            gen_part(n_parts, &mut rng, config.encoding),
-        );
-        tables.insert("supplier".to_string(), gen_supplier(n_suppliers, &mut rng));
+        let mut tables = Catalog::new();
+        tables.insert("region", gen_region());
+        tables.insert("nation", gen_nation());
+        tables.insert("customer", gen_customer(n_customers, &mut rng));
+        tables.insert("part", gen_part(n_parts, &mut rng, config.encoding));
+        tables.insert("supplier", gen_supplier(n_suppliers, &mut rng));
         let orders = gen_orders(n_orders, n_customers, &mut rng, config.encoding);
         let lineitem = gen_lineitem(&orders, n_parts, n_suppliers, &mut rng, config.encoding);
-        tables.insert(
-            "partsupp".to_string(),
-            gen_partsupp(n_parts, n_suppliers, &mut rng),
-        );
-        tables.insert("orders".to_string(), orders);
-        tables.insert("lineitem".to_string(), lineitem);
+        tables.insert("partsupp", gen_partsupp(n_parts, n_suppliers, &mut rng));
+        tables.insert("orders", orders);
+        tables.insert("lineitem", lineitem);
 
         TpchDb {
             tables,
@@ -172,8 +171,8 @@ impl TpchDb {
         self.config.encoding
     }
 
-    /// The table map, keyed by lowercase table name.
-    pub fn tables(&self) -> &HashMap<String, Table> {
+    /// The shared execution catalog, keyed by lowercase table name.
+    pub fn catalog(&self) -> &Catalog {
         &self.tables
     }
 
@@ -184,7 +183,7 @@ impl TpchDb {
 
     /// Total estimated bytes across all tables.
     pub fn total_bytes(&self) -> u64 {
-        self.tables.values().map(|t| t.estimated_bytes()).sum()
+        self.tables.estimated_bytes()
     }
 
     /// A prefix *snapshot* of the database: every growing table truncated to
@@ -197,7 +196,7 @@ impl TpchDb {
     /// so a prefix keeps join fan-outs proportional (dangling foreign keys
     /// simply drop out of inner joins, as they would in a live system where
     /// dimension rows arrive late).
-    pub fn snapshot(&self, fraction: f64) -> HashMap<String, Table> {
+    pub fn snapshot(&self, fraction: f64) -> Catalog {
         self.snapshot_per_table(|_| fraction)
     }
 
@@ -207,17 +206,18 @@ impl TpchDb {
     /// clinic feeds its own cloud), which also keeps the size regressors of
     /// two-table queries *linearly independent* — a single global growth
     /// factor would make them collinear.
-    pub fn snapshot_per_table(&self, fraction: impl Fn(&str) -> f64) -> HashMap<String, Table> {
-        let mut out = HashMap::with_capacity(self.tables.len());
-        for (name, table) in &self.tables {
+    pub fn snapshot_per_table(&self, fraction: impl Fn(&str) -> f64) -> Catalog {
+        let mut out = Catalog::new();
+        for (name, table) in self.tables.iter() {
             if name == "nation" || name == "region" {
-                out.insert(name.clone(), table.clone());
+                // Fixed dimensions are shared, not copied.
+                out.insert_shared(name, std::sync::Arc::clone(table));
                 continue;
             }
             let f = fraction(name).clamp(0.0, 1.0);
             let keep = ((table.n_rows() as f64 * f).round() as usize).min(table.n_rows());
             let indices: Vec<usize> = (0..keep).collect();
-            out.insert(name.clone(), table.take(&indices));
+            out.insert(name, table.take(&indices));
         }
         out
     }

@@ -15,15 +15,15 @@ use crate::queries::{QueryId, TwoTableQuery};
 use midas_engines::data::{Column, ColumnData, Table};
 use midas_engines::expr::Expr;
 use midas_engines::ops::{JoinType, PhysicalPlan};
+use midas_engines::Catalog;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Generates `patient` and `generalinfo` tables.
 ///
 /// `coverage` is the fraction of patients that have shared general-info
 /// records (mobile patients seen elsewhere).
-pub fn generate_medical(n_patients: usize, coverage: f64, seed: u64) -> HashMap<String, Table> {
+pub fn generate_medical(n_patients: usize, coverage: f64, seed: u64) -> Catalog {
     let mut rng = StdRng::seed_from_u64(seed);
     let sexes = ["F", "M", "O"];
     let modalities = ["CT", "MR", "US", "XR", "PET"];
@@ -72,9 +72,9 @@ pub fn generate_medical(n_patients: usize, coverage: f64, seed: u64) -> HashMap<
     )
     .expect("generated columns are aligned");
 
-    let mut m = HashMap::new();
-    m.insert("patient".to_string(), patient);
-    m.insert("generalinfo".to_string(), generalinfo);
+    let mut m = Catalog::new();
+    m.insert("patient", patient);
+    m.insert("generalinfo", generalinfo);
     m
 }
 

@@ -24,8 +24,7 @@ use midas_engines::data::Table;
 use midas_engines::error::EngineError;
 use midas_engines::expr::Expr;
 use midas_engines::ops::{AggExpr, JoinType, PhysicalPlan, WorkProfile};
-use midas_engines::Value;
-use std::collections::HashMap;
+use midas_engines::{Catalog, Value};
 
 /// Which of the paper's queries a template instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,14 +94,11 @@ impl TwoTableQuery {
     /// order (left prepare, right prepare, combine).
     pub fn execute_local<E>(
         &self,
-        catalog: &mut HashMap<String, Table>,
+        catalog: &mut Catalog,
         exec: E,
     ) -> Result<(Table, [WorkProfile; 3]), EngineError>
     where
-        E: Fn(
-            &PhysicalPlan,
-            &HashMap<String, Table>,
-        ) -> Result<(Table, WorkProfile), EngineError>,
+        E: Fn(&PhysicalPlan, &Catalog) -> Result<(Table, WorkProfile), EngineError>,
     {
         let (left, left_profile) = exec(&self.left_prepare, catalog)?;
         let (right, right_profile) = exec(&self.right_prepare, catalog)?;
@@ -418,12 +414,11 @@ mod tests {
     use crate::gen::{GenConfig, TpchDb};
     use midas_engines::ops::execute;
     use midas_engines::Value;
-    use std::collections::HashMap;
 
     /// Runs the three plans of a template locally (no federation), as the
     /// combine plan would see them.
     fn run_locally(q: &TwoTableQuery, db: &TpchDb) -> midas_engines::Table {
-        let mut catalog: HashMap<String, midas_engines::Table> = db.tables().clone();
+        let mut catalog = db.catalog().clone();
         let (left, _) = execute(&q.left_prepare, &catalog).unwrap();
         let (right, _) = execute(&q.right_prepare, &catalog).unwrap();
         catalog.insert("@frag0".to_string(), left);
@@ -508,7 +503,7 @@ mod tests {
     fn q13_comment_filter_reduces_orders() {
         let db = db();
         let orders = db.table("orders").unwrap().n_rows();
-        let mut catalog = db.tables().clone();
+        let mut catalog = db.catalog().clone();
         let q = q13("special", "requests");
         let (right, _) = execute(&q.right_prepare, &catalog).unwrap();
         assert!(right.n_rows() < orders, "filter must drop some orders");

@@ -15,7 +15,7 @@ use midas_tpch::TpchDictionaries;
 use std::collections::HashMap;
 
 fn run(q: &TwoTableQuery, db: &TpchDb) -> midas_engines::Table {
-    let mut catalog = db.tables().clone();
+    let mut catalog = db.catalog().clone();
     let (out, _) = q.execute_local(&mut catalog, execute).expect("query runs");
     out
 }

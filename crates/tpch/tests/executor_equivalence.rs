@@ -19,8 +19,8 @@ fn paper_queries() -> Vec<(&'static str, TwoTableQuery)> {
 fn vectorized_matches_scalar_on_paper_queries() {
     let db = TpchDb::generate(GenConfig::new(0.002, 7));
     for (name, q) in paper_queries() {
-        let mut cat_v = db.tables().clone();
-        let mut cat_s = db.tables().clone();
+        let mut cat_v = db.catalog().clone();
+        let mut cat_s = db.catalog().clone();
         let (out_v, prof_v) = q
             .execute_local(&mut cat_v, execute)
             .unwrap_or_else(|e| panic!("{name} vectorized: {e}"));
@@ -37,9 +37,9 @@ fn vectorized_matches_scalar_on_paper_queries() {
 fn fragment_catalog_entries_are_reinserted() {
     let db = TpchDb::generate(GenConfig::new(0.001, 3));
     let q = q12("MAIL", "SHIP", 1994);
-    let mut cat = db.tables().clone();
+    let mut cat = db.catalog().clone();
     let (first, _) = q.execute_local(&mut cat, execute).expect("runs");
-    assert!(cat.contains_key("@frag0") && cat.contains_key("@frag1"));
+    assert!(cat.contains("@frag0") && cat.contains("@frag1"));
     // Second run over the same catalog overwrites the fragments and
     // reproduces the result — the benchmark loop relies on this.
     let (second, _) = q.execute_local(&mut cat, execute).expect("runs again");

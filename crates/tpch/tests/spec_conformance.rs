@@ -6,10 +6,9 @@ use midas_engines::Value;
 use midas_tpch::gen::{GenConfig, TpchDb, PRIORITIES, SHIP_MODES};
 use midas_tpch::queries::{q12, q13, q14, q17, QueryId, TwoTableQuery};
 use midas_tpch::workload::WorkloadGenerator;
-use std::collections::HashMap;
 
 fn run(q: &TwoTableQuery, db: &TpchDb) -> midas_engines::Table {
-    let mut catalog: HashMap<String, midas_engines::Table> = db.tables().clone();
+    let mut catalog = db.catalog().clone();
     let (l, _) = execute(&q.left_prepare, &catalog).expect("left runs");
     let (r, _) = execute(&q.right_prepare, &catalog).expect("right runs");
     catalog.insert("@frag0".to_string(), l);

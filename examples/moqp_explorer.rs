@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = TpchDb::generate(GenConfig::new(0.01, 5));
     let query = q14(1995, 6);
     let space = EnumerationSpace::for_query(&fed, &placement, &query, 16)?;
-    let model = PlanCostModel::build(&placement, &query, db.tables())?;
+    let model = PlanCostModel::build(&placement, &query, db.catalog())?;
     println!(
         "{} — QEP space: {} configurations (join site x engine x instance x VMs)",
         query.label,

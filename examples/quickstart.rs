@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = midas.session();
     let report = session.submit(
         &q12("MAIL", "SHIP", 1994),
-        db.tables(),
+        db.catalog(),
         &QueryPolicy::balanced(),
     )?;
 
@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run the same query class a few more times: DREAM comes online once
     // the history reaches L + 2 observations.
     for year in [1995, 1996, 1997, 1993, 1994, 1995] {
-        let report = session.submit(&q12("AIR", "RAIL", year), db.tables(), &QueryPolicy::fastest())?;
+        let report = session.submit(&q12("AIR", "RAIL", year), db.catalog(), &QueryPolicy::fastest())?;
         println!(
             "year {year}: observed {:.2} s — DREAM window {:?}",
             report.actual_costs[0], report.dream_window

@@ -11,7 +11,13 @@
 #      executor's perf trajectory is tracked across PRs;
 #   6. the concurrent-runtime throughput run, which records
 #      BENCH_runtime_throughput.json (target/repro/ and repo root) —
-#      the multi-worker scaling trajectory of the FederationRuntime.
+#      the multi-worker scaling trajectory of the FederationRuntime, plus
+#      the zero-copy data-plane gates: catalog bytes cloned per query must
+#      be exactly 0 (base tables are Arc-shared, never deep-copied),
+#      fragment-parallel mode must keep a 1-worker run's simulated costs
+#      bit-for-bit identical to serial-fragment mode, and overlapping a
+#      query's independent scan fragments must clear a 1.15x qps gate on
+#      the balanced placement (recorded alongside the asymmetric numbers).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

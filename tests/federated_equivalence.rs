@@ -10,11 +10,10 @@ use midas_repro::ires::scheduler::{Scheduler, SchedulerConfig};
 use midas_repro::ires::CandidateConfig;
 use midas_repro::tpch::gen::{GenConfig, TpchDb};
 use midas_repro::tpch::queries::{q12, q13, q14, q17, TwoTableQuery};
-use std::collections::HashMap;
 
 fn run_locally(
     q: &TwoTableQuery,
-    tables: &HashMap<String, midas_repro::engines::Table>,
+    tables: &midas_repro::engines::Catalog,
 ) -> midas_repro::engines::Table {
     let mut catalog = tables.clone();
     let (left, _) = execute(&q.left_prepare, &catalog).expect("left prepare runs");
@@ -58,9 +57,9 @@ fn federated_execution_matches_local_execution_for_every_query() {
             },
         );
         let run = scheduler
-            .execute_with_config(&query, &config, db.tables())
+            .execute_with_config(&query, &config, db.catalog())
             .unwrap_or_else(|e| panic!("{} failed: {e}", query.label));
-        let local = run_locally(&query, db.tables());
+        let local = run_locally(&query, db.catalog());
         assert_eq!(
             run.outcome.result, local,
             "{}: federated result differs from local",
@@ -97,7 +96,7 @@ fn join_site_choice_does_not_change_results() {
             vm_count: 1,
         };
         let run = scheduler
-            .execute_with_config(&query, &config, db.tables())
+            .execute_with_config(&query, &config, db.catalog())
             .expect("plan executes");
         results.push(run.outcome.result);
     }

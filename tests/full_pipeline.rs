@@ -23,7 +23,7 @@ fn all_four_paper_queries_run_end_to_end() {
         q17("Brand#23", "MED BOX"),
     ] {
         let report = session
-            .submit(&query, db.tables(), &QueryPolicy::balanced())
+            .submit(&query, db.catalog(), &QueryPolicy::balanced())
             .unwrap_or_else(|e| panic!("{} failed: {e}", query.label));
         assert!(report.space_size > 0, "{}", query.label);
         assert!(report.pareto_size > 0, "{}", query.label);
@@ -42,7 +42,7 @@ fn dream_learns_across_a_session_and_windows_stay_bounded() {
     for (i, year) in (1993..=1997).chain(1993..=1997).enumerate() {
         let modes = if i % 2 == 0 { ("MAIL", "SHIP") } else { ("AIR", "RAIL") };
         let report = session
-            .submit(&q12(modes.0, modes.1, year), db.tables(), &QueryPolicy::fastest())
+            .submit(&q12(modes.0, modes.1, year), db.catalog(), &QueryPolicy::fastest())
             .expect("pipeline runs");
         if let Some(w) = report.dream_window {
             windows.push(w);
@@ -94,18 +94,18 @@ fn distinct_seeds_produce_distinct_observations() {
     let q = q12("MAIL", "SHIP", 1995);
     let ra = midas_a
         .session()
-        .submit(&q, db.tables(), &QueryPolicy::balanced())
+        .submit(&q, db.catalog(), &QueryPolicy::balanced())
         .expect("pipeline runs");
     let rb = midas_b
         .session()
-        .submit(&q, db.tables(), &QueryPolicy::balanced())
+        .submit(&q, db.catalog(), &QueryPolicy::balanced())
         .expect("pipeline runs");
     assert_ne!(ra.actual_costs[0], rb.actual_costs[0]);
     // Same seed twice: identical.
     let (midas_c, _, _) = Midas::example_deployment(&["lineitem"], &["orders"]);
     let rc = midas_c
         .session()
-        .submit(&q, db.tables(), &QueryPolicy::balanced())
+        .submit(&q, db.catalog(), &QueryPolicy::balanced())
         .expect("pipeline runs");
     assert_eq!(ra.actual_costs, rc.actual_costs);
 }

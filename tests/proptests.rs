@@ -2,12 +2,13 @@
 
 use midas_repro::cloud::{Money, PricingModel};
 use midas_repro::engines::data::{Column, ColumnData, Table};
+use midas_repro::engines::Catalog;
 use midas_repro::engines::expr::Expr;
 use midas_repro::engines::ops::{execute, JoinType, PhysicalPlan};
 use midas_repro::moo::{fast_non_dominated_sort, pareto_front_indices};
 use midas_repro::tpch::gen::{GenConfig, TpchDb};
 use proptest::prelude::*;
-use std::collections::HashMap;
+
 
 /// Reference nested-loop inner join for equivalence checking.
 fn nested_loop_join(
@@ -46,7 +47,7 @@ proptest! {
         left in proptest::collection::vec((0i64..20, -100i64..100), 0..40),
         right in proptest::collection::vec((0i64..20, -100i64..100), 0..40),
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("l".to_string(), table_of("l", &left));
         catalog.insert("r".to_string(), table_of("r", &right));
         let plan = PhysicalPlan::HashJoin {
@@ -83,7 +84,7 @@ proptest! {
         rows in proptest::collection::vec((0i64..50, -50i64..50), 1..60),
         threshold in -50i64..50,
     ) {
-        let mut catalog = HashMap::new();
+        let mut catalog = Catalog::new();
         catalog.insert("t".to_string(), table_of("t", &rows));
         let plan = PhysicalPlan::Filter {
             input: Box::new(PhysicalPlan::Scan { table: "t".to_string() }),

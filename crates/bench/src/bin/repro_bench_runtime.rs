@@ -36,6 +36,16 @@
 //! gate runs on a *balanced* placement (Hive on both sites), where the two
 //! scan fragments have comparable occupancy and overlapping them is worth
 //! tens of percent.
+//!
+//! A second record, `target/repro/BENCH_ingest_throughput.json` (also
+//! copied to the repo root), measures the *streaming* half: the same
+//! tenant mix submitted through the live `Ingress` while hospital delta
+//! batches publish new copy-on-write catalog versions mid-flight. Its
+//! gates: appending a delta chunk recopies **0 bytes** of prior chunks
+//! (measured by pointer identity per append), and — with 4 workers and
+//! parallel fragments on — every query's result is **bit-identical** to
+//! executing it alone against the catalog version it pinned at admission
+//! (snapshot isolation), with catalog bytes cloned still 0.
 
 use midas::runtime::{FederationRuntime, RuntimeConfig, RuntimeJob, RuntimeReport};
 use midas::{Midas, QueryPolicy};
@@ -45,6 +55,7 @@ use midas_engines::sim::split_seed;
 use midas_engines::{EngineKind, Placement};
 use midas_tpch::gen::{GenConfig, TpchDb};
 use midas_tpch::queries::QueryId;
+use midas_tpch::stream::{streaming_workload, StreamEvent, StreamSpec};
 use midas_tpch::WorkloadGenerator;
 
 const SEED: u64 = 42;
@@ -159,6 +170,161 @@ fn balanced_fragment_runs(
     assert!(serial.failed.is_empty() && parallel.failed.is_empty());
     assert_eq!(cloned_bytes(&serial) + cloned_bytes(&parallel), 0);
     (serial.throughput_qps, parallel.throughput_qps)
+}
+
+/// The streaming-ingest bench: the four-hospital Q12–Q17 tape with delta
+/// batches spliced in every third query, consumed by a 4-worker
+/// fragment-parallel runtime through the live [`Ingress`] while the
+/// producer keeps submitting. Gates:
+///
+/// * **bytes recopied per append == 0** — appending a delta chunk
+///   `Arc`-shares every prior chunk (measured by pointer identity, not
+///   assumed);
+/// * **snapshot isolation, bit-for-bit** — with ≥ 2 workers and parallel
+///   fragments, every completed query's result fingerprint equals its
+///   standalone execution against the exact catalog version it pinned at
+///   admission;
+/// * **catalog bytes cloned per query == 0** — version pinning keeps the
+///   zero-copy seeding path intact.
+///
+/// Returns the JSON blob recorded as `BENCH_ingest_throughput.json`.
+///
+/// [`Ingress`]: midas::runtime::Ingress
+fn ingest_bench(midas: &Midas, db: &TpchDb, target_wall_s: f64) -> serde_json::Value {
+    let spec = StreamSpec::hospitals(SEED, 6);
+    let tape = streaming_workload(db, &spec);
+    let policies = [
+        QueryPolicy::balanced(),
+        QueryPolicy::fastest(),
+        QueryPolicy::cheapest(),
+        QueryPolicy::balanced().with_money_budget(100.0),
+    ];
+    let policy_of = |tenant: &str| {
+        let t = spec
+            .tenants
+            .iter()
+            .position(|name| name == tenant)
+            .expect("tape tenant is in the spec");
+        policies[t % policies.len()].clone()
+    };
+    let runtime = |workers: usize, pacing: f64| {
+        FederationRuntime::new(
+            midas.federation(),
+            midas.placement(),
+            db.catalog().clone(),
+            RuntimeConfig {
+                workers,
+                seed: SEED,
+                pacing,
+                parallel_fragments: true,
+                ..Default::default()
+            },
+        )
+    };
+    let drive = |rt: &FederationRuntime<'_>, with_ingest: bool| {
+        let mut queries = Vec::new();
+        let ((), report) = rt.serve(|ingress| {
+            for event in &tape {
+                match event {
+                    StreamEvent::Query { tenant, query, .. } => {
+                        queries.push((**query).clone());
+                        ingress.submit(RuntimeJob::new(
+                            tenant,
+                            (**query).clone(),
+                            policy_of(tenant),
+                        ));
+                    }
+                    StreamEvent::Ingest { deltas, .. } if with_ingest => {
+                        let receipt = ingress
+                            .ingest_batch(deltas.clone())
+                            .expect("delta batches share the base schema");
+                        assert_eq!(
+                            receipt.stats.recopied_bytes, 0,
+                            "append recopied prior-chunk bytes"
+                        );
+                    }
+                    StreamEvent::Ingest { .. } => {}
+                }
+            }
+        });
+        assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+        assert_eq!(report.completed.len(), queries.len());
+        (queries, report)
+    };
+
+    // Probe (unpaced, 1 worker, no ingest) calibrates pacing so the
+    // streaming runs take a few wall seconds, as in the worker sweep.
+    let probe = drive(&runtime(1, 0.0), false).1;
+    let sim_total_s: f64 = probe
+        .completed
+        .iter()
+        .map(|r| r.report.actual_costs[0])
+        .sum();
+    let pacing = target_wall_s / sim_total_s.max(1e-9);
+
+    let baseline = drive(&runtime(4, pacing), false).1;
+    let rt = runtime(4, pacing);
+    let (queries, streamed) = drive(&rt, true);
+
+    // Gate: the copy-on-write claim, measured across every append.
+    let ingest = streamed.ingest;
+    assert!(ingest.appends > 0 && ingest.rows_ingested > 0);
+    assert_eq!(
+        ingest.bytes_recopied, 0,
+        "copy-on-write appends recopied prior-chunk bytes"
+    );
+
+    // Gate: snapshot isolation under real concurrency — every result is
+    // bit-identical to standalone execution on its pinned version.
+    let mut max_version = 0;
+    for r in &streamed.completed {
+        let expected = queries[r.sequence]
+            .standalone_fingerprint(&r.pinned.pin())
+            .expect("standalone oracle executes");
+        assert_eq!(
+            r.report.result_fingerprint,
+            expected,
+            "{}: snapshot isolation violated at pinned v{}",
+            r.report.label,
+            r.pinned_version()
+        );
+        assert_eq!(r.report.catalog_cloned_bytes, 0, "{}", r.report.label);
+        max_version = max_version.max(r.pinned_version());
+    }
+    assert!(
+        max_version > 0,
+        "no job admitted after an ingest — the tape did not interleave"
+    );
+
+    println!(
+        "\ningest stream: {} queries + {} delta batches ({} rows), \
+         {:.2} qps under ingest vs {:.2} qps frozen, {} versions, \
+         0 bytes recopied",
+        streamed.completed.len(),
+        ingest.versions_published,
+        ingest.rows_ingested,
+        streamed.throughput_qps,
+        baseline.throughput_qps,
+        streamed.catalog_version,
+    );
+
+    serde_json::json!({
+        "workers": 4,
+        "parallel_fragments": true,
+        "jobs": streamed.completed.len(),
+        "ingest_batches": ingest.versions_published,
+        "rows_ingested": ingest.rows_ingested,
+        "bytes_ingested": ingest.bytes_ingested,
+        "bytes_shared_per_append": ingest.bytes_shared.checked_div(ingest.appends).unwrap_or(0),
+        "bytes_recopied_per_append": ingest.bytes_recopied,
+        "pacing_wall_s_per_sim_s": pacing,
+        "throughput_qps_under_ingest": streamed.throughput_qps,
+        "throughput_qps_frozen_catalog": baseline.throughput_qps,
+        "catalog_versions_published": streamed.catalog_version,
+        "max_pinned_version": max_version,
+        "snapshot_isolation": "bit-for-bit",
+        "unit": "completed queries per wall-clock second",
+    })
 }
 
 fn main() {
@@ -310,6 +476,11 @@ fn main() {
          {frag_speedup_balanced:.2}x"
     );
 
+    // Streaming ingest: the live-data half of the runtime, recorded (and
+    // gated) separately as BENCH_ingest_throughput.json.
+    let ingest_json = ingest_bench(&midas, &db, 3.0);
+    write_json("BENCH_ingest_throughput", &ingest_json);
+
     write_json(
         "BENCH_runtime_throughput",
         &serde_json::json!({
@@ -328,12 +499,14 @@ fn main() {
             "one_worker_parallel_parity": "bit-for-bit",
         }),
     );
-    // Keep a copy at the workspace root so the perf trajectory is visible
-    // in the tree across PRs.
-    let root_copy = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_runtime_throughput.json");
-    if let Err(e) = std::fs::copy("target/repro/BENCH_runtime_throughput.json", &root_copy) {
-        eprintln!("warning: could not copy BENCH_runtime_throughput.json to repo root: {e}");
+    // Keep copies at the workspace root so the perf trajectories are
+    // visible in the tree across PRs.
+    for name in ["BENCH_runtime_throughput", "BENCH_ingest_throughput"] {
+        let root_copy = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("{name}.json"));
+        if let Err(e) = std::fs::copy(format!("target/repro/{name}.json"), &root_copy) {
+            eprintln!("warning: could not copy {name}.json to repo root: {e}");
+        }
     }
 }

@@ -505,6 +505,148 @@ impl Table {
     pub fn row(&self, i: usize) -> Vec<Value> {
         self.columns.iter().map(|c| c.value(i)).collect()
     }
+
+    /// The table's schema as `(column name, type)` pairs, in column order.
+    pub fn schema(&self) -> Vec<(&str, DataType)> {
+        self.columns
+            .iter()
+            .map(|c| (c.name.as_str(), c.data.data_type()))
+            .collect()
+    }
+
+    /// Concatenates `chunks` (all sharing one schema) into one owned table
+    /// named `name`. Row order is chunk order; validity masks merge (a
+    /// combined mask is materialized as soon as any chunk carries one).
+    ///
+    /// This is the *compaction* step of the copy-on-write data plane: a
+    /// chunked table stays append-only and zero-copy until an executor
+    /// needs one contiguous column vector, at which point the chunks are
+    /// gathered exactly once per catalog version (see
+    /// [`crate::version::ChunkedTable::snapshot`]).
+    pub fn concat(name: &str, chunks: &[&Table]) -> Result<Table, EngineError> {
+        let Some((first, rest)) = chunks.split_first() else {
+            return Ok(Table::empty(name));
+        };
+        let schema = first.schema();
+        for chunk in rest {
+            if chunk.schema() != schema {
+                return Err(EngineError::TypeMismatch {
+                    context: format!(
+                        "cannot concatenate chunk of table {:?} ({:?}) onto schema {:?}",
+                        chunk.name,
+                        chunk.schema(),
+                        schema
+                    ),
+                });
+            }
+        }
+        let n_rows: usize = chunks.iter().map(|c| c.n_rows).sum();
+        let mut columns = Vec::with_capacity(first.n_columns());
+        for col_idx in 0..first.n_columns() {
+            let parts: Vec<&Column> = chunks.iter().map(|c| &c.columns[col_idx]).collect();
+            macro_rules! splice {
+                ($variant:ident) => {{
+                    let mut out = Vec::with_capacity(n_rows);
+                    for part in &parts {
+                        match &part.data {
+                            ColumnData::$variant(v) => out.extend_from_slice(v),
+                            _ => unreachable!("schema checked above"),
+                        }
+                    }
+                    ColumnData::$variant(out)
+                }};
+            }
+            let data = match &first.columns[col_idx].data {
+                ColumnData::Int64(_) => splice!(Int64),
+                ColumnData::Float64(_) => splice!(Float64),
+                ColumnData::Utf8(_) => splice!(Utf8),
+                ColumnData::Date(_) => splice!(Date),
+                ColumnData::Bool(_) => splice!(Bool),
+            };
+            let validity = if parts.iter().any(|p| p.validity.is_some()) {
+                let mut mask = Vec::with_capacity(n_rows);
+                for part in &parts {
+                    match &part.validity {
+                        Some(v) => mask.extend(v.iter().copied()),
+                        None => mask.extend(std::iter::repeat_n(true, part.len())),
+                    }
+                }
+                Some(mask)
+            } else {
+                None
+            };
+            columns.push(Column {
+                name: first.columns[col_idx].name.clone(),
+                data,
+                validity,
+            });
+        }
+        Ok(Table {
+            name: name.to_string(),
+            columns,
+            n_rows,
+        })
+    }
+
+    /// An order-sensitive 64-bit content fingerprint (FNV-1a over schema,
+    /// validity and values). Two tables fingerprint equal iff they hold the
+    /// same rows in the same order under the same schema — the cheap
+    /// bit-for-bit identity the snapshot-isolation gates compare instead of
+    /// shipping whole result tables through reports.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.n_rows as u64).to_le_bytes());
+        eat(&(self.columns.len() as u64).to_le_bytes());
+        for c in &self.columns {
+            eat(c.name.as_bytes());
+            eat(&[0xff]);
+            for i in 0..c.len() {
+                eat(&[u8::from(c.is_valid(i))]);
+            }
+            match &c.data {
+                ColumnData::Int64(v) => {
+                    eat(&[0]);
+                    for x in v {
+                        eat(&x.to_le_bytes());
+                    }
+                }
+                ColumnData::Float64(v) => {
+                    eat(&[1]);
+                    for x in v {
+                        eat(&x.to_bits().to_le_bytes());
+                    }
+                }
+                ColumnData::Utf8(v) => {
+                    eat(&[2]);
+                    for s in v {
+                        eat(&(s.len() as u64).to_le_bytes());
+                        eat(s.as_bytes());
+                    }
+                }
+                ColumnData::Date(v) => {
+                    eat(&[3]);
+                    for x in v {
+                        eat(&x.to_le_bytes());
+                    }
+                }
+                ColumnData::Bool(v) => {
+                    eat(&[4]);
+                    for x in v {
+                        eat(&[u8::from(*x)]);
+                    }
+                }
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -649,6 +791,65 @@ mod tests {
             );
         }
         assert_eq!(t.estimated_bytes_sel(None), t.estimated_bytes());
+    }
+
+    #[test]
+    fn concat_splices_chunks_in_order() {
+        let t = sample();
+        let whole = Table::concat("t", &[&t.take(&[0]), &t.take(&[1, 2])]).unwrap();
+        assert_eq!(whole.n_rows(), 3);
+        for i in 0..3 {
+            assert_eq!(whole.row(i), t.row(i));
+        }
+        assert_eq!(Table::concat("e", &[]).unwrap().n_rows(), 0);
+        // Validity merges: a NULL-carrying chunk forces a combined mask.
+        let plain = Column::new("n", ColumnData::Int64(vec![1]));
+        let nullable =
+            Column::with_validity("n", ColumnData::Int64(vec![0]), vec![false]);
+        let a = Table::new("a", vec![plain]).unwrap();
+        let b = Table::new("b", vec![nullable]).unwrap();
+        let merged = Table::concat("m", &[&a, &b]).unwrap();
+        assert!(merged.columns()[0].is_valid(0));
+        assert!(!merged.columns()[0].is_valid(1));
+    }
+
+    #[test]
+    fn concat_rejects_schema_mismatches() {
+        let t = sample();
+        let other = Table::new(
+            "o",
+            vec![Column::new("id", ColumnData::Float64(vec![1.0]))],
+        )
+        .unwrap();
+        assert!(matches!(
+            Table::concat("bad", &[&t, &other]),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_content_identity() {
+        let t = sample();
+        assert_eq!(t.fingerprint(), sample().fingerprint());
+        // Row order matters.
+        assert_ne!(t.fingerprint(), t.take(&[2, 1, 0]).fingerprint());
+        // Values matter.
+        assert_ne!(t.fingerprint(), t.take(&[0, 0, 2]).fingerprint());
+        // Validity matters even when backing values agree.
+        let v1 = Table::new("v", vec![Column::new("x", ColumnData::Int64(vec![5]))]).unwrap();
+        let v2 = Table::new(
+            "v",
+            vec![Column::with_validity(
+                "x",
+                ColumnData::Int64(vec![5]),
+                vec![false],
+            )],
+        )
+        .unwrap();
+        assert_ne!(v1.fingerprint(), v2.fingerprint());
+        // Concatenation of chunks fingerprints like the contiguous table.
+        let whole = Table::concat("t", &[&t.take(&[0, 1]), &t.take(&[2])]).unwrap();
+        assert_eq!(whole.fingerprint(), t.fingerprint());
     }
 
     #[test]

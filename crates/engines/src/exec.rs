@@ -475,10 +475,33 @@ fn run_federated(
             drop(permit);
             result
         };
+        // Admission-aware LPT launch order: within a *parallel* wave, start
+        // the fragment with the largest estimated relational input first.
+        // When two fragments of one wave target the same saturated site,
+        // the longest one entering the admission queue first shrinks the
+        // wave's critical path (classic longest-processing-time
+        // scheduling); the estimate is a pure function of the catalog, so
+        // the order is deterministic, and simulated outcomes are unaffected
+        // because the simulation phase below always consumes fragments in
+        // index order. Serial execution and single-fragment waves gain
+        // nothing from reordering, so they keep the historical index order
+        // (and skip the estimation walk entirely).
+        let launch_order = if parallel && members.len() > 1 {
+            lpt_launch_order(&members, |idx| {
+                let fragment = &query.fragments[idx];
+                let base: u64 = referenced_base_tables(&fragment.plan)
+                    .iter()
+                    .filter_map(|name| catalog.get_shared(name).map(|t| t.estimated_bytes()))
+                    .sum();
+                base + deps[idx].iter().map(|&d| frag_bytes[d]).sum::<u64>()
+            })
+        } else {
+            members.clone()
+        };
         let results: Vec<Result<(Table, WorkProfile), EngineError>> =
-            if parallel && members.len() > 1 {
+            if parallel && launch_order.len() > 1 {
                 std::thread::scope(|scope| {
-                    let handles: Vec<_> = members
+                    let handles: Vec<_> = launch_order
                         .iter()
                         .map(|&idx| scope.spawn(move || run_one(idx)))
                         .collect();
@@ -488,17 +511,20 @@ fn run_federated(
                         .collect()
                 })
             } else {
-                members.iter().map(|&idx| run_one(idx)).collect()
+                launch_order.iter().map(|&idx| run_one(idx)).collect()
             };
 
-        // Collect in fragment order; the lowest-index failure wins, with a
-        // fragment's execution error preceding its instance-lookup error —
-        // exactly what the sequential fragment-at-a-time loop surfaced.
-        // Before surfacing an error, the sim cursor advances over the
-        // fragments that *did* complete, consuming the env draws/ticks the
+        // Collect in fragment order (launch order was LPT; sorting back
+        // restores it); the lowest-index failure wins, with a fragment's
+        // execution error preceding its instance-lookup error — exactly
+        // what the sequential fragment-at-a-time loop surfaced. Before
+        // surfacing an error, the sim cursor advances over the fragments
+        // that *did* complete, consuming the env draws/ticks the
         // sequential loop had already consumed at that point — a shared
         // env must end an aborted query in the same state either way.
-        for (&idx, result) in members.iter().zip(results) {
+        let mut collected: Vec<_> = launch_order.into_iter().zip(results).collect();
+        collected.sort_by_key(|(idx, _)| *idx);
+        for (idx, result) in collected {
             let (table, work) = match result {
                 Ok(ok) => ok,
                 Err(e) => {
@@ -623,6 +649,15 @@ impl SimCursor {
             self.next += 1;
         }
     }
+}
+
+/// Longest-processing-time launch order for one wave: `members` sorted by
+/// descending `estimate` (estimated relational input bytes), ties broken by
+/// ascending fragment index so the order is fully deterministic.
+fn lpt_launch_order(members: &[usize], estimate: impl Fn(usize) -> u64) -> Vec<usize> {
+    let mut order: Vec<(u64, usize)> = members.iter().map(|&idx| (estimate(idx), idx)).collect();
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    order.into_iter().map(|(_, idx)| idx).collect()
 }
 
 /// Base-table scan names (everything but `@frag<N>`) referenced by a plan.
@@ -910,6 +945,77 @@ mod tests {
         let mut ex0 = executor(&fed);
         ex0.run(&q0, &base_tables(50)).unwrap();
         assert_eq!(ex0.env().clock_s.to_bits(), clock_after_failure.to_bits());
+    }
+
+    #[test]
+    fn lpt_order_is_descending_cost_with_index_ties() {
+        let sizes = [10u64, 40, 40, 5];
+        let order = lpt_launch_order(&[0, 1, 2, 3], |idx| sizes[idx]);
+        assert_eq!(order, vec![1, 2, 0, 3]);
+        // Degenerate waves pass through.
+        assert_eq!(lpt_launch_order(&[7], |_| 0), vec![7]);
+        assert!(lpt_launch_order(&[], |_| 0).is_empty());
+    }
+
+    #[test]
+    fn lpt_launch_keeps_simulated_outcomes_and_error_order() {
+        // Fragment 0 is *smaller* than fragment 1 in wave 0, so a parallel
+        // wave launches 1 before 0 (LPT) — yet the simulated outcome must
+        // be bit-identical to the serial index-order run (the sim cursor
+        // still consumes in index order), and the lowest-index error must
+        // still win.
+        let (fed, a, b) = example_federation();
+        let q = FederatedQuery {
+            fragments: vec![
+                Fragment {
+                    plan: PhysicalPlan::Scan {
+                        table: "right".to_string(),
+                    },
+                    site: b,
+                    engine: EngineKind::PostgreSql,
+                    instance: "B2S".to_string(),
+                    vm_count: 1,
+                },
+                Fragment {
+                    plan: PhysicalPlan::Scan {
+                        table: "left".to_string(),
+                    },
+                    site: a,
+                    engine: EngineKind::Hive,
+                    instance: "a1.large".to_string(),
+                    vm_count: 1,
+                },
+            ],
+        };
+        let tables = base_tables(200);
+        let serial = executor(&fed).run(&q, &tables).unwrap();
+        assert_eq!(serial.fragments.len(), 2);
+        // Parallel (LPT-ordered) execution of the same wave, same seed.
+        let mut env = SimulationEnv::new();
+        for site in fed.site_ids() {
+            env.register_site(site, 42, DriftIntensity::Mild);
+        }
+        let env = Mutex::new(env);
+        let admission = SiteAdmission::unmetered();
+        let parallel = SharedExecutor::new(&fed, &env, &admission)
+            .with_parallel_fragments(true)
+            .run(&q, &tables)
+            .unwrap();
+        assert_eq!(parallel.elapsed_s.to_bits(), serial.elapsed_s.to_bits());
+        assert_eq!(parallel.money, serial.money);
+        assert_eq!(parallel.result, serial.result);
+        // Both orders of a missing-table wave surface the lowest index.
+        let mut ghost = q.clone();
+        ghost.fragments[0].plan = PhysicalPlan::Scan {
+            table: "ghost0".to_string(),
+        };
+        ghost.fragments[1].plan = PhysicalPlan::Scan {
+            table: "ghost1".to_string(),
+        };
+        match executor(&fed).run(&ghost, &tables) {
+            Err(EngineError::UnknownTable(t)) => assert_eq!(t, "ghost0"),
+            other => panic!("expected UnknownTable(ghost0), got {other:?}"),
+        }
     }
 
     #[test]

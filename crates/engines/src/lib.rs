@@ -34,6 +34,7 @@ pub mod expr;
 pub mod ops;
 pub mod placement;
 pub mod sim;
+pub mod version;
 
 pub use catalog::Catalog;
 pub use data::{Column, ColumnData, DataType, Table, Value};
@@ -44,3 +45,6 @@ pub use expr::Expr;
 pub use ops::{AggExpr, JoinType, PhysicalPlan, WorkProfile};
 pub use placement::Placement;
 pub use sim::{split_seed, AdmissionStats, LoadModel, SimulationEnv, SiteAdmission};
+pub use version::{
+    AppendStats, CatalogVersion, ChunkedTable, IngestReceipt, IngestStats, VersionedCatalog,
+};

@@ -13,6 +13,7 @@ use midas_cloud::{Federation, Money, SiteId};
 use midas_engines::engine::EngineProfile;
 use midas_engines::exec::simulate_fragment_seconds;
 use midas_engines::ops::{execute, WorkProfile};
+use midas_engines::version::CatalogVersion;
 use midas_engines::{Catalog, EngineError, EngineKind, Placement};
 use midas_tpch::TwoTableQuery;
 
@@ -63,6 +64,19 @@ impl PlanCostModel {
             left_bytes,
             right_bytes,
         })
+    }
+
+    /// [`PlanCostModel::build`] against a pinned catalog version — the
+    /// planning entry point of the live-data stack. The version's snapshot
+    /// tables are borrowed by `Arc` handle (compacted at most once per
+    /// version, shared with every other pin), so planning against version
+    /// `v` costs exactly what planning against an immutable catalog did.
+    pub fn build_pinned(
+        placement: &Placement,
+        query: &TwoTableQuery,
+        version: &CatalogVersion,
+    ) -> Result<Self, EngineError> {
+        Self::build(placement, query, &version.pin())
     }
 
     /// Rows of the two prepared inputs — the features DREAM regresses on.

@@ -10,6 +10,7 @@ use midas_cloud::Federation;
 use midas_dream::EstimationError;
 use midas_engines::exec::{ExecutionOutcome, Executor};
 use midas_engines::sim::{DriftIntensity, SimulationEnv};
+use midas_engines::version::CatalogVersion;
 use midas_engines::{Catalog, EngineError, Placement};
 use midas_tpch::TwoTableQuery;
 
@@ -160,6 +161,19 @@ impl<'a> Scheduler<'a> {
         })
     }
 
+    /// [`Scheduler::execute_with_config`] against a pinned catalog version
+    /// — the execution entry point of the live-data stack. Snapshot
+    /// isolation is the version's: however many ingests publish while this
+    /// runs, the query reads exactly the rows of `version`.
+    pub fn execute_pinned(
+        &mut self,
+        query: &TwoTableQuery,
+        config: &CandidateConfig,
+        version: &CatalogVersion,
+    ) -> Result<ExecutedQuery, SchedulerError> {
+        self.execute_with_config(query, config, &version.pin())
+    }
+
     /// Lets idle time pass: advances the environment by `ticks` drift steps
     /// of `dt_s` simulated seconds each (between-query arrival gaps).
     pub fn idle(&mut self, ticks: usize, dt_s: f64) {
@@ -288,6 +302,41 @@ mod tests {
         // (drift + noise at work).
         let first = times[0];
         assert!(times.iter().any(|t| (t - first).abs() > 1e-6), "{times:?}");
+    }
+
+    #[test]
+    fn pinned_execution_matches_flat_catalog_execution() {
+        use midas_engines::version::VersionedCatalog;
+        let (fed, _, _) = example_federation();
+        let (mut sched_flat, db) = setup(&fed);
+        let q = q12("MAIL", "SHIP", 1994);
+        let flat = sched_flat
+            .execute_with_config(&q, &config(), db.catalog())
+            .unwrap();
+
+        let (mut sched_pinned, _) = setup(&fed);
+        let versioned = VersionedCatalog::new(db.catalog().clone());
+        let pinned = sched_pinned
+            .execute_pinned(&q, &config(), &versioned.current())
+            .unwrap();
+        // Planning routes through the same pinned snapshot.
+        let model_flat =
+            crate::PlanCostModel::build(sched_flat.placement(), &q, db.catalog()).unwrap();
+        let model_pinned =
+            crate::PlanCostModel::build_pinned(sched_flat.placement(), &q, &versioned.current())
+                .unwrap();
+        assert_eq!(model_pinned.prepared_rows(), model_flat.prepared_rows());
+        assert_eq!(
+            model_pinned.cost(&fed, &config()),
+            model_flat.cost(&fed, &config())
+        );
+        // Same seed, same data, same config: bit-for-bit equal signals.
+        assert_eq!(pinned.features, flat.features);
+        assert_eq!(pinned.costs, flat.costs);
+        assert_eq!(
+            pinned.outcome.result.fingerprint(),
+            flat.outcome.result.fingerprint()
+        );
     }
 
     #[test]

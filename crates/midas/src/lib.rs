@@ -30,6 +30,7 @@ pub mod runtime;
 pub mod system;
 
 pub use runtime::{
-    FederationRuntime, RuntimeConfig, RuntimeJob, RuntimeReport, TenantReport, TenantStats,
+    FederationRuntime, Ingress, RuntimeConfig, RuntimeJob, RuntimeReport, TenantReport,
+    TenantStats,
 };
 pub use system::{Midas, MidasReport, MidasSession, QueryPolicy};

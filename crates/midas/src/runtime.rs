@@ -1,49 +1,60 @@
-//! The concurrent multi-tenant federation runtime.
+//! The concurrent multi-tenant federation runtime over live data.
 //!
 //! The paper's MIDAS pipeline serves *many hospitals submitting queries
-//! concurrently* to a cloud federation, while [`crate::system::MidasSession`]
-//! processes one query at a time on one thread. [`FederationRuntime`] turns
-//! the same admit → plan → execute → learn loop into a worker-pool service:
+//! concurrently* to a cloud federation whose data never stops growing,
+//! while [`crate::system::MidasSession`] processes one query at a time
+//! against a frozen catalog. [`FederationRuntime`] turns the same
+//! admit → plan → execute → learn loop into a streaming worker-pool
+//! service:
 //!
-//! * **Admit** — a stream of `(tenant, query, policy)` jobs feeds a shared
-//!   queue; `workers` OS threads drain it.
+//! * **Admit** — tenants push `(tenant, query, policy)` jobs through an
+//!   mpsc-style [`Ingress`] (`submit` / `ingest` / `drain`) while `workers`
+//!   OS threads drain a shared queue. The queue is **per-tenant
+//!   round-robin**, not strict FIFO: each pop takes the next job of the
+//!   next tenant in rotation, so one chatty tenant cannot starve the
+//!   others (a tenant's own jobs still run in submission order).
+//! * **Ingest** — the runtime owns a copy-on-write
+//!   [`VersionedCatalog`]: delta batches append as `Arc`-shared chunks
+//!   (zero bytes of prior data recopied) and publish a new catalog version
+//!   atomically. **Every job pins the version current at admission**, so
+//!   in-flight queries keep their snapshot bit-for-bit while later
+//!   admissions see the fresh rows — snapshot isolation at the catalog
+//!   level, with no locks on the read path.
 //! * **Plan** — QEP enumeration, analytic costing and multi-objective
-//!   selection are pure CPU work and run fully in parallel across workers.
+//!   selection run against the job's pinned version, fully in parallel
+//!   across workers.
 //! * **Execute** — relational execution is serialized *per simulated site*
 //!   through the federation's admission queues
-//!   ([`midas_engines::sim::SiteAdmission`], sized from each site's
-//!   [`midas_cloud::ResourcePool::admission_slots`]): a site with `k` slots
-//!   runs at most `k` fragments at once, and further fragments queue exactly
-//!   as they would on a real, capacity-bounded cloud site. The drifting
-//!   [`SimulationEnv`] is shared behind one lock with per-fragment critical
-//!   sections.
-//! * **Learn** — observations feed the shared, lock-guarded per-query-class
-//!   [`ModellingRegistry`]; its DREAM estimators default to the incremental
-//!   `O(L³)` Algorithm 1 path, so concurrent learners never refit a window
-//!   from scratch.
+//!   ([`midas_engines::sim::SiteAdmission`]); the drifting
+//!   [`SimulationEnv`] is shared behind one lock with per-fragment
+//!   critical sections.
+//! * **Learn** — observations feed the shared, lock-guarded
+//!   per-query-class [`ModellingRegistry`]; its DREAM estimators default
+//!   to the incremental `O(L³)` Algorithm 1 path.
 //!
-//! **Determinism.** With `workers == 1` the runtime performs exactly the
-//! operation sequence of the legacy sequential
-//! [`Scheduler`](midas_ires::Scheduler)-backed session — same plans, same
-//! simulated costs bit-for-bit, same learned history (the
-//! `runtime_concurrency` integration test pins this). With more workers the
-//! per-site RNG streams stay internally consistent (each site's draws are
-//! handed out in admission order under the env lock), but global
-//! interleaving — and therefore which query absorbs which noise draw — is
-//! scheduling-dependent, as it is on a real federation.
+//! **Determinism.** With `workers == 1` and a tenant-balanced workload the
+//! runtime performs exactly the operation sequence of the sequential
+//! [`Scheduler`](midas_ires::Scheduler)-backed session replaying the same
+//! admission/ingest interleaving — same plans, same simulated costs
+//! bit-for-bit, same learned history (the `runtime_concurrency` and
+//! `streaming_ingest` integration tests pin this). Independently of worker
+//! count, every job's *relational result* is bit-identical to executing it
+//! alone against its pinned catalog version (gated by the ingest bench).
 
 use crate::system::{MidasReport, QueryPolicy};
 use midas_cloud::Federation;
+use midas_engines::data::Table;
 use midas_engines::exec::SharedExecutor;
 use midas_engines::sim::{AdmissionStats, DriftIntensity, SimulationEnv, SiteAdmission};
-use midas_engines::{Catalog, Placement};
+use midas_engines::version::{CatalogVersion, IngestReceipt, IngestStats, VersionedCatalog};
+use midas_engines::{Catalog, EngineError, Placement};
 use midas_ires::optimizer::moqp_exhaustive;
 use midas_ires::scheduler::{base_rows, features_from, SchedulerError};
 use midas_ires::{assemble, EnumerationSpace, ModellingRegistry, PlanCostModel};
 use midas_moo::WeightedSumModel;
 use midas_tpch::TwoTableQuery;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Construction parameters of a [`FederationRuntime`].
@@ -117,14 +128,28 @@ impl RuntimeJob {
 pub struct TenantReport {
     /// Admission order of the job (0-based).
     pub sequence: usize,
+    /// Position in *completion* order (0-based) — with one worker this is
+    /// the round-robin service order the fairness tests assert on.
+    pub completion: usize,
     /// The submitting tenant.
     pub tenant: String,
     /// Which worker served it.
     pub worker: usize,
     /// Wall-clock seconds from dequeue to completion.
     pub wall_latency_s: f64,
+    /// The catalog version the job pinned at admission. Held by handle, so
+    /// snapshot-isolation harnesses can re-execute the query standalone
+    /// against exactly this version.
+    pub pinned: Arc<CatalogVersion>,
     /// The full pipeline report.
     pub report: MidasReport,
+}
+
+impl TenantReport {
+    /// The pinned catalog version's number.
+    pub fn pinned_version(&self) -> u64 {
+        self.pinned.version()
+    }
 }
 
 /// Per-tenant service aggregates.
@@ -140,7 +165,8 @@ pub struct TenantStats {
     pub money: f64,
 }
 
-/// What one [`FederationRuntime::run`] call returns.
+/// What one [`FederationRuntime::run`] / [`FederationRuntime::serve`] call
+/// returns.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
     /// Per-job reports, in admission (submission) order.
@@ -157,13 +183,205 @@ pub struct RuntimeReport {
     pub admission: Vec<(String, AdmissionStats)>,
     /// Per-tenant aggregates, sorted by tenant name.
     pub tenants: Vec<(String, TenantStats)>,
+    /// The catalog version published when the call returned.
+    pub catalog_version: u64,
+    /// Cumulative ingest accounting of the runtime's versioned catalog
+    /// (across all calls on this runtime; `bytes_recopied` is the
+    /// copy-on-write gate, 0 by construction).
+    pub ingest: IngestStats,
+}
+
+/// One queued unit of admitted work: the job plus its pinned snapshot.
+struct AdmittedJob {
+    sequence: usize,
+    pinned: Arc<CatalogVersion>,
+    job: RuntimeJob,
+}
+
+/// The shared ingress queue: per-tenant FIFOs drained round-robin.
+///
+/// Fairness model: tenants are registered in first-submission order; each
+/// pop scans from a rotating cursor and takes the front of the next
+/// non-empty tenant queue, then advances the cursor past that tenant. A
+/// tenant's own jobs run in submission order, but across tenants service
+/// interleaves one-job-per-tenant — a burst of `n` jobs from one tenant
+/// delays another tenant's next job by at most one job, not `n`.
+#[derive(Default)]
+struct QueueState {
+    /// Tenant names in first-submission order (the rotation order).
+    tenants: Vec<String>,
+    /// Per-tenant FIFO queues.
+    queues: HashMap<String, VecDeque<AdmittedJob>>,
+    /// Rotation cursor into `tenants`.
+    cursor: usize,
+    /// No further submissions; workers exit once all queues empty.
+    closed: bool,
+    /// Next admission sequence number.
+    next_sequence: usize,
+    /// Jobs submitted but not yet completed or failed.
+    outstanding: usize,
+}
+
+#[derive(Default)]
+struct JobQueue {
+    state: Mutex<QueueState>,
+    /// Signalled on submit and close.
+    ready: Condvar,
+    /// Signalled on completion (for `drain`).
+    idle: Condvar,
+}
+
+impl JobQueue {
+    /// Admits a job (with its pinned catalog version); returns its
+    /// admission sequence number.
+    fn submit(&self, job: RuntimeJob, pinned: Arc<CatalogVersion>) -> usize {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        let sequence = state.next_sequence;
+        state.next_sequence += 1;
+        state.outstanding += 1;
+        if !state.tenants.iter().any(|t| t == &job.tenant) {
+            state.tenants.push(job.tenant.clone());
+        }
+        state
+            .queues
+            .entry(job.tenant.clone())
+            .or_default()
+            .push_back(AdmittedJob {
+                sequence,
+                pinned,
+                job,
+            });
+        drop(state);
+        self.ready.notify_all();
+        sequence
+    }
+
+    /// Takes the next job in round-robin tenant order, blocking while the
+    /// queue is empty but not closed. `None` once closed and drained.
+    fn pop(&self) -> Option<AdmittedJob> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            let n = state.tenants.len();
+            for offset in 0..n {
+                let t = (state.cursor + offset) % n;
+                let tenant = state.tenants[t].clone();
+                if let Some(queue) = state.queues.get_mut(&tenant) {
+                    if let Some(job) = queue.pop_front() {
+                        state.cursor = (t + 1) % n;
+                        return Some(job);
+                    }
+                }
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    /// Records one completion (success or failure).
+    fn complete_one(&self) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.outstanding -= 1;
+        let drained = state.outstanding == 0;
+        drop(state);
+        if drained {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until every admitted job has completed or failed.
+    fn drain(&self) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        while state.outstanding > 0 {
+            state = self.idle.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    /// Closes the ingress: workers drain what is queued, then exit.
+    /// Idempotent.
+    fn close(&self) {
+        self.state.lock().expect("job queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Closes the queue when dropped — **also on unwind**, so a panicking
+/// producer closure fails the `serve` call instead of leaving workers
+/// parked forever in [`JobQueue::pop`].
+struct CloseOnDrop<'q>(&'q JobQueue);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Collected results of one service call, guarded by one lock so the
+/// completion index is consistent with the push order.
+#[derive(Default)]
+struct ResultSink {
+    completed: Vec<TenantReport>,
+    failed: Vec<(usize, String, String)>,
+    completions: usize,
+}
+
+/// The live ingress of a running [`FederationRuntime::serve`] call: the
+/// handle tenants (and ingest pipelines) use to feed the worker pool while
+/// it drains.
+///
+/// * [`Ingress::submit`] enqueues a job, **pinning the catalog version
+///   current at admission** — the job will read exactly that snapshot.
+/// * [`Ingress::ingest`] / [`Ingress::ingest_batch`] append delta chunks
+///   copy-on-write and publish a new version atomically; only *later*
+///   admissions observe it.
+/// * [`Ingress::drain`] blocks until every job admitted so far has
+///   completed — the barrier the deterministic replay harnesses use to
+///   impose a known admission/ingest interleaving.
+pub struct Ingress<'r, 'a> {
+    runtime: &'r FederationRuntime<'a>,
+    queue: &'r JobQueue,
+}
+
+impl Ingress<'_, '_> {
+    /// Enqueues a job; returns its admission sequence number. The job pins
+    /// the currently published catalog version.
+    pub fn submit(&self, job: RuntimeJob) -> usize {
+        let pinned = self.runtime.catalog.current();
+        self.queue.submit(job, pinned)
+    }
+
+    /// Appends one delta batch to `table` and publishes the successor
+    /// catalog version (visible to admissions from now on; pinned jobs are
+    /// unaffected).
+    pub fn ingest(&self, table: &str, delta: Table) -> Result<IngestReceipt, EngineError> {
+        self.runtime.catalog.append(table, delta)
+    }
+
+    /// Appends deltas to several tables as **one** atomic version bump.
+    pub fn ingest_batch(
+        &self,
+        deltas: Vec<(String, Table)>,
+    ) -> Result<IngestReceipt, EngineError> {
+        self.runtime.catalog.append_batch(deltas)
+    }
+
+    /// Blocks until every job admitted so far has completed or failed.
+    pub fn drain(&self) {
+        self.queue.drain();
+    }
+
+    /// The currently published catalog version number.
+    pub fn version(&self) -> u64 {
+        self.runtime.catalog.version()
+    }
 }
 
 /// The concurrent federation query service (see the module docs).
 pub struct FederationRuntime<'a> {
     federation: &'a Federation,
     placement: &'a Placement,
-    catalog: Catalog,
+    catalog: VersionedCatalog,
     config: RuntimeConfig,
     env: Mutex<SimulationEnv>,
     admission: SiteAdmission,
@@ -174,13 +392,13 @@ impl<'a> FederationRuntime<'a> {
     /// Builds a runtime over a federation, a placement and a shared data
     /// catalog.
     ///
-    /// The runtime *owns* its (immutable) catalog — taking one is an
-    /// `Arc`-handle copy, never a table copy — and every worker, tenant and
-    /// concurrently executing fragment reads through the same shared
-    /// tables. Sites are registered in the shared simulation environment
-    /// with the same seed derivation the legacy [`midas_ires::Scheduler`]
-    /// uses, and admission gates are sized from the federation's capacity
-    /// metadata.
+    /// The catalog becomes version 0 of the runtime's copy-on-write
+    /// [`VersionedCatalog`] — an `Arc`-handle copy, never a table copy —
+    /// and every worker, tenant and concurrently executing fragment reads
+    /// *some pinned version* of the same shared tables. Sites are
+    /// registered in the shared simulation environment with the same seed
+    /// derivation the legacy [`midas_ires::Scheduler`] uses, and admission
+    /// gates are sized from the federation's capacity metadata.
     pub fn new(
         federation: &'a Federation,
         placement: &'a Placement,
@@ -195,7 +413,7 @@ impl<'a> FederationRuntime<'a> {
         FederationRuntime {
             federation,
             placement,
-            catalog,
+            catalog: VersionedCatalog::new(catalog),
             config,
             env: Mutex::new(env),
             admission,
@@ -220,6 +438,17 @@ impl<'a> FederationRuntime<'a> {
         &self.registry
     }
 
+    /// The runtime's copy-on-write data store (for out-of-band ingest and
+    /// inspection; in-band ingest goes through [`Ingress::ingest`]).
+    pub fn versioned_catalog(&self) -> &VersionedCatalog {
+        &self.catalog
+    }
+
+    /// The currently published catalog version number.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.version()
+    }
+
     /// Simulated seconds on the shared federation clock.
     pub fn clock_s(&self) -> f64 {
         self.env.lock().expect("simulation env poisoned").clock_s
@@ -234,57 +463,104 @@ impl<'a> FederationRuntime<'a> {
             .collect()
     }
 
-    /// Admits a batch of jobs and drains it with the configured worker
-    /// pool, blocking until every job completed or failed.
+    /// Admits a closed batch of jobs and drains it with the configured
+    /// worker pool, blocking until every job completed or failed.
     ///
-    /// Jobs are dequeued in submission order; with one worker they also
-    /// *complete* in submission order, which is the determinism-harness
-    /// configuration. Learning state persists across `run` calls, so a
-    /// caller can stream batch after batch into one runtime.
+    /// The whole batch is admitted (and pinned to the current catalog
+    /// version) *before* workers start, so service order is a pure function
+    /// of the batch — the determinism-harness configuration. For jobs
+    /// arriving while the pool drains, use [`FederationRuntime::serve`].
+    /// Learning state and the versioned catalog persist across calls, so a
+    /// caller can stream batch after batch into one runtime (each call gets
+    /// its own job queue, so even overlapping calls from different threads
+    /// stay well-formed — they contend only on sites, env and learning,
+    /// like any two tenants).
     pub fn run(&self, jobs: Vec<RuntimeJob>) -> RuntimeReport {
+        let queue = JobQueue::default();
+        for job in jobs {
+            queue.submit(job, self.catalog.current());
+        }
+        queue.close();
         let started = Instant::now();
-        let n_jobs = jobs.len();
-        let queue: Mutex<VecDeque<(usize, RuntimeJob)>> =
-            Mutex::new(jobs.into_iter().enumerate().collect());
-        let completed: Mutex<Vec<TenantReport>> = Mutex::new(Vec::with_capacity(n_jobs));
-        let failed: Mutex<Vec<(usize, String, String)>> = Mutex::new(Vec::new());
-
-        let workers = self.config.workers.max(1);
+        let sink = Mutex::new(ResultSink::default());
         std::thread::scope(|scope| {
-            for worker in 0..workers {
-                let queue = &queue;
-                let completed = &completed;
-                let failed = &failed;
-                scope.spawn(move || loop {
-                    let job = queue.lock().expect("job queue poisoned").pop_front();
-                    let Some((sequence, job)) = job else {
-                        break;
-                    };
-                    let dequeued = Instant::now();
-                    match self.process(&job) {
-                        Ok(report) => {
-                            completed.lock().expect("report sink poisoned").push(
-                                TenantReport {
-                                    sequence,
-                                    tenant: job.tenant.clone(),
-                                    worker,
-                                    wall_latency_s: dequeued.elapsed().as_secs_f64(),
-                                    report,
-                                },
-                            );
-                        }
-                        Err(e) => failed
-                            .lock()
-                            .expect("error sink poisoned")
-                            .push((sequence, job.tenant.clone(), e.to_string())),
-                    }
-                });
+            for worker in 0..self.config.workers.max(1) {
+                let (queue, sink) = (&queue, &sink);
+                scope.spawn(move || self.worker_loop(worker, queue, sink));
             }
         });
+        self.finish(started, sink.into_inner().expect("result sink poisoned"))
+    }
 
-        let mut completed = completed.into_inner().expect("report sink poisoned");
+    /// Runs the worker pool as a *streaming* service: `producer` executes
+    /// on the calling thread with an [`Ingress`] handle and may submit
+    /// jobs, ingest delta batches and [`Ingress::drain`] at any point while
+    /// the workers drain concurrently. When `producer` returns — or
+    /// unwinds — the ingress closes; the call blocks until every admitted
+    /// job completed, then returns the producer's value alongside the
+    /// service report.
+    pub fn serve<R>(&self, producer: impl FnOnce(&Ingress<'_, 'a>) -> R) -> (R, RuntimeReport) {
+        let queue = JobQueue::default();
+        let started = Instant::now();
+        let sink = Mutex::new(ResultSink::default());
+        let value = std::thread::scope(|scope| {
+            for worker in 0..self.config.workers.max(1) {
+                let (queue, sink) = (&queue, &sink);
+                scope.spawn(move || self.worker_loop(worker, queue, sink));
+            }
+            let ingress = Ingress {
+                runtime: self,
+                queue: &queue,
+            };
+            // Close on return *and* on unwind: a panicking producer must
+            // fail the call, not strand the workers (which the scope would
+            // otherwise join forever).
+            let _closer = CloseOnDrop(&queue);
+            producer(&ingress)
+        });
+        let report = self.finish(started, sink.into_inner().expect("result sink poisoned"));
+        (value, report)
+    }
+
+    /// One worker: pop round-robin, process, record, until the ingress is
+    /// closed and drained.
+    fn worker_loop(&self, worker: usize, queue: &JobQueue, sink: &Mutex<ResultSink>) {
+        while let Some(admitted) = queue.pop() {
+            let dequeued = Instant::now();
+            let outcome = self.process(&admitted);
+            {
+                let mut sink = sink.lock().expect("result sink poisoned");
+                let completion = sink.completions;
+                sink.completions += 1;
+                match outcome {
+                    Ok(report) => sink.completed.push(TenantReport {
+                        sequence: admitted.sequence,
+                        completion,
+                        tenant: admitted.job.tenant.clone(),
+                        worker,
+                        wall_latency_s: dequeued.elapsed().as_secs_f64(),
+                        pinned: Arc::clone(&admitted.pinned),
+                        report,
+                    }),
+                    Err(e) => sink.failed.push((
+                        admitted.sequence,
+                        admitted.job.tenant.clone(),
+                        e.to_string(),
+                    )),
+                }
+            }
+            queue.complete_one();
+        }
+    }
+
+    /// Builds the service report from a drained sink.
+    fn finish(&self, started: Instant, sink: ResultSink) -> RuntimeReport {
+        let ResultSink {
+            mut completed,
+            mut failed,
+            ..
+        } = sink;
         completed.sort_by_key(|r| r.sequence);
-        let mut failed = failed.into_inner().expect("error sink poisoned");
         failed.sort_by_key(|(sequence, _, _)| *sequence);
 
         let wall_s = started.elapsed().as_secs_f64();
@@ -317,13 +593,20 @@ impl<'a> FederationRuntime<'a> {
             sim_clock_s: self.clock_s(),
             admission: self.admission_stats(),
             tenants,
+            catalog_version: self.catalog.version(),
+            ingest: self.catalog.stats(),
         }
     }
 
-    /// One pass of the pipeline for one job — the concurrent counterpart of
-    /// `MidasSession::submit`, operation for operation.
-    fn process(&self, job: &RuntimeJob) -> Result<MidasReport, SchedulerError> {
+    /// One pass of the pipeline for one admitted job — the concurrent
+    /// counterpart of `MidasSession::submit`, operation for operation,
+    /// reading the job's pinned catalog version throughout.
+    fn process(&self, admitted: &AdmittedJob) -> Result<MidasReport, SchedulerError> {
+        let job = &admitted.job;
         let query = &job.query;
+        // The pinned snapshot as a plain execution catalog: compacted at
+        // most once per version, then shared — seeding below is Arc::clone.
+        let catalog = admitted.pinned.pin();
         // Plan: enumerate the QEP space, cost it analytically, select under
         // the tenant's policy. Pure CPU — runs fully in parallel.
         let space = EnumerationSpace::for_query(
@@ -333,7 +616,7 @@ impl<'a> FederationRuntime<'a> {
             self.config.max_vms,
         )
         .map_err(SchedulerError::Engine)?;
-        let model = PlanCostModel::build(self.placement, query, &self.catalog)
+        let model = PlanCostModel::build(self.placement, query, &catalog)
             .map_err(SchedulerError::Engine)?;
         let weights = WeightedSumModel::new(&job.policy.weights);
         let outcome = moqp_exhaustive(
@@ -345,15 +628,14 @@ impl<'a> FederationRuntime<'a> {
         );
 
         // Execute: per-site admission + shared drifting environment, over
-        // the runtime-wide shared catalog (seeded per query by Arc::clone).
-        let left_rows = base_rows(&self.catalog, &query.left_table)?;
-        let right_rows = base_rows(&self.catalog, &query.right_table)?;
+        // the pinned snapshot (seeded per query by Arc::clone).
+        let left_rows = base_rows(&catalog, &query.left_table)?;
+        let right_rows = base_rows(&catalog, &query.right_table)?;
         let federated = assemble(self.federation, self.placement, query, &outcome.chosen)?;
         let executor = SharedExecutor::new(self.federation, &self.env, &self.admission)
             .with_pacing(self.config.pacing)
             .with_parallel_fragments(self.config.parallel_fragments);
-        let executed =
-            executor.run_with_scale(&federated, &self.catalog, self.config.work_scale)?;
+        let executed = executor.run_with_scale(&federated, &catalog, self.config.work_scale)?;
         let features = features_from(left_rows, right_rows, &executed, self.config.work_scale);
         let costs = executed.cost_vector();
 
@@ -368,6 +650,7 @@ impl<'a> FederationRuntime<'a> {
             actual_costs: costs,
             dream_window: fit.map(|report| report.window_used),
             result_rows: executed.result.n_rows(),
+            result_fingerprint: executed.result.fingerprint(),
             catalog_cloned_bytes: executed.catalog_cloned_bytes,
             chosen: outcome.chosen,
         })

@@ -73,6 +73,11 @@ pub struct MidasReport {
     pub dream_window: Option<usize>,
     /// The result table's row count.
     pub result_rows: usize,
+    /// Content fingerprint of the result table (order-sensitive; see
+    /// `Table::fingerprint`). The snapshot-isolation harnesses compare this
+    /// against executing the query standalone on its pinned catalog
+    /// version.
+    pub result_fingerprint: u64,
     /// Bytes of base-table data deep-copied while seeding this query's
     /// execution catalog — zero on the shared-`Arc` data plane (the runtime
     /// bench records and gates this).
@@ -244,6 +249,7 @@ impl MidasSession<'_> {
             actual_costs: executed.costs,
             dream_window,
             result_rows: executed.outcome.result.n_rows(),
+            result_fingerprint: executed.outcome.result.fingerprint(),
             catalog_cloned_bytes: executed.outcome.catalog_cloned_bytes,
             chosen: outcome.chosen,
         })

@@ -105,6 +105,13 @@ fn single_worker_parity(parallel_fragments: bool) {
         assert_eq!(c.actual_costs, sequential.actual_costs, "{}", c.label);
         assert_eq!(c.dream_window, sequential.dream_window, "{}", c.label);
         assert_eq!(c.result_rows, sequential.result_rows, "{}", c.label);
+        assert_eq!(
+            c.result_fingerprint, sequential.result_fingerprint,
+            "{}: result table drifted",
+            c.label
+        );
+        // A closed batch admits everything at version 0.
+        assert_eq!(concurrent.pinned_version(), 0, "{}", c.label);
         // The zero-copy data plane holds on both paths.
         assert_eq!(c.catalog_cloned_bytes, 0, "{}", c.label);
         assert_eq!(sequential.catalog_cloned_bytes, 0, "{}", c.label);

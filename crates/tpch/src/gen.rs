@@ -14,6 +14,8 @@
 
 use crate::dates;
 use midas_engines::data::{Column, ColumnData, Table};
+use midas_engines::sim::split_seed;
+use midas_engines::version::VersionedCatalog;
 use midas_engines::Catalog;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -148,7 +150,7 @@ impl TpchDb {
         tables.insert("customer", gen_customer(n_customers, &mut rng));
         tables.insert("part", gen_part(n_parts, &mut rng, config.encoding));
         tables.insert("supplier", gen_supplier(n_suppliers, &mut rng));
-        let orders = gen_orders(n_orders, n_customers, &mut rng, config.encoding);
+        let orders = gen_orders(n_orders, 0, n_customers, &mut rng, config.encoding);
         let lineitem = gen_lineitem(&orders, n_parts, n_suppliers, &mut rng, config.encoding);
         tables.insert("partsupp", gen_partsupp(n_parts, n_suppliers, &mut rng));
         tables.insert("orders", orders);
@@ -174,6 +176,14 @@ impl TpchDb {
     /// The shared execution catalog, keyed by lowercase table name.
     pub fn catalog(&self) -> &Catalog {
         &self.tables
+    }
+
+    /// The database as the base version (version 0) of a copy-on-write
+    /// [`VersionedCatalog`] — the live-data entry point: ingest deltas from
+    /// a [`DeltaStream`] publish successor versions while pinned queries
+    /// keep their snapshot. Handle copies only; no table bytes move.
+    pub fn versioned_catalog(&self) -> VersionedCatalog {
+        VersionedCatalog::new(self.tables.clone())
     }
 
     /// One table by name.
@@ -220,6 +230,105 @@ impl TpchDb {
             out.insert(name, table.take(&indices));
         }
         out
+    }
+}
+
+/// One ingest batch produced by a [`DeltaStream`]: freshly placed orders
+/// and their lineitems, keyed past everything generated before.
+#[derive(Debug, Clone)]
+pub struct TpchDelta {
+    /// Index of the batch in its stream (0-based).
+    pub batch: u64,
+    /// New `orders` rows.
+    pub orders: Table,
+    /// The new orders' `lineitem` rows.
+    pub lineitem: Table,
+}
+
+impl TpchDelta {
+    /// Total rows across both tables.
+    pub fn rows(&self) -> usize {
+        self.orders.n_rows() + self.lineitem.n_rows()
+    }
+
+    /// The batch as `(table name, delta)` pairs for
+    /// [`VersionedCatalog::append_batch`] — one atomic version bump, so no
+    /// admission ever observes orders without their lineitems.
+    pub fn into_batch(self) -> Vec<(String, Table)> {
+        vec![
+            ("orders".to_string(), self.orders),
+            ("lineitem".to_string(), self.lineitem),
+        ]
+    }
+}
+
+/// A deterministic stream of ingest deltas continuing a database's key
+/// space — the "hospitals keep admitting patients" half of the streaming
+/// workload.
+///
+/// Each batch draws from its own split-seeded RNG stream
+/// (`split_seed(seed, batch_index)`), so batch `k` is a pure function of
+/// `(db shape, seed, k)` no matter how batches interleave with queries:
+/// the streaming runtime and its sequential replay oracle generate
+/// bit-identical deltas. New orders reference *existing* customers, parts
+/// and suppliers, so every query class keeps joining against them, and
+/// order keys continue strictly past the keys generated so far.
+#[derive(Debug, Clone)]
+pub struct DeltaStream {
+    seed: u64,
+    next_orderkey: i64,
+    n_customers: usize,
+    n_parts: usize,
+    n_suppliers: usize,
+    encoding: StringEncoding,
+    batch_index: u64,
+}
+
+impl DeltaStream {
+    /// A stream continuing `db`'s key space.
+    pub fn new(db: &TpchDb, seed: u64) -> Self {
+        DeltaStream {
+            seed,
+            next_orderkey: db.table("orders").map_or(0, |t| t.n_rows() as i64),
+            n_customers: db.table("customer").map_or(1, |t| t.n_rows()),
+            n_parts: db.table("part").map_or(1, |t| t.n_rows()),
+            n_suppliers: db.table("supplier").map_or(1, |t| t.n_rows()),
+            encoding: db.encoding(),
+            batch_index: 0,
+        }
+    }
+
+    /// Batches generated so far.
+    pub fn batches_generated(&self) -> u64 {
+        self.batch_index
+    }
+
+    /// Generates the next delta batch of `n_orders` orders (plus their 1–7
+    /// lineitems each).
+    pub fn next_batch(&mut self, n_orders: usize) -> TpchDelta {
+        let batch = self.batch_index;
+        let mut rng = StdRng::seed_from_u64(split_seed(self.seed, batch));
+        let orders = gen_orders(
+            n_orders,
+            self.next_orderkey,
+            self.n_customers,
+            &mut rng,
+            self.encoding,
+        );
+        let lineitem = gen_lineitem(
+            &orders,
+            self.n_parts,
+            self.n_suppliers,
+            &mut rng,
+            self.encoding,
+        );
+        self.next_orderkey += n_orders as i64;
+        self.batch_index += 1;
+        TpchDelta {
+            batch,
+            orders,
+            lineitem,
+        }
     }
 }
 
@@ -410,7 +519,13 @@ fn gen_partsupp(n_parts: usize, n_suppliers: usize, rng: &mut StdRng) -> Table {
     .expect("generated columns are aligned")
 }
 
-fn gen_orders(n: usize, n_customers: usize, rng: &mut StdRng, encoding: StringEncoding) -> Table {
+fn gen_orders(
+    n: usize,
+    start_key: i64,
+    n_customers: usize,
+    rng: &mut StdRng,
+    encoding: StringEncoding,
+) -> Table {
     let start = dates::tpch_start();
     let end = dates::tpch_end() - 151; // spec: last order date leaves room for shipping
     let mut keys = Vec::with_capacity(n);
@@ -419,7 +534,7 @@ fn gen_orders(n: usize, n_customers: usize, rng: &mut StdRng, encoding: StringEn
     let mut prio_idx = Vec::with_capacity(n);
     let mut comments = Vec::with_capacity(n);
     for i in 0..n {
-        keys.push(i as i64 + 1);
+        keys.push(start_key + i as i64 + 1);
         custs.push(rng.gen_range(0..n_customers as i64) + 1);
         odates.push(rng.gen_range(start..=end));
         prio_idx.push(rng.gen_range(0..PRIORITIES.len()));
@@ -632,6 +747,43 @@ mod tests {
         assert_eq!(db.snapshot(-1.0)["orders"].n_rows(), 0);
         // A prefix: first rows agree.
         assert_eq!(snap["customer"].row(0), db.table("customer").unwrap().row(0));
+    }
+
+    #[test]
+    fn delta_stream_continues_keys_and_replays_deterministically() {
+        let db = tiny();
+        let n_orders = db.table("orders").unwrap().n_rows() as i64;
+        let mut stream = DeltaStream::new(&db, 3);
+        let first = stream.next_batch(40);
+        let second = stream.next_batch(25);
+        assert_eq!(first.orders.n_rows(), 40);
+        // Keys continue strictly past the base and the prior batch.
+        let keys = |t: &Table| match &t.column_by_name("o_orderkey").unwrap().data {
+            ColumnData::Int64(v) => v.clone(),
+            _ => panic!(),
+        };
+        assert_eq!(keys(&first.orders)[0], n_orders + 1);
+        assert_eq!(keys(&second.orders)[0], n_orders + 41);
+        // Lineitems reference their own batch's orders.
+        let li_keys = match &first.lineitem.column_by_name("l_orderkey").unwrap().data {
+            ColumnData::Int64(v) => v.clone(),
+            _ => panic!(),
+        };
+        assert!(li_keys.iter().all(|k| (n_orders + 1..=n_orders + 40).contains(k)));
+        // Streams replay: batch k is a pure function of (db, seed, k).
+        let mut replay = DeltaStream::new(&db, 3);
+        assert_eq!(replay.next_batch(40).lineitem, first.lineitem);
+        assert_eq!(replay.next_batch(25).orders, second.orders);
+        assert_eq!(replay.batches_generated(), 2);
+        // Deltas share the base schema, so they append cleanly.
+        let versioned = db.versioned_catalog();
+        let receipt = versioned.append_batch(first.into_batch()).unwrap();
+        assert_eq!(receipt.version, 1);
+        assert_eq!(receipt.stats.recopied_bytes, 0);
+        assert_eq!(
+            versioned.current().table_rows("orders"),
+            Some(n_orders as usize + 40)
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`workload`] — parameterized query-instance streams (rotating ship
 //!   modes, date windows, brands…) so input sizes vary run to run,
 //! * [`medical`] — the Patient/GeneralInfo schema of Example 2.1 and its
-//!   join query, for the medical examples.
+//!   join query, for the medical examples,
+//! * [`stream`] — the streaming medical workload: a deterministic tape of
+//!   hospital ingest deltas interleaved with Q12–Q17 tenant queries, for
+//!   the live-data (copy-on-write catalog) runtime harnesses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +30,11 @@ pub mod dict;
 pub mod gen;
 pub mod medical;
 pub mod queries;
+pub mod stream;
 pub mod workload;
 
 pub use dict::{Dictionary, TpchDictionaries};
-pub use gen::{GenConfig, StringEncoding, TpchDb};
+pub use gen::{DeltaStream, GenConfig, StringEncoding, TpchDb, TpchDelta};
 pub use queries::{QueryId, TwoTableQuery};
+pub use stream::{streaming_workload, StreamEvent, StreamSpec};
 pub use workload::{QueryInstance, WorkloadGenerator};

@@ -15,6 +15,7 @@ use crate::queries::{QueryId, TwoTableQuery};
 use midas_engines::data::{Column, ColumnData, Table};
 use midas_engines::expr::Expr;
 use midas_engines::ops::{JoinType, PhysicalPlan};
+use midas_engines::version::VersionedCatalog;
 use midas_engines::Catalog;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,6 +25,51 @@ use rand::{Rng, SeedableRng};
 /// `coverage` is the fraction of patients that have shared general-info
 /// records (mobile patients seen elsewhere).
 pub fn generate_medical(n_patients: usize, coverage: f64, seed: u64) -> Catalog {
+    let (patient, generalinfo) = medical_tables(n_patients, coverage, seed, 0);
+    let mut m = Catalog::new();
+    m.insert("patient", patient);
+    m.insert("generalinfo", generalinfo);
+    m
+}
+
+/// [`generate_medical`] as the base version of a copy-on-write
+/// [`VersionedCatalog`]; successive [`medical_delta`] batches publish new
+/// admissions while pinned queries keep their snapshot.
+pub fn generate_medical_versioned(n_patients: usize, coverage: f64, seed: u64) -> VersionedCatalog {
+    VersionedCatalog::new(generate_medical(n_patients, coverage, seed))
+}
+
+/// An ingest delta of `n_new` freshly admitted patients whose UIDs start at
+/// `start_uid + 1`, plus their shared general-info records (the same
+/// per-patient record model as [`generate_medical`]). Returned as
+/// `(table name, delta)` pairs ready for
+/// [`VersionedCatalog::append_batch`], so one hospital admission wave is
+/// one atomic version bump.
+///
+/// The batch is a pure function of its arguments — a streaming run and its
+/// sequential replay oracle generate bit-identical admissions.
+pub fn medical_delta(
+    n_new: usize,
+    coverage: f64,
+    seed: u64,
+    start_uid: i64,
+) -> Vec<(String, Table)> {
+    let (patient, generalinfo) = medical_tables(n_new, coverage, seed, start_uid);
+    vec![
+        ("patient".to_string(), patient),
+        ("generalinfo".to_string(), generalinfo),
+    ]
+}
+
+/// The shared generator body: `n_patients` patients with UIDs
+/// `start_uid + 1 ..= start_uid + n_patients`, plus shared records for a
+/// `coverage` fraction of them.
+fn medical_tables(
+    n_patients: usize,
+    coverage: f64,
+    seed: u64,
+    start_uid: i64,
+) -> (Table, Table) {
     let mut rng = StdRng::seed_from_u64(seed);
     let sexes = ["F", "M", "O"];
     let modalities = ["CT", "MR", "US", "XR", "PET"];
@@ -33,7 +79,7 @@ pub fn generate_medical(n_patients: usize, coverage: f64, seed: u64) -> Catalog 
     let mut age = Vec::with_capacity(n_patients);
     let mut modality = Vec::with_capacity(n_patients);
     for i in 0..n_patients {
-        uid.push(i as i64 + 1);
+        uid.push(start_uid + i as i64 + 1);
         sex.push(sexes[rng.gen_range(0..sexes.len())].to_string());
         age.push(rng.gen_range(0..100i64));
         modality.push(modalities[rng.gen_range(0..modalities.len())].to_string());
@@ -55,9 +101,10 @@ pub fn generate_medical(n_patients: usize, coverage: f64, seed: u64) -> Catalog 
     for i in 0..n_patients {
         if rng.gen_bool(coverage.clamp(0.0, 1.0)) {
             // Each shared patient has 1..=3 records from other clinics.
+            let patient_uid = start_uid + i as i64 + 1;
             for r in 0..rng.gen_range(1..=3) {
-                gi_uid.push(i as i64 + 1);
-                gi_names.push(format!("GeneralName#{:06}-{r}", i + 1));
+                gi_uid.push(patient_uid);
+                gi_names.push(format!("GeneralName#{patient_uid:06}-{r}"));
                 gi_hospital.push(format!("clinic-{}", rng.gen_range(1..=12)));
             }
         }
@@ -71,11 +118,7 @@ pub fn generate_medical(n_patients: usize, coverage: f64, seed: u64) -> Catalog 
         ],
     )
     .expect("generated columns are aligned");
-
-    let mut m = Catalog::new();
-    m.insert("patient", patient);
-    m.insert("generalinfo", generalinfo);
-    m
+    (patient, generalinfo)
 }
 
 /// Example 2.1's query as a two-table federated template.
@@ -193,6 +236,40 @@ mod tests {
         assert!(left_ct.n_rows() < left_all.n_rows());
         assert!(left_ct.n_rows() > 0);
         assert!(ct.label.contains("CT"));
+    }
+
+    #[test]
+    fn medical_delta_extends_the_registry_in_place() {
+        let versioned = generate_medical_versioned(200, 0.4, 6);
+        let base_patients = versioned.current().table_rows("patient").unwrap();
+        let receipt = versioned
+            .append_batch(medical_delta(50, 0.4, 61, base_patients as i64))
+            .unwrap();
+        assert_eq!(receipt.version, 1);
+        assert_eq!(receipt.stats.recopied_bytes, 0);
+        let head = versioned.current();
+        assert_eq!(head.table_rows("patient"), Some(base_patients + 50));
+        // Every generalinfo UID (old and new) references an existing patient.
+        let pinned = head.pin();
+        let max_uid = (base_patients + 50) as i64;
+        let g = pinned.get("generalinfo").unwrap();
+        for i in 0..g.n_rows() {
+            match g.row(i)[0] {
+                Value::Int64(uid) => assert!(uid >= 1 && uid <= max_uid),
+                ref other => panic!("{other:?}"),
+            }
+        }
+        // New admissions are joinable: some UIDs exceed the base registry.
+        let has_new = (0..g.n_rows()).any(|i| match g.row(i)[0] {
+            Value::Int64(uid) => uid > base_patients as i64,
+            _ => false,
+        });
+        assert!(has_new, "delta produced no shared records past the base");
+        // Deltas replay bit-for-bit.
+        assert_eq!(
+            medical_delta(50, 0.4, 61, base_patients as i64),
+            medical_delta(50, 0.4, 61, base_patients as i64)
+        );
     }
 
     #[test]

@@ -107,6 +107,20 @@ impl TwoTableQuery {
         let (out, combine_profile) = exec(&self.combine, catalog)?;
         Ok((out, [left_profile, right_profile, combine_profile]))
     }
+
+    /// Fingerprint of the query's result executed *standalone* against
+    /// `catalog` — no federation, simulation or scheduling involved. The
+    /// relational result is a pure function of `(query, catalog)`, which
+    /// makes this the **snapshot-isolation oracle**: a runtime's
+    /// `result_fingerprint` for a job must equal this, evaluated on the
+    /// catalog version the job pinned at admission. Defined once here so
+    /// the bench gate and the integration tests can never assert against
+    /// diverging oracles.
+    pub fn standalone_fingerprint(&self, catalog: &Catalog) -> Result<u64, EngineError> {
+        let mut catalog = catalog.clone();
+        let (out, _) = self.execute_local(&mut catalog, midas_engines::ops::execute)?;
+        Ok(out.fingerprint())
+    }
 }
 
 fn scan(t: &str) -> Box<PhysicalPlan> {

@@ -18,6 +18,14 @@
 #      bit-for-bit identical to serial-fragment mode, and overlapping a
 #      query's independent scan fragments must clear a 1.15x qps gate on
 #      the balanced placement (recorded alongside the asymmetric numbers).
+#      The same binary also records BENCH_ingest_throughput.json — qps of
+#      the streaming Ingress while hospital delta batches publish new
+#      copy-on-write catalog versions mid-flight — and gates the live-data
+#      plane: appending a delta chunk must recopy exactly 0 bytes of prior
+#      chunks (Arc-shared, measured by pointer identity), and with 4
+#      workers + parallel fragments every query result must be bit-identical
+#      to standalone execution against the catalog version it pinned at
+#      admission (snapshot isolation).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,7 +44,7 @@ cargo bench --offline -p midas-bench --bench engine_exec -- --test
 echo "==> perf trajectory (BENCH_engine_exec.json)"
 cargo run -q --release --offline -p midas-bench --bin repro_bench_engine_exec
 
-echo "==> runtime throughput (BENCH_runtime_throughput.json)"
+echo "==> runtime + ingest throughput (BENCH_runtime_throughput.json, BENCH_ingest_throughput.json)"
 cargo run -q --release --offline -p midas-bench --bin repro_bench_runtime
 
 echo "verify: OK"

@@ -99,6 +99,7 @@ fn runtime<'a>(
     workers: usize,
     pacing: f64,
     parallel_fragments: bool,
+    partition_degree: usize,
 ) -> FederationRuntime<'a> {
     FederationRuntime::new(
         midas.federation(),
@@ -109,6 +110,7 @@ fn runtime<'a>(
             seed: SEED,
             pacing,
             parallel_fragments,
+            partition_degree,
             ..Default::default()
         },
     )
@@ -339,7 +341,7 @@ fn main() {
     // so pacing lands the one-worker batch near TARGET_ONE_WORKER_WALL_S
     // of wall-clock. Calibration precision is irrelevant to the speedup
     // ratio — every worker count sleeps the same nominal total.
-    let probe = runtime(&midas, &db, 1, 0.0, false).run(jobs.clone());
+    let probe = runtime(&midas, &db, 1, 0.0, false, 1).run(jobs.clone());
     assert!(probe.failed.is_empty(), "probe failures: {:?}", probe.failed);
     let sim_total_s: f64 = probe
         .completed
@@ -356,14 +358,27 @@ fn main() {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json_runs: Vec<serde_json::Value> = Vec::new();
-    let mut qps: Vec<(usize, bool, f64)> = Vec::new();
-    let mut one_worker_costs: Vec<Vec<Vec<f64>>> = Vec::new(); // [serial, parallel][job][metric]
+    let mut qps: Vec<(usize, bool, usize, f64)> = Vec::new();
+    // Every 1-worker variant (serial fragments, parallel fragments,
+    // partitioned operators) must report bit-identical simulated costs.
+    let mut one_worker_costs: Vec<Vec<Vec<f64>>> = Vec::new();
     let mut total_cloned = 0u64;
-    for (workers, parallel) in [(1, false), (2, false), (4, false), (1, true), (4, true)] {
-        let report = runtime(&midas, &db, workers, pacing, parallel).run(jobs.clone());
+    let sweep = [
+        (1, false, 1),
+        (2, false, 1),
+        (4, false, 1),
+        (1, true, 1),
+        (4, true, 1),
+        // Intra-fragment partitioned join/aggregation, alone and composed
+        // with wave parallelism at full worker count.
+        (1, false, 4),
+        (4, true, 4),
+    ];
+    for (workers, parallel, degree) in sweep {
+        let report = runtime(&midas, &db, workers, pacing, parallel, degree).run(jobs.clone());
         assert!(
             report.failed.is_empty(),
-            "failures at {workers} workers (parallel={parallel}): {:?}",
+            "failures at {workers} workers (parallel={parallel}, degree={degree}): {:?}",
             report.failed
         );
         assert_eq!(report.completed.len(), n_jobs);
@@ -389,10 +404,11 @@ fn main() {
                     .collect(),
             );
         }
-        qps.push((workers, parallel, report.throughput_qps));
+        qps.push((workers, parallel, degree, report.throughput_qps));
         rows.push(vec![
             workers.to_string(),
             if parallel { "yes" } else { "no" }.to_string(),
+            degree.to_string(),
             format!("{:.2}", report.wall_s),
             format!("{:.2}", report.throughput_qps),
             format!("{:.3}", mean_latency_s),
@@ -402,6 +418,7 @@ fn main() {
         json_runs.push(serde_json::json!({
             "workers": workers,
             "parallel_fragments": parallel,
+            "partition_degree": degree,
             "wall_s": report.wall_s,
             "throughput_qps": report.throughput_qps,
             "mean_latency_s": mean_latency_s,
@@ -414,6 +431,7 @@ fn main() {
         &[
             "workers",
             "frag-par",
+            "part-deg",
             "wall (s)",
             "qps",
             "mean latency (s)",
@@ -429,21 +447,28 @@ fn main() {
         "base tables were deep-copied into per-query catalogs"
     );
 
-    // One-worker parity gate: fragment parallelism must not perturb a
-    // single-worker run's simulated outcomes by a single bit.
-    assert_eq!(one_worker_costs.len(), 2);
+    // One-worker parity gate: neither fragment parallelism nor partitioned
+    // operators may perturb a single-worker run's simulated outcomes by a
+    // single bit.
+    assert_eq!(one_worker_costs.len(), 3);
     assert_eq!(
         one_worker_costs[0], one_worker_costs[1],
         "parallel fragments changed 1-worker simulated costs"
     );
+    assert_eq!(
+        one_worker_costs[0], one_worker_costs[2],
+        "partitioned join/aggregation changed 1-worker simulated costs"
+    );
 
-    let find = |w: usize, p: bool| {
+    let find = |w: usize, p: bool, d: usize| {
         qps.iter()
-            .find(|&&(workers, parallel, _)| workers == w && parallel == p)
+            .find(|&&(workers, parallel, degree, _)| {
+                workers == w && parallel == p && degree == d
+            })
             .expect("run recorded")
-            .2
+            .3
     };
-    let speedup = find(4, false) / find(1, false);
+    let speedup = find(4, false, 1) / find(1, false, 1);
     println!("\n4-worker speedup over 1 worker: {speedup:.2}x");
     // The acceptance gate of the concurrent runtime: scripts/verify.sh runs
     // this binary, so a change that serializes the worker pool fails loudly
@@ -456,8 +481,8 @@ fn main() {
     // Intra-query parallelism on the default (engine-asymmetric)
     // placement: recorded for the trajectory; the overlap window is small
     // because the PostgreSQL scan is nearly free next to Hive's startup.
-    let frag_speedup_1w = find(1, true) / find(1, false);
-    let frag_speedup_4w = find(4, true) / find(4, false);
+    let frag_speedup_1w = find(1, true, 1) / find(1, false, 1);
+    let frag_speedup_4w = find(4, true, 1) / find(4, false, 1);
     println!(
         "fragment-parallel speedup (asymmetric placement): {frag_speedup_1w:.2}x \
          at 1 worker, {frag_speedup_4w:.2}x at 4 workers"
@@ -494,8 +519,11 @@ fn main() {
             "speedup_4_workers_vs_1": speedup,
             "fragment_parallel_speedup_1_worker": frag_speedup_1w,
             "fragment_parallel_speedup_4_workers": frag_speedup_4w,
+            "partition_degree_4_qps_1_worker": find(1, false, 4),
+            "partition_degree_4_qps_4_workers_parallel": find(4, true, 4),
+            "one_worker_partition_parity": "bit-for-bit",
             "fragment_parallel_speedup_balanced_placement": frag_speedup_balanced,
-            "catalog_cloned_bytes_per_query": total_cloned as f64 / (5 * n_jobs) as f64,
+            "catalog_cloned_bytes_per_query": total_cloned as f64 / (sweep.len() * n_jobs) as f64,
             "one_worker_parallel_parity": "bit-for-bit",
         }),
     );

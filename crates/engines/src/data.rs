@@ -593,6 +593,12 @@ impl Table {
     /// same rows in the same order under the same schema — the cheap
     /// bit-for-bit identity the snapshot-isolation gates compare instead of
     /// shipping whole result tables through reports.
+    ///
+    /// NULL slots contribute only their validity bit: whatever garbage the
+    /// data buffer happens to hold under an invalid row (a join's type
+    /// default, an operator's scratch value) never reaches the hash, so two
+    /// *logically* identical tables fingerprint equal no matter how their
+    /// dead slots differ.
     pub fn fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -611,36 +617,48 @@ impl Table {
             for i in 0..c.len() {
                 eat(&[u8::from(c.is_valid(i))]);
             }
+            // Invalid rows are skipped: the validity bytes above already
+            // disambiguate which positions were NULL.
             match &c.data {
                 ColumnData::Int64(v) => {
                     eat(&[0]);
-                    for x in v {
-                        eat(&x.to_le_bytes());
+                    for (i, x) in v.iter().enumerate() {
+                        if c.is_valid(i) {
+                            eat(&x.to_le_bytes());
+                        }
                     }
                 }
                 ColumnData::Float64(v) => {
                     eat(&[1]);
-                    for x in v {
-                        eat(&x.to_bits().to_le_bytes());
+                    for (i, x) in v.iter().enumerate() {
+                        if c.is_valid(i) {
+                            eat(&x.to_bits().to_le_bytes());
+                        }
                     }
                 }
                 ColumnData::Utf8(v) => {
                     eat(&[2]);
-                    for s in v {
-                        eat(&(s.len() as u64).to_le_bytes());
-                        eat(s.as_bytes());
+                    for (i, s) in v.iter().enumerate() {
+                        if c.is_valid(i) {
+                            eat(&(s.len() as u64).to_le_bytes());
+                            eat(s.as_bytes());
+                        }
                     }
                 }
                 ColumnData::Date(v) => {
                     eat(&[3]);
-                    for x in v {
-                        eat(&x.to_le_bytes());
+                    for (i, x) in v.iter().enumerate() {
+                        if c.is_valid(i) {
+                            eat(&x.to_le_bytes());
+                        }
                     }
                 }
                 ColumnData::Bool(v) => {
                     eat(&[4]);
-                    for x in v {
-                        eat(&[u8::from(*x)]);
+                    for (i, x) in v.iter().enumerate() {
+                        if c.is_valid(i) {
+                            eat(&[u8::from(*x)]);
+                        }
                     }
                 }
             }
@@ -850,6 +868,141 @@ mod tests {
         // Concatenation of chunks fingerprints like the contiguous table.
         let whole = Table::concat("t", &[&t.take(&[0, 1]), &t.take(&[2])]).unwrap();
         assert_eq!(whole.fingerprint(), t.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_garbage_under_null_slots() {
+        // Same logical content, different dead values in the invalid rows —
+        // for every column type.
+        let a = Table::new(
+            "t",
+            vec![
+                Column::with_validity("i", ColumnData::Int64(vec![1, 0, 3]), vec![true, false, true]),
+                Column::with_validity(
+                    "f",
+                    ColumnData::Float64(vec![0.5, 0.0, 2.5]),
+                    vec![true, false, true],
+                ),
+                Column::with_validity(
+                    "s",
+                    ColumnData::Utf8(vec!["a".into(), String::new(), "c".into()]),
+                    vec![true, false, true],
+                ),
+                Column::with_validity("d", ColumnData::Date(vec![7, 0, 9]), vec![true, false, true]),
+                Column::with_validity(
+                    "b",
+                    ColumnData::Bool(vec![true, false, true]),
+                    vec![true, false, true],
+                ),
+            ],
+        )
+        .unwrap();
+        let b = Table::new(
+            "t",
+            vec![
+                Column::with_validity("i", ColumnData::Int64(vec![1, 99, 3]), vec![true, false, true]),
+                Column::with_validity(
+                    "f",
+                    ColumnData::Float64(vec![0.5, f64::NAN, 2.5]),
+                    vec![true, false, true],
+                ),
+                Column::with_validity(
+                    "s",
+                    ColumnData::Utf8(vec!["a".into(), "garbage".into(), "c".into()]),
+                    vec![true, false, true],
+                ),
+                Column::with_validity("d", ColumnData::Date(vec![7, -1, 9]), vec![true, false, true]),
+                Column::with_validity(
+                    "b",
+                    ColumnData::Bool(vec![true, true, true]),
+                    vec![true, false, true],
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "null slots leaked garbage");
+        // Valid values still matter…
+        let c = Table::new(
+            "t",
+            vec![Column::with_validity(
+                "i",
+                ColumnData::Int64(vec![2, 0, 3]),
+                vec![true, false, true],
+            )],
+        )
+        .unwrap();
+        let d = Table::new(
+            "t",
+            vec![Column::with_validity(
+                "i",
+                ColumnData::Int64(vec![1, 0, 3]),
+                vec![true, false, true],
+            )],
+        )
+        .unwrap();
+        assert_ne!(c.fingerprint(), d.fingerprint());
+        // …and so does *which* rows are NULL.
+        let e = Table::new(
+            "t",
+            vec![Column::with_validity(
+                "i",
+                ColumnData::Int64(vec![1, 0, 3]),
+                vec![false, true, true],
+            )],
+        )
+        .unwrap();
+        assert_ne!(d.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn concat_mixed_validity_and_empty_chunk_edges() {
+        // Chunks alternating masked / unmasked / empty, spliced in order.
+        let plain = Table::new(
+            "t",
+            vec![
+                Column::new("k", ColumnData::Int64(vec![1, 2])),
+                Column::new("s", ColumnData::Utf8(vec!["x".into(), "y".into()])),
+            ],
+        )
+        .unwrap();
+        let masked = Table::new(
+            "t",
+            vec![
+                Column::with_validity("k", ColumnData::Int64(vec![3, 0]), vec![true, false]),
+                Column::new("s", ColumnData::Utf8(vec!["z".into(), "w".into()])),
+            ],
+        )
+        .unwrap();
+        let empty = Table::new(
+            "t",
+            vec![
+                Column::new("k", ColumnData::Int64(Vec::new())),
+                Column::new("s", ColumnData::Utf8(Vec::new())),
+            ],
+        )
+        .unwrap();
+        let whole = Table::concat("t", &[&plain, &empty, &masked, &plain]).unwrap();
+        assert_eq!(whole.n_rows(), 6);
+        // The spliced mask covers unmasked chunks with `true`.
+        let k = whole.column_by_name("k").unwrap();
+        assert!(k.validity.is_some());
+        assert_eq!(
+            (0..6).map(|i| k.is_valid(i)).collect::<Vec<_>>(),
+            vec![true, true, true, false, true, true]
+        );
+        assert_eq!(whole.row(2)[0], Value::Int64(3));
+        assert_eq!(whole.row(3)[0], Value::Null);
+        assert_eq!(whole.row(5)[1], Value::Utf8("y".into()));
+        // All-unmasked chunks keep a mask-free result.
+        let unmasked = Table::concat("t", &[&plain, &plain]).unwrap();
+        assert!(unmasked.columns().iter().all(|c| c.validity.is_none()));
+        // Zero chunks → an empty zero-column table; empty chunks only →
+        // zero rows under the shared schema.
+        let none = Table::concat("e", &[]).unwrap();
+        assert_eq!((none.n_rows(), none.n_columns()), (0, 0));
+        let empties = Table::concat("e", &[&empty, &empty]).unwrap();
+        assert_eq!((empties.n_rows(), empties.n_columns()), (0, 2));
+        assert_eq!(empties.schema(), empty.schema());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::catalog::Catalog;
 use crate::engine::{EngineKind, EngineProfile};
 use crate::error::EngineError;
-use crate::ops::{execute, OpKind, PhysicalPlan, WorkProfile};
+use crate::ops::{execute_with_partitions, OpKind, PhysicalPlan, WorkProfile};
 use crate::sim::{SimulationEnv, SiteAdmission};
 use crate::data::Table;
 use midas_cloud::{Federation, InstanceType, Money, SiteId};
@@ -112,13 +112,28 @@ pub struct QepConfig {
 pub struct Executor<'a> {
     federation: &'a Federation,
     env: SimulationEnv,
+    partition_degree: usize,
 }
 
 impl<'a> Executor<'a> {
     /// Binds an executor to a federation with a fresh simulation
     /// environment.
     pub fn new(federation: &'a Federation, env: SimulationEnv) -> Self {
-        Executor { federation, env }
+        Executor {
+            federation,
+            env,
+            partition_degree: 1,
+        }
+    }
+
+    /// Sets the intra-operator partition fan-out: hash joins and grouped
+    /// aggregations inside every fragment run `degree`-way partitioned on
+    /// scoped threads (see [`execute_with_partitions`]). Results, work
+    /// profiles and fingerprints are bit-identical at every degree; 0/1 is
+    /// the serial path.
+    pub fn with_partition_degree(mut self, degree: usize) -> Self {
+        self.partition_degree = degree.max(1);
+        self
     }
 
     /// Read access to the simulation environment (for tests/experiments).
@@ -162,6 +177,7 @@ impl<'a> Executor<'a> {
                 pacing: 0.0,
                 parallel: false,
                 work_scale,
+                partition_degree: self.partition_degree,
             },
             query,
             base_tables,
@@ -179,6 +195,8 @@ struct RunOptions<'a> {
     parallel: bool,
     /// Logical rows per physical row.
     work_scale: f64,
+    /// Intra-operator partition fan-out for joins/aggregations.
+    partition_degree: usize,
 }
 
 /// How a run reaches the simulation environment: exclusively (the legacy
@@ -197,7 +215,13 @@ impl EnvHandle<'_> {
     fn with<R>(&mut self, f: impl FnOnce(&mut SimulationEnv) -> R) -> R {
         match self {
             EnvHandle::Exclusive(env) => f(env),
-            EnvHandle::Shared(env) => f(&mut env.lock().expect("simulation env poisoned")),
+            // Recover a poisoned env instead of cascading: the guarded
+            // drift/clock state is plain arithmetic kept consistent at
+            // every unlock, and one panicked job must not abort the whole
+            // runtime's simulation.
+            EnvHandle::Shared(env) => f(&mut env
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)),
         }
     }
 }
@@ -231,6 +255,7 @@ pub struct SharedExecutor<'a> {
     admission: &'a SiteAdmission,
     pacing: f64,
     parallel_fragments: bool,
+    partition_degree: usize,
 }
 
 impl<'a> SharedExecutor<'a> {
@@ -247,6 +272,7 @@ impl<'a> SharedExecutor<'a> {
             admission,
             pacing: 0.0,
             parallel_fragments: false,
+            partition_degree: 1,
         }
     }
 
@@ -275,6 +301,15 @@ impl<'a> SharedExecutor<'a> {
         self
     }
 
+    /// Sets the intra-operator partition fan-out (see
+    /// [`Executor::with_partition_degree`]): wave parallelism overlaps
+    /// *fragments*, this overlaps the join/aggregation *inside* one
+    /// fragment — both compose under the per-site admission permits.
+    pub fn with_partition_degree(mut self, degree: usize) -> Self {
+        self.partition_degree = degree.max(1);
+        self
+    }
+
     /// Executes a federated query against base tables (logical scale 1).
     pub fn run(
         &self,
@@ -300,6 +335,7 @@ impl<'a> SharedExecutor<'a> {
                 pacing: self.pacing,
                 parallel: self.parallel_fragments,
                 work_scale,
+                partition_degree: self.partition_degree,
             },
             query,
             base_tables,
@@ -353,6 +389,7 @@ fn run_federated(
         pacing,
         parallel,
         work_scale,
+        partition_degree,
     } = opts;
     let work_scale = if work_scale.is_finite() && work_scale > 0.0 {
         work_scale
@@ -460,7 +497,7 @@ fn run_federated(
         let run_one = |idx: usize| -> Result<(Table, WorkProfile), EngineError> {
             let fragment = &query.fragments[idx];
             let permit = admission.map(|a| a.acquire(fragment.site));
-            let result = execute(&fragment.plan, &catalog);
+            let result = execute_with_partitions(&fragment.plan, &catalog, partition_degree);
             if pacing > 0.0 {
                 if let (Ok((_, work)), Some(Ok(shape))) = (&result, &shapes[idx]) {
                     let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);

@@ -201,6 +201,14 @@ struct Gate {
     freed: Condvar,
 }
 
+/// Locks a gate, recovering from poisoning: the counters inside are kept
+/// consistent at every unlock (plain integer updates that cannot panic
+/// midway), and one panicked fragment must not wedge every later query
+/// bound for the site.
+fn lock_gate(state: &Mutex<GateState>) -> std::sync::MutexGuard<'_, GateState> {
+    state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Per-site admission queues: the concurrency counterpart of the load model.
 ///
 /// A cloud site hosts a bounded number of concurrently executing query
@@ -262,14 +270,17 @@ impl SiteAdmission {
             return AdmissionPermit { gate: None };
         };
         let queued_at = Instant::now();
-        let mut state = gate.state.lock().expect("admission gate poisoned");
+        let mut state = lock_gate(&gate.state);
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         if state.in_use >= gate.capacity || state.serving != ticket {
             state.waiting += 1;
             state.stats.peak_queue = state.stats.peak_queue.max(state.waiting);
             while state.in_use >= gate.capacity || state.serving != ticket {
-                state = gate.freed.wait(state).expect("admission gate poisoned");
+                state = gate
+                    .freed
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             state.waiting -= 1;
         }
@@ -297,7 +308,7 @@ impl SiteAdmission {
             .map(|(site, gate)| {
                 (
                     *site,
-                    gate.state.lock().expect("admission gate poisoned").stats,
+                    lock_gate(&gate.state).stats,
                 )
             })
             .collect();
@@ -315,7 +326,7 @@ pub struct AdmissionPermit<'a> {
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
         if let Some(gate) = self.gate {
-            let mut state = gate.state.lock().expect("admission gate poisoned");
+            let mut state = lock_gate(&gate.state);
             state.in_use -= 1;
             drop(state);
             gate.freed.notify_all();

@@ -304,7 +304,7 @@ impl VersionedCatalog {
     /// The currently published version (an atomic handle read; the version
     /// itself is immutable).
     pub fn current(&self) -> Arc<CatalogVersion> {
-        Arc::clone(&self.current.lock().expect("versioned catalog poisoned"))
+        Arc::clone(&self.current.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
     /// The currently published version number.
@@ -326,7 +326,10 @@ impl VersionedCatalog {
         &self,
         deltas: Vec<(String, Table)>,
     ) -> Result<IngestReceipt, EngineError> {
-        let mut head = self.current.lock().expect("versioned catalog poisoned");
+        let mut head = self
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut tables: HashMap<String, Arc<ChunkedTable>> = head
             .tables
             .iter()
@@ -346,7 +349,10 @@ impl VersionedCatalog {
         let version = head.version + 1;
         *head = Arc::new(CatalogVersion { version, tables });
         drop(head);
-        let mut stats = self.stats.lock().expect("ingest stats poisoned");
+        let mut stats = self
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         stats.appends += appends;
         stats.versions_published += 1;
         stats.rows_ingested += batch.delta_rows as u64;
@@ -361,7 +367,7 @@ impl VersionedCatalog {
 
     /// Cumulative ingest accounting since construction.
     pub fn stats(&self) -> IngestStats {
-        *self.stats.lock().expect("ingest stats poisoned")
+        *self.stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

@@ -69,6 +69,14 @@ impl Modelling {
 /// called with the class's feature count.
 pub type EstimatorFactory = Box<dyn Fn(usize) -> Box<dyn CostEstimator> + Send + Sync>;
 
+/// Locks a registry map or modelling module, recovering from poisoning: a
+/// worker that panicked elsewhere in its job must fail that job alone, and
+/// the guarded state (a map of handles; an append-only history plus a
+/// last-fit report) stays consistent between operations.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The concurrent Modelling store: one lock-guarded [`Modelling`] per query
 /// class, shared by every worker of a federation runtime.
 ///
@@ -107,7 +115,7 @@ impl ModellingRegistry {
     /// The shared Modelling module of `class`, created on first use with
     /// `n_features` regressors.
     pub fn class(&self, class: &str, n_features: usize) -> Arc<Mutex<Modelling>> {
-        let mut classes = self.classes.lock().expect("modelling registry poisoned");
+        let mut classes = lock_recover(&self.classes);
         classes
             .entry(class.to_string())
             .or_insert_with(|| {
@@ -122,11 +130,7 @@ impl ModellingRegistry {
 
     /// The shared Modelling module of `class` if it already exists.
     pub fn get(&self, class: &str) -> Option<Arc<Mutex<Modelling>>> {
-        self.classes
-            .lock()
-            .expect("modelling registry poisoned")
-            .get(class)
-            .cloned()
+        lock_recover(&self.classes).get(class).cloned()
     }
 
     /// Records one executed plan into its class and refits online.
@@ -142,7 +146,7 @@ impl ModellingRegistry {
         costs: &[f64],
     ) -> Result<Option<FitReport>, EstimationError> {
         let modelling = self.class(class, features.len());
-        let mut modelling = modelling.lock().expect("modelling module poisoned");
+        let mut modelling = lock_recover(&modelling);
         modelling.record(features, costs)?;
         match modelling.refit() {
             Ok(report) => Ok(Some(report)),
@@ -153,26 +157,20 @@ impl ModellingRegistry {
 
     /// Class labels seen so far, sorted.
     pub fn class_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .classes
-            .lock()
-            .expect("modelling registry poisoned")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = lock_recover(&self.classes).keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Recorded observations per class, sorted by class label.
     pub fn history_lens(&self) -> Vec<(String, usize)> {
-        let classes = self.classes.lock().expect("modelling registry poisoned");
+        let classes = lock_recover(&self.classes);
         let mut out: Vec<(String, usize)> = classes
             .iter()
             .map(|(name, m)| {
                 (
                     name.clone(),
-                    m.lock().expect("modelling module poisoned").history().len(),
+                    lock_recover(m).history().len(),
                 )
             })
             .collect();

@@ -24,6 +24,11 @@ pub struct SchedulerConfig {
     /// Logical rows per physical row (1.0 for uncapped datasets; pass
     /// `1 / rescale` for row-capped TPC-H databases).
     pub work_scale: f64,
+    /// Intra-operator partition fan-out: hash joins and grouped
+    /// aggregations inside every fragment run this many shards on scoped
+    /// threads (1 = serial). Results are bit-identical at every degree —
+    /// only wall-clock changes.
+    pub partition_degree: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -32,6 +37,7 @@ impl Default for SchedulerConfig {
             seed: 42,
             drift: DriftIntensity::Strong,
             work_scale: 1.0,
+            partition_degree: 1,
         }
     }
 }
@@ -112,7 +118,8 @@ impl<'a> Scheduler<'a> {
         Scheduler {
             federation,
             placement,
-            executor: Executor::new(federation, env),
+            executor: Executor::new(federation, env)
+                .with_partition_degree(config.partition_degree),
             work_scale: if config.work_scale.is_finite() && config.work_scale > 0.0 {
                 config.work_scale
             } else {

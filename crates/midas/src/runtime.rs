@@ -85,6 +85,14 @@ pub struct RuntimeConfig {
     /// bit-identical with the flag on or off — only wall-clock overlap
     /// changes.
     pub parallel_fragments: bool,
+    /// Intra-operator partition fan-out *inside* one fragment: hash joins
+    /// and grouped aggregations run this many hash-partitioned shards on
+    /// scoped threads (see
+    /// [`SharedExecutor::with_partition_degree`]). Composes with
+    /// `parallel_fragments` (wave overlap) under the same per-site
+    /// admission permits; results, work profiles and fingerprints are
+    /// bit-identical at every degree. 1 = serial.
+    pub partition_degree: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -97,6 +105,7 @@ impl Default for RuntimeConfig {
             max_vms: 8,
             pacing: 0.0,
             parallel_fragments: false,
+            partition_degree: 1,
         }
     }
 }
@@ -198,6 +207,64 @@ struct AdmittedJob {
     job: RuntimeJob,
 }
 
+/// Why one admitted job failed. Failures are per job: the runtime records
+/// them in [`RuntimeReport::failed`] and keeps serving everything else.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Planning, execution or learning surfaced an error.
+    Scheduler(SchedulerError),
+    /// The worker thread **panicked** while processing this job. The panic
+    /// is contained: the job is recorded as failed with the panic message,
+    /// any poisoned locks are recovered (their guarded state is consistent
+    /// between operations), and every other tenant's jobs proceed.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Scheduler(e) => write!(f, "{e}"),
+            RuntimeError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<SchedulerError> for RuntimeError {
+    fn from(e: SchedulerError) -> Self {
+        RuntimeError::Scheduler(e)
+    }
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads cover
+/// `panic!`/`assert!`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Locks runtime-internal state, recovering from poisoning. Every mutex in
+/// this runtime guards plain queues and counters whose invariants hold at
+/// each unlock, so a panic elsewhere on a lock-holding thread cannot leave
+/// them half-updated in a way later readers could observe — and one bad
+/// job must not cascade into a runtime-wide abort through
+/// `PoisonError` expects.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One tenant's FIFO in the rotation.
+struct TenantQueue {
+    name: String,
+    jobs: VecDeque<AdmittedJob>,
+}
+
 /// The shared ingress queue: per-tenant FIFOs drained round-robin.
 ///
 /// Fairness model: tenants are registered in first-submission order; each
@@ -206,12 +273,17 @@ struct AdmittedJob {
 /// tenant's own jobs run in submission order, but across tenants service
 /// interleaves one-job-per-tenant — a burst of `n` jobs from one tenant
 /// delays another tenant's next job by at most one job, not `n`.
+///
+/// Once the ingress is **closed**, an empty tenant FIFO can never refill;
+/// `pop` retires such departed tenants from the rotation, so a service
+/// that saw thousands of one-shot tenants does not scan (or retain) their
+/// dead queues forever.
 #[derive(Default)]
 struct QueueState {
-    /// Tenant names in first-submission order (the rotation order).
-    tenants: Vec<String>,
-    /// Per-tenant FIFO queues.
-    queues: HashMap<String, VecDeque<AdmittedJob>>,
+    /// Tenant FIFOs in first-submission order (the rotation order).
+    tenants: Vec<TenantQueue>,
+    /// Tenant name → index in `tenants` (submission fast path).
+    index: HashMap<String, usize>,
     /// Rotation cursor into `tenants`.
     cursor: usize,
     /// No further submissions; workers exit once all queues empty.
@@ -220,6 +292,39 @@ struct QueueState {
     next_sequence: usize,
     /// Jobs submitted but not yet completed or failed.
     outstanding: usize,
+}
+
+impl QueueState {
+    /// Drops tenants whose queues are empty (legal only once closed). The
+    /// cursor is re-based so the rotation continues with exactly the
+    /// tenant that would have been served next among the survivors.
+    fn retire_departed(&mut self) {
+        if self.tenants.iter().all(|t| !t.jobs.is_empty()) {
+            return;
+        }
+        let cursor = self.cursor;
+        let mut removed_before_cursor = 0;
+        let old = std::mem::take(&mut self.tenants);
+        for (i, tenant) in old.into_iter().enumerate() {
+            if tenant.jobs.is_empty() {
+                self.index.remove(&tenant.name);
+                if i < cursor {
+                    removed_before_cursor += 1;
+                }
+            } else {
+                // Survivors compact downward: re-point the name index at
+                // the tenant's new slot so the name -> slot invariant
+                // holds even if submissions ever resume.
+                self.index.insert(tenant.name.clone(), self.tenants.len());
+                self.tenants.push(tenant);
+            }
+        }
+        self.cursor = if self.tenants.is_empty() {
+            0
+        } else {
+            (cursor - removed_before_cursor) % self.tenants.len()
+        };
+    }
 }
 
 #[derive(Default)]
@@ -235,53 +340,63 @@ impl JobQueue {
     /// Admits a job (with its pinned catalog version); returns its
     /// admission sequence number.
     fn submit(&self, job: RuntimeJob, pinned: Arc<CatalogVersion>) -> usize {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut guard = lock_recover(&self.state);
+        let state = &mut *guard;
         let sequence = state.next_sequence;
         state.next_sequence += 1;
         state.outstanding += 1;
-        if !state.tenants.iter().any(|t| t == &job.tenant) {
-            state.tenants.push(job.tenant.clone());
-        }
-        state
-            .queues
-            .entry(job.tenant.clone())
-            .or_default()
-            .push_back(AdmittedJob {
-                sequence,
-                pinned,
-                job,
-            });
-        drop(state);
+        let slot = match state.index.get(&job.tenant) {
+            Some(&slot) => slot,
+            None => {
+                let slot = state.tenants.len();
+                state.index.insert(job.tenant.clone(), slot);
+                state.tenants.push(TenantQueue {
+                    name: job.tenant.clone(),
+                    jobs: VecDeque::new(),
+                });
+                slot
+            }
+        };
+        state.tenants[slot].jobs.push_back(AdmittedJob {
+            sequence,
+            pinned,
+            job,
+        });
+        drop(guard);
         self.ready.notify_all();
         sequence
     }
 
     /// Takes the next job in round-robin tenant order, blocking while the
-    /// queue is empty but not closed. `None` once closed and drained.
+    /// queue is empty but not closed. `None` once closed and drained. The
+    /// scan indexes the rotation directly — no per-step tenant-name clone.
     fn pop(&self) -> Option<AdmittedJob> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = lock_recover(&self.state);
         loop {
+            if state.closed {
+                state.retire_departed();
+            }
             let n = state.tenants.len();
             for offset in 0..n {
                 let t = (state.cursor + offset) % n;
-                let tenant = state.tenants[t].clone();
-                if let Some(queue) = state.queues.get_mut(&tenant) {
-                    if let Some(job) = queue.pop_front() {
-                        state.cursor = (t + 1) % n;
-                        return Some(job);
-                    }
+                if let Some(job) = state.tenants[t].jobs.pop_front() {
+                    state.cursor = (t + 1) % n;
+                    return Some(job);
                 }
             }
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).expect("job queue poisoned");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Records one completion (success or failure).
     fn complete_one(&self) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = lock_recover(&self.state);
         state.outstanding -= 1;
         let drained = state.outstanding == 0;
         drop(state);
@@ -292,16 +407,19 @@ impl JobQueue {
 
     /// Blocks until every admitted job has completed or failed.
     fn drain(&self) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = lock_recover(&self.state);
         while state.outstanding > 0 {
-            state = self.idle.wait(state).expect("job queue poisoned");
+            state = self
+                .idle
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Closes the ingress: workers drain what is queued, then exit.
     /// Idempotent.
     fn close(&self) {
-        self.state.lock().expect("job queue poisoned").closed = true;
+        lock_recover(&self.state).closed = true;
         self.ready.notify_all();
     }
 }
@@ -451,7 +569,7 @@ impl<'a> FederationRuntime<'a> {
 
     /// Simulated seconds on the shared federation clock.
     pub fn clock_s(&self) -> f64 {
-        self.env.lock().expect("simulation env poisoned").clock_s
+        lock_recover(&self.env).clock_s
     }
 
     /// Per-site admission contention so far, keyed by site name.
@@ -489,7 +607,11 @@ impl<'a> FederationRuntime<'a> {
                 scope.spawn(move || self.worker_loop(worker, queue, sink));
             }
         });
-        self.finish(started, sink.into_inner().expect("result sink poisoned"))
+        self.finish(
+            started,
+            sink.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 
     /// Runs the worker pool as a *streaming* service: `producer` executes
@@ -518,18 +640,38 @@ impl<'a> FederationRuntime<'a> {
             let _closer = CloseOnDrop(&queue);
             producer(&ingress)
         });
-        let report = self.finish(started, sink.into_inner().expect("result sink poisoned"));
+        let report = self.finish(
+            started,
+            sink.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         (value, report)
     }
 
     /// One worker: pop round-robin, process, record, until the ingress is
     /// closed and drained.
+    ///
+    /// Processing runs under `catch_unwind`: a job that panics — in
+    /// planning, execution or learning — fails *alone* as
+    /// [`RuntimeError::WorkerPanicked`], the worker keeps serving, and any
+    /// lock the unwinding poisoned is recovered at its next use. Unwind
+    /// safety: every piece of shared state the closure touches is behind a
+    /// mutex whose invariants hold between operations (queues, counters,
+    /// append-only histories, the drift RNG), which is exactly the
+    /// guarantee the poison-recovering lock helpers rely on.
     fn worker_loop(&self, worker: usize, queue: &JobQueue, sink: &Mutex<ResultSink>) {
         while let Some(admitted) = queue.pop() {
             let dequeued = Instant::now();
-            let outcome = self.process(&admitted);
+            let outcome: Result<MidasReport, RuntimeError> = match std::panic::catch_unwind(
+                std::panic::AssertUnwindSafe(|| self.process(&admitted)),
+            ) {
+                Ok(result) => result.map_err(RuntimeError::Scheduler),
+                Err(payload) => {
+                    Err(RuntimeError::WorkerPanicked(panic_message(payload.as_ref())))
+                }
+            };
             {
-                let mut sink = sink.lock().expect("result sink poisoned");
+                let mut sink = lock_recover(sink);
                 let completion = sink.completions;
                 sink.completions += 1;
                 match outcome {
@@ -634,7 +776,8 @@ impl<'a> FederationRuntime<'a> {
         let federated = assemble(self.federation, self.placement, query, &outcome.chosen)?;
         let executor = SharedExecutor::new(self.federation, &self.env, &self.admission)
             .with_pacing(self.config.pacing)
-            .with_parallel_fragments(self.config.parallel_fragments);
+            .with_parallel_fragments(self.config.parallel_fragments)
+            .with_partition_degree(self.config.partition_degree);
         let executed = executor.run_with_scale(&federated, &catalog, self.config.work_scale)?;
         let features = features_from(left_rows, right_rows, &executed, self.config.work_scale);
         let costs = executed.cost_vector();
@@ -654,5 +797,124 @@ impl<'a> FederationRuntime<'a> {
             catalog_cloned_bytes: executed.catalog_cloned_bytes,
             chosen: outcome.chosen,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_tpch::queries::q12;
+
+    fn job(tenant: &str) -> RuntimeJob {
+        RuntimeJob::new(tenant, q12("MAIL", "SHIP", 1994), QueryPolicy::balanced())
+    }
+
+    fn pinned() -> Arc<CatalogVersion> {
+        VersionedCatalog::new(Catalog::new()).current()
+    }
+
+    #[test]
+    fn pop_is_round_robin_and_retires_departed_tenants_once_closed() {
+        let q = JobQueue::default();
+        for (tenant, n) in [("a", 3usize), ("b", 1), ("c", 2)] {
+            for _ in 0..n {
+                q.submit(job(tenant), pinned());
+            }
+        }
+        q.close();
+        let mut order = Vec::new();
+        while let Some(j) = q.pop() {
+            order.push(j.job.tenant.clone());
+            q.complete_one();
+        }
+        // Retirement never perturbs the round-robin service order…
+        assert_eq!(order, ["a", "b", "c", "a", "c", "a"]);
+        // …and a drained closed queue holds no dead tenant FIFOs.
+        let state = lock_recover(&q.state);
+        assert!(state.tenants.is_empty());
+        assert!(state.index.is_empty());
+    }
+
+    #[test]
+    fn retirement_rebases_the_cursor_onto_the_next_survivor() {
+        let q = JobQueue::default();
+        q.submit(job("a"), pinned());
+        q.submit(job("b"), pinned());
+        q.submit(job("c"), pinned());
+        q.submit(job("c"), pinned());
+        // Serve a and b while open (cursor now points at c)…
+        assert_eq!(q.pop().unwrap().job.tenant, "a");
+        assert_eq!(q.pop().unwrap().job.tenant, "b");
+        q.close();
+        // …then retirement removes both departed tenants *before* the
+        // cursor; service continues exactly at c.
+        assert_eq!(q.pop().unwrap().job.tenant, "c");
+        {
+            let state = lock_recover(&q.state);
+            assert_eq!(state.tenants.len(), 1);
+            assert_eq!(state.cursor, 0);
+        }
+        assert_eq!(q.pop().unwrap().job.tenant, "c");
+        for _ in 0..4 {
+            q.complete_one();
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn retirement_repoints_the_index_at_survivors_compacted_slots() {
+        let q = JobQueue::default();
+        q.submit(job("a"), pinned());
+        q.submit(job("b"), pinned());
+        q.submit(job("b"), pinned());
+        assert_eq!(q.pop().unwrap().job.tenant, "a");
+        q.close();
+        // Retirement drops a (slot 0) and compacts b from slot 1 to 0.
+        assert_eq!(q.pop().unwrap().job.tenant, "b");
+        {
+            let state = lock_recover(&q.state);
+            assert_eq!(state.index.get("b"), Some(&0));
+            assert!(!state.index.contains_key("a"));
+        }
+        // A submission routed through the index after compaction must land
+        // in b's (moved) FIFO, not panic on a stale slot.
+        q.submit(job("b"), pinned());
+        assert_eq!(q.pop().unwrap().job.tenant, "b");
+        assert_eq!(q.pop().unwrap().job.tenant, "b");
+        for _ in 0..4 {
+            q.complete_one();
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn one_shot_tenants_do_not_accumulate_after_close() {
+        let q = JobQueue::default();
+        for i in 0..100 {
+            q.submit(job(&format!("tenant-{i}")), pinned());
+        }
+        assert_eq!(lock_recover(&q.state).tenants.len(), 100);
+        q.close();
+        let mut served = 0;
+        while let Some(_job) = q.pop() {
+            served += 1;
+            q.complete_one();
+            // Once closed, tenants retire as their FIFOs drain: the
+            // rotation shrinks monotonically instead of scanning 100 dead
+            // queues per pop forever.
+            assert!(lock_recover(&q.state).tenants.len() <= 100 - served + 1);
+        }
+        assert_eq!(served, 100);
+        assert!(lock_recover(&q.state).tenants.is_empty());
+    }
+
+    #[test]
+    fn runtime_error_formats_both_variants() {
+        let p = RuntimeError::WorkerPanicked("boom".to_string());
+        assert_eq!(p.to_string(), "worker panicked: boom");
+        let s = RuntimeError::Scheduler(SchedulerError::MissingTable {
+            table: "ghost".to_string(),
+        });
+        assert!(s.to_string().contains("ghost"));
     }
 }

@@ -94,6 +94,7 @@ pub struct Midas {
     placement: Placement,
     drift: DriftIntensity,
     seed: u64,
+    partition_degree: usize,
 }
 
 impl Midas {
@@ -114,6 +115,7 @@ impl Midas {
                 placement,
                 drift: DriftIntensity::Strong,
                 seed: 42,
+                partition_degree: 1,
             },
             a,
             b,
@@ -129,6 +131,16 @@ impl Midas {
     /// Overrides the simulation seed (default: 42).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the intra-operator partition fan-out (default: 1, serial):
+    /// hash joins and grouped aggregations inside every fragment run this
+    /// many hash-partitioned shards on scoped threads, in both
+    /// [`Midas::session`] and [`Midas::runtime`]. Results are bit-identical
+    /// at every degree — only wall-clock parallelism changes.
+    pub fn with_partition_degree(mut self, degree: usize) -> Self {
+        self.partition_degree = degree.max(1);
         self
     }
 
@@ -160,6 +172,7 @@ impl Midas {
                 workers,
                 seed: self.seed,
                 drift: self.drift,
+                partition_degree: self.partition_degree,
                 ..Default::default()
             },
         )
@@ -174,6 +187,7 @@ impl Midas {
                 seed: self.seed,
                 drift: self.drift,
                 work_scale: 1.0,
+                partition_degree: self.partition_degree,
             },
         );
         MidasSession {

@@ -1,0 +1,143 @@
+//! A panicking job must fail **alone**: the worker catches the unwind,
+//! records `RuntimeError::WorkerPanicked` for that job, recovers any lock
+//! the unwind poisoned, and keeps serving — `run` and `serve` return a
+//! report with every other tenant's jobs completed instead of cascading
+//! `.expect("… poisoned")` aborts through the pool and the producer's
+//! `drain()`.
+
+use midas::runtime::{FederationRuntime, RuntimeConfig, RuntimeJob};
+use midas::{Midas, QueryPolicy};
+use midas_moo::select::Constraints;
+use midas_tpch::gen::{GenConfig, TpchDb};
+use midas_tpch::queries::{q12, q13};
+
+/// A policy whose zero weight vector panics inside the planning step
+/// (`WeightedSumModel::new` asserts a positive weight sum) — a
+/// deterministic mid-pipeline panic injected through the public job API.
+fn poison_policy() -> QueryPolicy {
+    QueryPolicy {
+        weights: vec![0.0, 0.0],
+        constraints: Constraints::none(2),
+    }
+}
+
+/// Silences the default panic-hook backtrace for the *injected* panic only;
+/// anything unexpected still prints.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("weights must be non-empty"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("weights must be non-empty"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn deployment() -> (Midas, TpchDb) {
+    let (midas, _, _) = Midas::example_deployment(&["lineitem", "customer"], &["orders"]);
+    (midas, TpchDb::generate(GenConfig::new(0.002, 7)))
+}
+
+fn runtime<'a>(midas: &'a Midas, db: &TpchDb, workers: usize) -> FederationRuntime<'a> {
+    FederationRuntime::new(
+        midas.federation(),
+        midas.placement(),
+        db.catalog().clone(),
+        RuntimeConfig {
+            workers,
+            max_vms: 2,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+#[test]
+fn a_panicking_job_fails_alone_in_a_closed_batch() {
+    quiet_injected_panics();
+    let (midas, db) = deployment();
+    let rt = runtime(&midas, &db, 2);
+    let jobs = vec![
+        RuntimeJob::new("hospital-A", q12("MAIL", "SHIP", 1994), QueryPolicy::balanced()),
+        RuntimeJob::new("rogue", q12("AIR", "RAIL", 1995), poison_policy()),
+        RuntimeJob::new("hospital-B", q13("special", "requests"), QueryPolicy::fastest()),
+        RuntimeJob::new("hospital-A", q12("AIR", "TRUCK", 1995), QueryPolicy::cheapest()),
+        RuntimeJob::new("hospital-B", q13("express", "packages"), QueryPolicy::balanced()),
+    ];
+    let report = rt.run(jobs);
+
+    // Exactly the rogue job failed, with the panic surfaced as its error.
+    assert_eq!(report.failed.len(), 1, "failed: {:?}", report.failed);
+    let (sequence, tenant, error) = &report.failed[0];
+    assert_eq!(*sequence, 1);
+    assert_eq!(tenant, "rogue");
+    assert!(error.contains("worker panicked"), "error was: {error}");
+
+    // Every other tenant's job completed with a real result.
+    assert_eq!(report.completed.len(), 4);
+    for completed in &report.completed {
+        assert_ne!(completed.tenant, "rogue");
+        assert!(completed.report.result_rows > 0, "{}", completed.report.label);
+    }
+    assert!(report.sim_clock_s > 0.0);
+
+    // The runtime itself survived: a follow-up batch on the *same* runtime
+    // (same env, admission gates, learning registry — all touched by the
+    // panicking worker's locks) completes cleanly.
+    let again = rt.run(vec![RuntimeJob::new(
+        "hospital-C",
+        q12("MAIL", "SHIP", 1996),
+        QueryPolicy::balanced(),
+    )]);
+    assert!(again.failed.is_empty(), "{:?}", again.failed);
+    assert_eq!(again.completed.len(), 1);
+}
+
+#[test]
+fn serve_returns_a_report_despite_a_panicking_job() {
+    quiet_injected_panics();
+    let (midas, db) = deployment();
+    let rt = runtime(&midas, &db, 2);
+    let (submitted, report) = rt.serve(|ingress| {
+        let mut n = 0;
+        n += 1;
+        ingress.submit(RuntimeJob::new(
+            "hospital-A",
+            q12("MAIL", "SHIP", 1994),
+            QueryPolicy::balanced(),
+        ));
+        n += 1;
+        ingress.submit(RuntimeJob::new(
+            "rogue",
+            q13("special", "requests"),
+            poison_policy(),
+        ));
+        // The producer's drain must return (not deadlock, not panic) even
+        // though a worker panicked while the queue was live.
+        ingress.drain();
+        n += 1;
+        ingress.submit(RuntimeJob::new(
+            "hospital-B",
+            q13("special", "requests"),
+            QueryPolicy::fastest(),
+        ));
+        n
+    });
+    assert_eq!(submitted, 3);
+    assert_eq!(report.failed.len(), 1);
+    assert_eq!(report.failed[0].1, "rogue");
+    assert_eq!(report.completed.len(), 2);
+    assert!(report
+        .completed
+        .iter()
+        .all(|c| c.tenant != "rogue" && c.report.result_rows > 0));
+}

@@ -142,6 +142,49 @@ fn single_worker_parity(parallel_fragments: bool) {
 }
 
 #[test]
+fn partitioned_operators_leave_every_runtime_signal_bit_identical() {
+    // The same closed batch through a serial runtime and through runtimes
+    // with intra-fragment partitioned join/aggregation (alone and composed
+    // with wave parallelism): plans, costs, fingerprints, learned history
+    // and the simulated clock must agree bit-for-bit — partitioning is
+    // wall-clock parallelism only, never different arithmetic.
+    let jobs = mixed_jobs(2);
+
+    // Each run gets a fresh (deterministic, identically seeded) deployment
+    // so the simulated environment starts from the same state.
+    let run = |partition_degree: usize, parallel_fragments: bool| {
+        let (midas, db) = deployment();
+        let midas = midas.with_partition_degree(partition_degree);
+        let runtime = midas
+            .runtime(db.catalog(), 1)
+            .with_parallel_fragments(parallel_fragments);
+        let report = runtime.run(jobs.clone());
+        assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+        let clock = runtime.clock_s();
+        (report, clock)
+    };
+
+    let (serial, serial_clock) = run(1, false);
+    for (degree, parallel) in [(4, false), (4, true), (3, false)] {
+        let (partitioned, clock) = run(degree, parallel);
+        assert_eq!(clock.to_bits(), serial_clock.to_bits());
+        assert_eq!(partitioned.completed.len(), serial.completed.len());
+        for (p, s) in partitioned.completed.iter().zip(serial.completed.iter()) {
+            assert_eq!(p.report.chosen, s.report.chosen, "{}", s.report.label);
+            assert_eq!(p.report.predicted_costs, s.report.predicted_costs);
+            assert_eq!(p.report.actual_costs, s.report.actual_costs);
+            assert_eq!(p.report.result_rows, s.report.result_rows);
+            assert_eq!(
+                p.report.result_fingerprint, s.report.result_fingerprint,
+                "{}: partitioned result drifted at degree {degree}",
+                s.report.label
+            );
+            assert_eq!(p.report.dream_window, s.report.dream_window);
+        }
+    }
+}
+
+#[test]
 fn stressed_multi_worker_runtime_loses_no_observations() {
     let (midas, db) = deployment();
     let runtime = midas.runtime(db.catalog(), 4);

@@ -8,16 +8,26 @@
 #   4. a smoke run of the engine_exec criterion benches (--test mode);
 #   5. the scalar-vs-vectorized timing run, which records
 #      BENCH_engine_exec.json (target/repro/ and repo root) so the
-#      executor's perf trajectory is tracked across PRs;
+#      executor's perf trajectory is tracked across PRs. The same binary
+#      sweeps the partitioned parallel join/aggregation over the Q13/Q17
+#      (and Q12/Q14) combine fragments at partition degrees 1/2/4/8 and
+#      gates: serial-vs-partitioned results bit-for-bit identical (table,
+#      WorkProfile, fingerprint) at every degree, and — on hardware with
+#      >= 4 CPUs, where OS threads can physically overlap — a >= 1.4x
+#      Q13/Q17 combine-fragment speedup at 4 partitions (on fewer cores
+#      the sweep numbers are recorded and the wall-clock gate is reported
+#      as skipped);
 #   6. the concurrent-runtime throughput run, which records
 #      BENCH_runtime_throughput.json (target/repro/ and repo root) —
 #      the multi-worker scaling trajectory of the FederationRuntime, plus
 #      the zero-copy data-plane gates: catalog bytes cloned per query must
 #      be exactly 0 (base tables are Arc-shared, never deep-copied),
 #      fragment-parallel mode must keep a 1-worker run's simulated costs
-#      bit-for-bit identical to serial-fragment mode, and overlapping a
+#      bit-for-bit identical to serial-fragment mode (and so must
+#      partition_degree=4 intra-fragment parallelism), and overlapping a
 #      query's independent scan fragments must clear a 1.15x qps gate on
-#      the balanced placement (recorded alongside the asymmetric numbers).
+#      the balanced placement (recorded alongside the asymmetric numbers
+#      and the partition-degree qps sweep).
 #      The same binary also records BENCH_ingest_throughput.json — qps of
 #      the streaming Ingress while hospital delta batches publish new
 #      copy-on-write catalog versions mid-flight — and gates the live-data

@@ -1,0 +1,292 @@
+//! The resilience gate of the fault-injecting runtime, recorded as
+//! `target/repro/BENCH_fault_resilience.json` (and copied to the repo
+//! root): a skewed 16-tenant medical workload — one rogue tenant flooding
+//! poison jobs that panic mid-planning, one priority clinic at weight 2,
+//! fourteen quiet clinics — driven through a federation whose patient site
+//! flaps (outage, slowdown and admission-flap windows) on a fixed
+//! [`FaultPlan`]. Gates:
+//!
+//! * **Zero lost jobs** — every submitted job terminates with a definite
+//!   outcome: a completed report or a typed [`RuntimeError`], never a hang
+//!   or a silent drop, at every worker count.
+//! * **Quiet tenants unaffected** — every non-rogue job completes; short
+//!   outage windows are absorbed by retry (attempts > 1 recorded), and the
+//!   rogue's panic → quarantine → cool-off cycle never rejects a neighbor.
+//! * **Weighted fairness** — at 1 worker, deficit round-robin finishes
+//!   every non-rogue job within two service cycles (outcome index < 34)
+//!   even though the rogue submitted its 32-job flood *first*; FIFO would
+//!   have made the quiet tenants wait out the entire flood.
+//! * **Replayable chaos** — the per-job outcome ledger (success/failure
+//!   kind, attempts, fingerprints, pinned versions) is bit-identical at
+//!   1 and 4 workers, because faults key on admission positions.
+
+use midas::runtime::{
+    FederationRuntime, RuntimeConfig, RuntimeError, RuntimeJob, RuntimeReport,
+};
+use midas::{Midas, QueryPolicy};
+use midas_bench::{print_table, write_json};
+use midas_engines::sim::FaultPlan;
+use midas_moo::select::Constraints;
+use midas_tpch::medical::{generate_medical, medical_query};
+
+const ROGUE_JOBS: usize = 32;
+const QUIET_TENANTS: usize = 14;
+const QUIET_JOBS_EACH: usize = 2;
+const PRIORITY_JOBS: usize = 4;
+
+/// A policy whose zero weight vector panics inside planning — the rogue
+/// tenant's entire workload.
+fn poison_policy() -> QueryPolicy {
+    QueryPolicy {
+        weights: vec![0.0, 0.0],
+        constraints: Constraints::none(2),
+    }
+}
+
+/// Silences the default panic-hook backtrace for the injected panics only;
+/// anything unexpected still prints.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("weights must be non-empty"))
+            || info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("weights must be non-empty"));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
+/// The skewed tape: the rogue floods first, then the priority clinic, then
+/// the quiet clinics — the worst submission order for naive FIFO service.
+fn workload() -> Vec<RuntimeJob> {
+    let modalities = ["CT", "MR", "US", "XR", "PET"];
+    let mut jobs = Vec::new();
+    for _ in 0..ROGUE_JOBS {
+        jobs.push(RuntimeJob::new(
+            "rogue",
+            medical_query(Some("CT")),
+            poison_policy(),
+        ));
+    }
+    for i in 0..PRIORITY_JOBS {
+        jobs.push(RuntimeJob::new(
+            "priority-clinic",
+            medical_query(Some(modalities[i % modalities.len()])),
+            QueryPolicy::balanced(),
+        ));
+    }
+    for t in 0..QUIET_TENANTS {
+        for j in 0..QUIET_JOBS_EACH {
+            jobs.push(RuntimeJob::new(
+                &format!("clinic-{t:02}"),
+                medical_query(Some(modalities[(t + j) % modalities.len()])),
+                QueryPolicy::balanced(),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Per-job outcomes canonicalized to the interleaving-independent fields
+/// (see `crates/midas/tests/fault_resilience.rs` for the full contract).
+fn canonical_outcomes(report: &RuntimeReport) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = report
+        .completed
+        .iter()
+        .map(|r| {
+            (
+                r.sequence,
+                format!(
+                    "ok tenant={} attempts={} fingerprint={} pinned=v{}",
+                    r.tenant,
+                    r.attempts,
+                    r.report.result_fingerprint,
+                    r.pinned_version()
+                ),
+            )
+        })
+        .chain(
+            report
+                .failed
+                .iter()
+                .map(|f| (f.sequence, format!("err tenant={} {:?}", f.tenant, f.error))),
+        )
+        .collect();
+    out.sort_by_key(|(sequence, _)| *sequence);
+    out
+}
+
+fn main() {
+    quiet_injected_panics();
+    let (midas, patient_site, _) = Midas::example_deployment(&["patient"], &["generalinfo"]);
+    let catalog = generate_medical(250, 0.5, 42);
+    let jobs = workload();
+    let n_jobs = jobs.len();
+
+    // The flapping site: periodic short outages (escapable within the
+    // default 3 attempts), slowdowns and admission flaps on the patient
+    // scan site — the one no re-plan can route around.
+    let mut plan = FaultPlan::none();
+    let positions = n_jobs as u64 + 3;
+    let mut p = 5;
+    while p + 2 < positions {
+        plan = plan
+            .outage(patient_site, p, p + 2)
+            .slowdown(patient_site, p + 3, p + 6, 2.5)
+            .flap(patient_site, p + 4, p + 8);
+        p += 9;
+    }
+
+    let run = |workers: usize| {
+        let rt = FederationRuntime::new(
+            midas.federation(),
+            midas.placement(),
+            catalog.clone(),
+            RuntimeConfig {
+                workers,
+                max_vms: 2,
+                ..RuntimeConfig::default()
+            },
+        )
+        .with_fault_plan(plan.clone());
+        rt.set_tenant_weight("priority-clinic", 2);
+        rt.run(jobs.clone())
+    };
+
+    let serial = run(1);
+    let concurrent = run(4);
+
+    // Gate: zero lost jobs — every submission terminated, at both counts.
+    for (label, report) in [("1 worker", &serial), ("4 workers", &concurrent)] {
+        assert_eq!(
+            report.completed.len() + report.failed.len(),
+            n_jobs,
+            "{label}: jobs were lost"
+        );
+    }
+
+    // Gate: replayable chaos — the outcome ledger is bit-identical.
+    assert_eq!(
+        canonical_outcomes(&serial),
+        canonical_outcomes(&concurrent),
+        "fault outcomes drifted across worker counts"
+    );
+
+    // Gate: quiet tenants unaffected — every non-rogue job completed.
+    let non_rogue_expected = n_jobs - ROGUE_JOBS;
+    assert_eq!(serial.completed.len(), non_rogue_expected);
+    assert!(serial.completed.iter().all(|r| r.tenant != "rogue"));
+    assert!(serial.failed.iter().all(|f| f.tenant == "rogue"));
+
+    // Gate: the outage windows really were absorbed by retry.
+    let total_attempts: usize = serial.completed.iter().map(|r| r.attempts).sum();
+    let retries = total_attempts - serial.completed.len();
+    assert!(retries > 0, "no quiet job ever needed a retry — the plan injected nothing");
+
+    // Gate: the rogue actually cycled through quarantine.
+    let mut panics = 0usize;
+    let mut quarantined = 0usize;
+    for f in &serial.failed {
+        match &f.error {
+            RuntimeError::WorkerPanicked(_) => panics += 1,
+            RuntimeError::Quarantined { .. } => quarantined += 1,
+            other => panic!("unexpected rogue failure: {other:?}"),
+        }
+    }
+    let threshold = serial_config_threshold();
+    assert!(panics >= threshold, "rogue never reached the quarantine threshold");
+    assert!(quarantined > 0, "rogue was never quarantined");
+
+    // Gate: weighted fairness at 1 worker. Service cycles 16 tenants with
+    // the priority clinic drawing 2 credits per cycle, so every non-rogue
+    // job lands in the first two cycles (17 outcomes each) even though the
+    // rogue flooded first. FIFO would have stalled them all past index 31.
+    let max_quiet_completion = serial
+        .completed
+        .iter()
+        .map(|r| r.completion)
+        .max()
+        .expect("non-rogue jobs completed");
+    assert!(
+        max_quiet_completion < 34,
+        "quiet tenants starved: last completion at outcome {max_quiet_completion}"
+    );
+    let first_quiet_completion = serial
+        .completed
+        .iter()
+        .map(|r| r.completion)
+        .min()
+        .expect("non-rogue jobs completed");
+    assert!(
+        first_quiet_completion < 16,
+        "round-robin failed to interleave the first service cycle"
+    );
+
+    print_table(
+        &["workers", "completed", "failed", "retries", "panics", "quarantined"],
+        &[
+            vec![
+                "1".into(),
+                serial.completed.len().to_string(),
+                serial.failed.len().to_string(),
+                retries.to_string(),
+                panics.to_string(),
+                quarantined.to_string(),
+            ],
+            vec![
+                "4".into(),
+                concurrent.completed.len().to_string(),
+                concurrent.failed.len().to_string(),
+                (concurrent.completed.iter().map(|r| r.attempts).sum::<usize>()
+                    - concurrent.completed.len())
+                .to_string(),
+                "=".into(),
+                "=".into(),
+            ],
+        ],
+    );
+    println!(
+        "\nfault resilience: {n_jobs} jobs over 16 tenants, flapping site {}, \
+         0 lost, {retries} retries absorbed, rogue cycled {panics} panics / \
+         {quarantined} quarantine rejections, outcomes bit-identical at 1 and 4 workers",
+        patient_site.0,
+    );
+
+    write_json(
+        "BENCH_fault_resilience",
+        &serde_json::json!({
+            "jobs": n_jobs,
+            "tenants": 2 + QUIET_TENANTS,
+            "rogue_jobs": ROGUE_JOBS,
+            "priority_jobs": PRIORITY_JOBS,
+            "quiet_jobs": QUIET_TENANTS * QUIET_JOBS_EACH,
+            "flapping_site": patient_site.0,
+            "worker_counts": [1, 4],
+            "lost_jobs": 0,
+            "non_rogue_completed": serial.completed.len(),
+            "retries_absorbed": retries,
+            "rogue_panics": panics,
+            "rogue_quarantine_rejections": quarantined,
+            "max_non_rogue_completion_index": max_quiet_completion,
+            "first_non_rogue_completion_index": first_quiet_completion,
+            "cross_worker_outcomes": "bit-for-bit",
+        }),
+    );
+    let root_copy = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fault_resilience.json");
+    if let Err(e) = std::fs::copy("target/repro/BENCH_fault_resilience.json", &root_copy) {
+        eprintln!("warning: could not copy BENCH_fault_resilience.json to repo root: {e}");
+    }
+}
+
+/// The quarantine threshold the runs above used (the config default).
+fn serial_config_threshold() -> usize {
+    RuntimeConfig::default().quarantine_threshold
+}

@@ -20,6 +20,7 @@
 
 use crate::error::EngineError;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Logical data types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -367,12 +368,35 @@ impl Column {
 }
 
 /// A named, schema-checked collection of equal-length columns.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Table {
     /// Table name.
     pub name: String,
     columns: Vec<Column>,
     n_rows: usize,
+    /// Memoized [`Table::estimated_bytes`]. Tables are immutable once
+    /// built (every operator returns a new table), so the O(rows) Utf8
+    /// sizing pass runs at most once per table instead of per append /
+    /// per LPT sort. Deliberately excluded from `PartialEq` and `Debug`:
+    /// two tables with identical rows are equal whether or not either has
+    /// been measured yet.
+    bytes_cache: OnceLock<u64>,
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("columns", &self.columns)
+            .field("n_rows", &self.n_rows)
+            .finish()
+    }
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.n_rows == other.n_rows && self.columns == other.columns
+    }
 }
 
 impl Table {
@@ -388,6 +412,7 @@ impl Table {
             name: name.to_string(),
             columns,
             n_rows,
+            bytes_cache: OnceLock::new(),
         })
     }
 
@@ -397,6 +422,7 @@ impl Table {
             name: name.to_string(),
             columns: Vec::new(),
             n_rows: 0,
+            bytes_cache: OnceLock::new(),
         }
     }
 
@@ -437,9 +463,15 @@ impl Table {
     }
 
     /// Estimated in-memory size of the table's data in bytes.
+    ///
+    /// Memoized: the first call pays the O(rows) Utf8 averaging pass, every
+    /// later call reads the cached value. Tables are immutable once built,
+    /// so the cache can never go stale.
     pub fn estimated_bytes(&self) -> u64 {
-        let per_row: f64 = self.columns.iter().map(|c| c.avg_value_bytes()).sum();
-        (per_row * self.n_rows as f64) as u64
+        *self.bytes_cache.get_or_init(|| {
+            let per_row: f64 = self.columns.iter().map(|c| c.avg_value_bytes()).sum();
+            (per_row * self.n_rows as f64) as u64
+        })
     }
 
     /// Gathers the rows at a `u32` selection vector.
@@ -449,6 +481,7 @@ impl Table {
             name: self.name.clone(),
             columns,
             n_rows: indices.len(),
+            bytes_cache: OnceLock::new(),
         }
     }
 
@@ -488,6 +521,7 @@ impl Table {
             name: self.name.clone(),
             columns,
             n_rows,
+            bytes_cache: OnceLock::new(),
         }
     }
 
@@ -498,6 +532,7 @@ impl Table {
             name: self.name.clone(),
             columns,
             n_rows: indices.len(),
+            bytes_cache: OnceLock::new(),
         }
     }
 
@@ -585,6 +620,7 @@ impl Table {
             name: name.to_string(),
             columns,
             n_rows,
+            bytes_cache: OnceLock::new(),
         })
     }
 

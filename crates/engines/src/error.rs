@@ -1,5 +1,6 @@
 //! Error type for the executor and simulator.
 
+use midas_cloud::SiteId;
 use std::fmt;
 
 /// Errors raised while building or executing plans.
@@ -32,6 +33,13 @@ pub enum EngineError {
     EmptyInput(String),
     /// Site or engine referenced by a plan is not available.
     Unavailable(String),
+    /// The site a fragment was bound to is down (an injected failure
+    /// window; see [`crate::sim::FaultPlan`]). Carries the site so callers
+    /// can re-plan around it.
+    SiteUnavailable {
+        /// The unreachable site.
+        site: SiteId,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -49,6 +57,9 @@ impl fmt::Display for EngineError {
             EngineError::DivisionByZero => write!(f, "division by zero"),
             EngineError::EmptyInput(op) => write!(f, "{op} is undefined on empty input"),
             EngineError::Unavailable(what) => write!(f, "unavailable: {what}"),
+            EngineError::SiteUnavailable { site } => {
+                write!(f, "site {} is unavailable", site.0)
+            }
         }
     }
 }

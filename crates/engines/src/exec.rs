@@ -22,7 +22,7 @@ use crate::catalog::Catalog;
 use crate::engine::{EngineKind, EngineProfile};
 use crate::error::EngineError;
 use crate::ops::{execute_with_partitions, OpKind, PhysicalPlan, WorkProfile};
-use crate::sim::{SimulationEnv, SiteAdmission};
+use crate::sim::{FaultPlan, SimulationEnv, SiteAdmission};
 use crate::data::Table;
 use midas_cloud::{Federation, InstanceType, Money, SiteId};
 use std::sync::{Arc, Mutex};
@@ -178,10 +178,36 @@ impl<'a> Executor<'a> {
                 parallel: false,
                 work_scale,
                 partition_degree: self.partition_degree,
+                faults: None,
             },
             query,
             base_tables,
         )
+    }
+}
+
+/// The fault schedule one run executes under: the plan plus the run's
+/// position in fault space (its job's admission sequence plus retry
+/// attempt — see [`FaultPlan`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultContext<'a> {
+    /// The injected schedule.
+    pub plan: &'a FaultPlan,
+    /// This run's fault position.
+    pub position: u64,
+}
+
+impl FaultContext<'_> {
+    fn site_down(&self, site: SiteId) -> bool {
+        self.plan.site_down(site, self.position)
+    }
+
+    fn slowdown(&self, site: SiteId) -> f64 {
+        self.plan.slowdown_factor(site, self.position)
+    }
+
+    fn capped(&self, site: SiteId) -> bool {
+        self.plan.admission_capped(site, self.position)
     }
 }
 
@@ -197,6 +223,8 @@ struct RunOptions<'a> {
     work_scale: f64,
     /// Intra-operator partition fan-out for joins/aggregations.
     partition_degree: usize,
+    /// Injected faults (`None` = a healthy federation).
+    faults: Option<FaultContext<'a>>,
 }
 
 /// How a run reaches the simulation environment: exclusively (the legacy
@@ -256,6 +284,7 @@ pub struct SharedExecutor<'a> {
     pacing: f64,
     parallel_fragments: bool,
     partition_degree: usize,
+    faults: Option<FaultContext<'a>>,
 }
 
 impl<'a> SharedExecutor<'a> {
@@ -273,6 +302,7 @@ impl<'a> SharedExecutor<'a> {
             pacing: 0.0,
             parallel_fragments: false,
             partition_degree: 1,
+            faults: None,
         }
     }
 
@@ -310,6 +340,19 @@ impl<'a> SharedExecutor<'a> {
         self
     }
 
+    /// Runs this executor under an injected fault schedule at the given
+    /// fault position (see [`FaultPlan`]): fragments bound to a down site
+    /// fail with [`EngineError::SiteUnavailable`] *before* taking an
+    /// admission slot, slowdown windows multiply the site's load inside the
+    /// fragment's env section, and flap windows cap the site's admission
+    /// gate at one slot. Positions outside every window execute exactly the
+    /// healthy path — bit-for-bit, since a 1.0 slowdown multiplies load by
+    /// exactly 1.0 and consumes no extra RNG draws.
+    pub fn with_faults(mut self, plan: &'a FaultPlan, position: u64) -> Self {
+        self.faults = Some(FaultContext { plan, position });
+        self
+    }
+
     /// Executes a federated query against base tables (logical scale 1).
     pub fn run(
         &self,
@@ -336,6 +379,7 @@ impl<'a> SharedExecutor<'a> {
                 parallel: self.parallel_fragments,
                 work_scale,
                 partition_degree: self.partition_degree,
+                faults: self.faults,
             },
             query,
             base_tables,
@@ -390,6 +434,7 @@ fn run_federated(
         parallel,
         work_scale,
         partition_degree,
+        faults,
     } = opts;
     let work_scale = if work_scale.is_finite() && work_scale > 0.0 {
         work_scale
@@ -496,7 +541,17 @@ fn run_federated(
         // not luck.
         let run_one = |idx: usize| -> Result<(Table, WorkProfile), EngineError> {
             let fragment = &query.fragments[idx];
-            let permit = admission.map(|a| a.acquire(fragment.site));
+            // Injected outage: the site refuses the fragment before a slot
+            // is even taken (a down site has no queue to wait in).
+            if let Some(f) = faults {
+                if f.site_down(fragment.site) {
+                    return Err(EngineError::SiteUnavailable {
+                        site: fragment.site,
+                    });
+                }
+            }
+            let capped = faults.is_some_and(|f| f.capped(fragment.site));
+            let permit = admission.map(|a| a.acquire_capped(fragment.site, capped));
             let result = execute_with_partitions(&fragment.plan, &catalog, partition_degree);
             if pacing > 0.0 {
                 if let (Ok((_, work)), Some(Ok(shape))) = (&result, &shapes[idx]) {
@@ -565,12 +620,12 @@ fn run_federated(
             let (table, work) = match result {
                 Ok(ok) => ok,
                 Err(e) => {
-                    sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale);
+                    sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale, faults);
                     return Err(e);
                 }
             };
             if shapes[idx].as_ref().is_some_and(|shape| shape.is_err()) {
-                sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale);
+                sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale, faults);
                 return Err(shapes[idx].take().expect("staged").unwrap_err());
             }
             let table = Arc::new(table);
@@ -578,7 +633,7 @@ fn run_federated(
             catalog.insert_shared(format!("@frag{idx}"), Arc::clone(&table));
             executed[idx] = Some((table, work));
         }
-        sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale);
+        sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale, faults);
     }
 
     // The catalog holds the only other reference to the final fragment's
@@ -641,6 +696,7 @@ impl SimCursor {
         shapes: &mut [Option<Result<InstanceType, EngineError>>],
         transfers: &[(f64, Money, u64)],
         work_scale: f64,
+        faults: Option<FaultContext<'_>>,
     ) {
         while self.next < executed.len() && executed[self.next].is_some() {
             let idx = self.next;
@@ -654,7 +710,11 @@ impl SimCursor {
             let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);
             let profile = EngineProfile::for_engine(fragment.engine);
             let elapsed = env.with(|env| {
-                let load = env.load(fragment.site);
+                // An injected slowdown multiplies the site's load; it never
+                // consumes RNG, so positions outside every window simulate
+                // bit-identically to a fault-free run (x * 1.0 == x).
+                let slowdown = faults.map_or(1.0, |f| f.slowdown(fragment.site));
+                let load = env.load(fragment.site) * slowdown;
                 let noise = env.noise(fragment.site);
                 let compute_s = simulate_fragment_seconds_scaled(
                     &work, &profile, workers, load, noise, work_scale,

@@ -172,6 +172,213 @@ impl SimulationEnv {
     }
 }
 
+/// A half-open interval over *fault positions*.
+///
+/// Faults are keyed by position in admission-sequence space, not by the
+/// simulated clock: a job's fault position is its admission sequence plus
+/// its retry attempt. That makes every injected failure a pure function of
+/// the workload — replayable bit-for-bit for a fixed plan no matter how
+/// many workers race, which is what lets the differential harnesses pin
+/// fault outcomes across worker counts. It also gives retries an escape
+/// hatch: an attempt at `sequence + attempt` can step past the end of a
+/// window, modelling a transient outage that heals while the job backs off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First covered position.
+    pub from: u64,
+    /// First position past the window.
+    pub until: u64,
+}
+
+impl FaultWindow {
+    /// Whether `position` falls inside the window.
+    pub fn covers(&self, position: u64) -> bool {
+        position >= self.from && position < self.until
+    }
+}
+
+/// The injected faults of one site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteFaults {
+    /// Windows during which every fragment bound to the site fails with
+    /// [`crate::error::EngineError::SiteUnavailable`].
+    pub outages: Vec<FaultWindow>,
+    /// Windows during which the site's load is multiplied by the paired
+    /// factor (a degraded-but-alive site). Overlapping windows compound.
+    pub slowdowns: Vec<(FaultWindow, f64)>,
+    /// Windows during which the site's admission gate flaps down to a
+    /// single slot (capacity loss without failure).
+    pub flaps: Vec<FaultWindow>,
+}
+
+/// Deterministic parameters for [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-position probability that an outage window starts.
+    pub outage_prob: f64,
+    /// Outage window length in positions (`1..=max`).
+    pub max_outage_len: u64,
+    /// Per-position probability that a slowdown window starts.
+    pub slowdown_prob: f64,
+    /// Slowdown factor range drawn uniformly.
+    pub slowdown_range: (f64, f64),
+    /// Per-position probability that an admission flap starts.
+    pub flap_prob: f64,
+    /// Slowdown/flap window length in positions (`1..=max`).
+    pub max_fault_len: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            outage_prob: 0.05,
+            max_outage_len: 2,
+            slowdown_prob: 0.08,
+            slowdown_range: (1.5, 4.0),
+            flap_prob: 0.05,
+            max_fault_len: 4,
+        }
+    }
+}
+
+/// A deterministic, seedable per-site fault schedule (see the
+/// [`FaultWindow`] docs for the position model). Built either explicitly —
+/// [`FaultPlan::outage`] / [`FaultPlan::slowdown`] / [`FaultPlan::flap`] —
+/// or randomly from a seed with [`FaultPlan::generate`]; either way the
+/// plan is a pure value, so a fixed plan replays the exact same failures.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    sites: HashMap<SiteId, SiteFaults>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an outage window at `site` (builder style).
+    pub fn outage(mut self, site: SiteId, from: u64, until: u64) -> Self {
+        self.sites
+            .entry(site)
+            .or_default()
+            .outages
+            .push(FaultWindow { from, until });
+        self
+    }
+
+    /// Adds a slowdown window at `site` (builder style); `factor < 1` is
+    /// clamped to 1 (a fault never speeds a site up).
+    pub fn slowdown(mut self, site: SiteId, from: u64, until: u64, factor: f64) -> Self {
+        self.sites
+            .entry(site)
+            .or_default()
+            .slowdowns
+            .push((FaultWindow { from, until }, factor.max(1.0)));
+        self
+    }
+
+    /// Adds an admission-flap window at `site` (builder style).
+    pub fn flap(mut self, site: SiteId, from: u64, until: u64) -> Self {
+        self.sites
+            .entry(site)
+            .or_default()
+            .flaps
+            .push(FaultWindow { from, until });
+        self
+    }
+
+    /// Generates a random plan over `positions` fault positions for the
+    /// given sites. Each site draws from its own [`split_seed`] stream, so
+    /// the plan is a pure function of `(seed, sites, spec)` — and adding a
+    /// site never perturbs another site's schedule.
+    pub fn generate(
+        seed: u64,
+        sites: impl IntoIterator<Item = SiteId>,
+        positions: u64,
+        spec: &FaultSpec,
+    ) -> Self {
+        let mut plan = FaultPlan::default();
+        for site in sites {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, 0x0fa1_7000 ^ site.0 as u64));
+            let faults = plan.sites.entry(site).or_default();
+            let mut pos = 0u64;
+            while pos < positions {
+                if spec.outage_prob > 0.0 && rng.gen_bool(spec.outage_prob.clamp(0.0, 1.0)) {
+                    let len = rng.gen_range(1..=spec.max_outage_len.max(1));
+                    faults.outages.push(FaultWindow {
+                        from: pos,
+                        until: (pos + len).min(positions),
+                    });
+                    pos += len;
+                    continue;
+                }
+                if spec.slowdown_prob > 0.0 && rng.gen_bool(spec.slowdown_prob.clamp(0.0, 1.0)) {
+                    let len = rng.gen_range(1..=spec.max_fault_len.max(1));
+                    let (lo, hi) = spec.slowdown_range;
+                    let factor = rng.gen_range(lo.min(hi)..=hi.max(lo)).max(1.0);
+                    faults.slowdowns.push((
+                        FaultWindow {
+                            from: pos,
+                            until: (pos + len).min(positions),
+                        },
+                        factor,
+                    ));
+                }
+                if spec.flap_prob > 0.0 && rng.gen_bool(spec.flap_prob.clamp(0.0, 1.0)) {
+                    let len = rng.gen_range(1..=spec.max_fault_len.max(1));
+                    faults.flaps.push(FaultWindow {
+                        from: pos,
+                        until: (pos + len).min(positions),
+                    });
+                }
+                pos += 1;
+            }
+        }
+        plan
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.sites
+            .values()
+            .all(|f| f.outages.is_empty() && f.slowdowns.is_empty() && f.flaps.is_empty())
+    }
+
+    /// Whether `site` is down at `position`.
+    pub fn site_down(&self, site: SiteId, position: u64) -> bool {
+        self.sites
+            .get(&site)
+            .is_some_and(|f| f.outages.iter().any(|w| w.covers(position)))
+    }
+
+    /// Compound slowdown multiplier of `site` at `position` (1.0 = none).
+    pub fn slowdown_factor(&self, site: SiteId, position: u64) -> f64 {
+        self.sites.get(&site).map_or(1.0, |f| {
+            f.slowdowns
+                .iter()
+                .filter(|(w, _)| w.covers(position))
+                .map(|(_, factor)| factor)
+                .product()
+        })
+    }
+
+    /// Whether `site`'s admission gate is flapped down to one slot at
+    /// `position`.
+    pub fn admission_capped(&self, site: SiteId, position: u64) -> bool {
+        self.sites
+            .get(&site)
+            .is_some_and(|f| f.flaps.iter().any(|w| w.covers(position)))
+    }
+
+    /// Sites the plan ever touches, sorted (for reporting).
+    pub fn affected_sites(&self) -> Vec<SiteId> {
+        let mut out: Vec<SiteId> = self.sites.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
 /// Aggregate contention statistics of one site's admission gate.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AdmissionStats {
@@ -266,17 +473,29 @@ impl SiteAdmission {
     /// a queued waiter, so per-fragment wait times reflect arrival order,
     /// not OS scheduling luck.
     pub fn acquire(&self, site: SiteId) -> AdmissionPermit<'_> {
+        self.acquire_capped(site, false)
+    }
+
+    /// [`SiteAdmission::acquire`] with an optional *flap cap*: when `capped`
+    /// is true the caller treats the gate as having a single slot, modelling
+    /// a site whose resource pool flapped down (see
+    /// [`FaultPlan::admission_capped`]). The cap is per-caller — fragments
+    /// outside the flap window still see full capacity — and it only delays
+    /// wall-clock admission; permits, FIFO tickets and release behave
+    /// exactly as for an uncapped acquire.
+    pub fn acquire_capped(&self, site: SiteId, capped: bool) -> AdmissionPermit<'_> {
         let Some(gate) = self.gates.get(&site) else {
             return AdmissionPermit { gate: None };
         };
+        let capacity = if capped { 1 } else { gate.capacity };
         let queued_at = Instant::now();
         let mut state = lock_gate(&gate.state);
         let ticket = state.next_ticket;
         state.next_ticket += 1;
-        if state.in_use >= gate.capacity || state.serving != ticket {
+        if state.in_use >= capacity || state.serving != ticket {
             state.waiting += 1;
             state.stats.peak_queue = state.stats.peak_queue.max(state.waiting);
-            while state.in_use >= gate.capacity || state.serving != ticket {
+            while state.in_use >= capacity || state.serving != ticket {
                 state = gate
                     .freed
                     .wait(state)
@@ -427,6 +646,78 @@ mod tests {
             b.tick();
         }
         assert_eq!(a.load(), b.load());
+    }
+
+    #[test]
+    fn fault_plan_windows_cover_positions_half_open() {
+        let site = SiteId(3);
+        let plan = FaultPlan::none()
+            .outage(site, 2, 4)
+            .slowdown(site, 0, 10, 2.0)
+            .slowdown(site, 5, 6, 3.0)
+            .flap(site, 1, 2);
+        assert!(!plan.site_down(site, 1));
+        assert!(plan.site_down(site, 2) && plan.site_down(site, 3));
+        assert!(!plan.site_down(site, 4), "windows are half-open");
+        // Overlapping slowdowns compound; outside all windows it is 1.0.
+        assert_eq!(plan.slowdown_factor(site, 5), 6.0);
+        assert_eq!(plan.slowdown_factor(site, 9), 2.0);
+        assert_eq!(plan.slowdown_factor(site, 10), 1.0);
+        assert!(plan.admission_capped(site, 1));
+        assert!(!plan.admission_capped(site, 2));
+        // Untouched sites are healthy.
+        let other = SiteId(9);
+        assert!(!plan.site_down(other, 2));
+        assert_eq!(plan.slowdown_factor(other, 2), 1.0);
+        assert_eq!(plan.affected_sites(), vec![site]);
+        assert!(FaultPlan::none().is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn generated_fault_plans_are_pure_functions_of_the_seed() {
+        let sites = [SiteId(0), SiteId(1)];
+        let spec = FaultSpec::default();
+        let a = FaultPlan::generate(7, sites, 64, &spec);
+        let b = FaultPlan::generate(7, sites, 64, &spec);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::generate(8, sites, 64, &spec);
+        assert_ne!(a, c, "different seed, different plan");
+        // Adding a site never perturbs an existing site's schedule.
+        let wider = FaultPlan::generate(7, [SiteId(0), SiteId(1), SiteId(2)], 64, &spec);
+        for pos in 0..64 {
+            assert_eq!(a.site_down(SiteId(0), pos), wider.site_down(SiteId(0), pos));
+            assert_eq!(
+                a.slowdown_factor(SiteId(1), pos),
+                wider.slowdown_factor(SiteId(1), pos)
+            );
+        }
+        // A default-spec plan over 64 positions injects *something*.
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn capped_acquire_serializes_to_one_slot() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let admission = SiteAdmission::new([(SiteId(0), 4)]);
+        let running = AtomicU32::new(0);
+        let peak = AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..5 {
+                scope.spawn(|| {
+                    let _permit = admission.acquire_capped(SiteId(0), true);
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "flap cap violated");
+        // Uncapped acquires on the same gate still see full capacity.
+        let _a = admission.acquire(SiteId(0));
+        let _b = admission.acquire(SiteId(0));
+        assert_eq!(admission.stats()[0].1.admitted, 7);
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct PlanCostModel {
     work_combine: WorkProfile,
     left_bytes: u64,
     right_bytes: u64,
+    /// Sites under admission pressure (e.g. sites that returned
+    /// `SiteUnavailable` on an earlier attempt of the same job). Candidates
+    /// joining at a hot site pay [`PlanCostModel::hot_penalty`] on both cost
+    /// axes, so re-planning routes the join around the trouble.
+    hot_sites: Vec<SiteId>,
+    hot_penalty: f64,
 }
 
 impl PlanCostModel {
@@ -63,7 +69,21 @@ impl PlanCostModel {
             work_combine,
             left_bytes,
             right_bytes,
+            hot_sites: Vec::new(),
+            hot_penalty: 1.0,
         })
+    }
+
+    /// Marks `sites` as hot: any candidate placing its join at one of them
+    /// has both cost axes multiplied by `penalty` (values below 1 are
+    /// clamped to 1 — pressure never makes a site cheaper). Used by the
+    /// runtime's retry path: after a `SiteUnavailable`, the failed site is
+    /// marked hot and the placement re-enumerated, so the retry's join
+    /// routes around the outage whenever any alternative exists.
+    pub fn with_hot_sites(mut self, sites: &[SiteId], penalty: f64) -> Self {
+        self.hot_sites = sites.to_vec();
+        self.hot_penalty = penalty.max(1.0);
+        self
     }
 
     /// [`PlanCostModel::build`] against a pinned catalog version — the
@@ -154,7 +174,12 @@ impl PlanCostModel {
             .instance_cost(shape, config.vm_count.max(1), t_join + t_transfer);
         let money = money_left + money_right + money_join + egress;
 
-        vec![time, money.as_dollars()]
+        let pressure = if self.hot_sites.contains(&config.join_site) {
+            self.hot_penalty
+        } else {
+            1.0
+        };
+        vec![time * pressure, money.as_dollars() * pressure]
     }
 }
 
@@ -216,6 +241,29 @@ mod tests {
         let c1 = model.cost(&fed, &mk(1));
         let c8 = model.cost(&fed, &mk(8));
         assert!(c8[0] < c1[0], "time should drop with VMs");
+    }
+
+    #[test]
+    fn hot_sites_penalize_only_their_own_joins() {
+        let (fed, placement, query, db) = setup();
+        let cold = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
+        let hot = cold.clone().with_hot_sites(&[SiteId(1)], 8.0);
+        let mk = |site| CandidateConfig {
+            join_site: site,
+            join_engine: EngineKind::PostgreSql,
+            instance_idx: 0,
+            vm_count: 1,
+        };
+        // Joining at the hot site costs 8x on both axes.
+        let cold_hot_site = cold.cost(&fed, &mk(SiteId(1)));
+        let hot_hot_site = hot.cost(&fed, &mk(SiteId(1)));
+        assert_eq!(hot_hot_site[0], cold_hot_site[0] * 8.0);
+        assert_eq!(hot_hot_site[1], cold_hot_site[1] * 8.0);
+        // Joining elsewhere is bit-identical to the unpressured model.
+        assert_eq!(hot.cost(&fed, &mk(SiteId(0))), cold.cost(&fed, &mk(SiteId(0))));
+        // Sub-1 penalties clamp: pressure never discounts a site.
+        let clamped = cold.clone().with_hot_sites(&[SiteId(1)], 0.25);
+        assert_eq!(clamped.cost(&fed, &mk(SiteId(1))), cold_hot_site);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub struct ExecutedQuery {
 }
 
 /// Errors the scheduler can surface.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SchedulerError {
     /// Plan construction or execution failed.
     Engine(EngineError),

@@ -9,10 +9,13 @@
 //!
 //! * **Admit** — tenants push `(tenant, query, policy)` jobs through an
 //!   mpsc-style [`Ingress`] (`submit` / `ingest` / `drain`) while `workers`
-//!   OS threads drain a shared queue. The queue is **per-tenant
-//!   round-robin**, not strict FIFO: each pop takes the next job of the
-//!   next tenant in rotation, so one chatty tenant cannot starve the
-//!   others (a tenant's own jobs still run in submission order).
+//!   OS threads drain a shared queue. The queue is **weighted deficit
+//!   round-robin per tenant**, not strict FIFO: each rotation grants every
+//!   tenant up to `weight` pops (default 1) before moving on, so one chatty
+//!   tenant cannot starve the others (a tenant's own jobs still run in
+//!   submission order, and at most one job per tenant is in flight at a
+//!   time — the serialization that makes quarantine accounting
+//!   deterministic).
 //! * **Ingest** — the runtime owns a copy-on-write
 //!   [`VersionedCatalog`]: delta batches append as `Arc`-shared chunks
 //!   (zero bytes of prior data recopied) and publish a new catalog version
@@ -32,6 +35,28 @@
 //!   per-query-class [`ModellingRegistry`]; its DREAM estimators default
 //!   to the incremental `O(L³)` Algorithm 1 path.
 //!
+//! **Resilience.** Production federations see sites stall, fail and flap;
+//! the runtime injects exactly that through an optional seeded
+//! [`FaultPlan`] ([`FederationRuntime::with_fault_plan`]) and survives it:
+//!
+//! * a fragment bound to a site inside one of its **outage windows** fails
+//!   typed ([`EngineError::SiteUnavailable`]); the job retries up to
+//!   [`RuntimeConfig::max_attempts`] times with exponential wall-clock
+//!   backoff, **re-planning on every retry** with the failed sites marked
+//!   hot in the cost model so the join routes around them;
+//! * a job whose successful attempt overruns its simulated-clock
+//!   [`RuntimeJob::deadline_s`] fails typed
+//!   ([`RuntimeError::DeadlineExceeded`]) without feeding the learners;
+//! * after [`RuntimeConfig::quarantine_threshold`] *consecutive*
+//!   panicked/site-exhausted jobs, a tenant is **quarantined**: its next
+//!   [`RuntimeConfig::quarantine_cooloff`] jobs are rejected typed
+//!   ([`RuntimeError::Quarantined`]) without touching the execution stack,
+//!   then service resumes on probation.
+//!
+//! Every failure path lands in [`RuntimeReport::failed`] as a structured
+//! [`FailedJob`] carrying tenant/site/attempt context — jobs terminate
+//! with a definite outcome, never silently vanish.
+//!
 //! **Determinism.** With `workers == 1` and a tenant-balanced workload the
 //! runtime performs exactly the operation sequence of the sequential
 //! [`Scheduler`](midas_ires::Scheduler)-backed session replaying the same
@@ -42,10 +67,10 @@
 //! alone against its pinned catalog version (gated by the ingest bench).
 
 use crate::system::{MidasReport, QueryPolicy};
-use midas_cloud::Federation;
+use midas_cloud::{Federation, SiteId};
 use midas_engines::data::Table;
 use midas_engines::exec::SharedExecutor;
-use midas_engines::sim::{AdmissionStats, DriftIntensity, SimulationEnv, SiteAdmission};
+use midas_engines::sim::{AdmissionStats, DriftIntensity, FaultPlan, SimulationEnv, SiteAdmission};
 use midas_engines::version::{CatalogVersion, IngestReceipt, IngestStats, VersionedCatalog};
 use midas_engines::{Catalog, EngineError, Placement};
 use midas_ires::optimizer::moqp_exhaustive;
@@ -93,6 +118,30 @@ pub struct RuntimeConfig {
     /// admission permits; results, work profiles and fingerprints are
     /// bit-identical at every degree. 1 = serial.
     pub partition_degree: usize,
+    /// Execution attempts per job (>= 1). A `SiteUnavailable` failure
+    /// retries with the failed site marked hot in the cost model (so the
+    /// join re-plans around it) and the job's fault position advanced (so
+    /// short outage windows are escaped); any other error is terminal.
+    pub max_attempts: usize,
+    /// Wall-clock seconds slept before retry `k` (1-based):
+    /// `backoff_base_s * 2^(k-1)`. `0.0` (the default) disables the sleep —
+    /// simulated outcomes never depend on it.
+    pub backoff_base_s: f64,
+    /// Cost multiplier applied to candidates joining at a site that failed
+    /// earlier in the same job (see [`PlanCostModel::with_hot_sites`]).
+    pub hot_site_penalty: f64,
+    /// Consecutive panicked/site-exhausted jobs from one tenant before it
+    /// is quarantined. `0` disables quarantine.
+    pub quarantine_threshold: usize,
+    /// Jobs rejected with [`RuntimeError::Quarantined`] once a tenant trips
+    /// the threshold, after which service resumes on probation.
+    pub quarantine_cooloff: usize,
+    /// Keep each job's whole pinned [`CatalogVersion`] handle alive in its
+    /// [`TenantReport::pinned`] (needed by snapshot-isolation harnesses
+    /// that re-execute queries against exactly the pinned version). Off by
+    /// default: reports then carry only the version *number*, so retired
+    /// catalog versions free as soon as their last in-flight job finishes.
+    pub retain_pinned_snapshots: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -106,6 +155,12 @@ impl Default for RuntimeConfig {
             pacing: 0.0,
             parallel_fragments: false,
             partition_degree: 1,
+            max_attempts: 3,
+            backoff_base_s: 0.0,
+            hot_site_penalty: 8.0,
+            quarantine_threshold: 3,
+            quarantine_cooloff: 8,
+            retain_pinned_snapshots: false,
         }
     }
 }
@@ -119,16 +174,29 @@ pub struct RuntimeJob {
     pub query: TwoTableQuery,
     /// The tenant's objective weights and budgets.
     pub policy: QueryPolicy,
+    /// Optional *simulated-clock* deadline: if the successful attempt's
+    /// simulated elapsed seconds exceed this, the job fails typed as
+    /// [`RuntimeError::DeadlineExceeded`] (terminal — deadline overruns are
+    /// not retried, do not count toward quarantine, and never feed the
+    /// learners). `None` = no deadline.
+    pub deadline_s: Option<f64>,
 }
 
 impl RuntimeJob {
-    /// Convenience constructor.
+    /// Convenience constructor (no deadline).
     pub fn new(tenant: &str, query: TwoTableQuery, policy: QueryPolicy) -> Self {
         RuntimeJob {
             tenant: tenant.to_string(),
             query,
             policy,
+            deadline_s: None,
         }
+    }
+
+    /// Attaches a simulated-clock deadline (builder style).
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
     }
 }
 
@@ -146,10 +214,17 @@ pub struct TenantReport {
     pub worker: usize,
     /// Wall-clock seconds from dequeue to completion.
     pub wall_latency_s: f64,
-    /// The catalog version the job pinned at admission. Held by handle, so
-    /// snapshot-isolation harnesses can re-execute the query standalone
-    /// against exactly this version.
-    pub pinned: Arc<CatalogVersion>,
+    /// Execution attempts the job took (1 = first try succeeded; each
+    /// `SiteUnavailable` retry adds one).
+    pub attempts: usize,
+    /// The number of the catalog version the job pinned at admission.
+    pub pinned_version: u64,
+    /// The pinned catalog version itself — `Some` only under
+    /// [`RuntimeConfig::retain_pinned_snapshots`], so snapshot-isolation
+    /// harnesses can re-execute the query standalone against exactly this
+    /// version. `None` by default: reports do not keep whole catalog
+    /// snapshots alive for their own lifetime.
+    pub pinned: Option<Arc<CatalogVersion>>,
     /// The full pipeline report.
     pub report: MidasReport,
 }
@@ -157,7 +232,7 @@ pub struct TenantReport {
 impl TenantReport {
     /// The pinned catalog version's number.
     pub fn pinned_version(&self) -> u64 {
-        self.pinned.version()
+        self.pinned_version
     }
 }
 
@@ -180,8 +255,10 @@ pub struct TenantStats {
 pub struct RuntimeReport {
     /// Per-job reports, in admission (submission) order.
     pub completed: Vec<TenantReport>,
-    /// Failed jobs as `(sequence, tenant, error)`, in admission order.
-    pub failed: Vec<(usize, String, String)>,
+    /// Failed jobs with their structured errors, in admission order.
+    /// `completed.len() + failed.len()` always equals the number of
+    /// admitted jobs: every job terminates with a definite outcome.
+    pub failed: Vec<FailedJob>,
     /// Wall-clock seconds the whole batch took.
     pub wall_s: f64,
     /// Completed queries per wall-clock second.
@@ -195,8 +272,9 @@ pub struct RuntimeReport {
     /// The catalog version published when the call returned.
     pub catalog_version: u64,
     /// Cumulative ingest accounting of the runtime's versioned catalog
-    /// (across all calls on this runtime; `bytes_recopied` is the
-    /// copy-on-write gate, 0 by construction).
+    /// (across all calls on this runtime; prior-chunk bytes are carried by
+    /// `Arc::clone` — the recurring cost is pin-time compaction, measured
+    /// per version by `CatalogVersion::compaction_bytes`).
     pub ingest: IngestStats,
 }
 
@@ -209,7 +287,9 @@ struct AdmittedJob {
 
 /// Why one admitted job failed. Failures are per job: the runtime records
 /// them in [`RuntimeReport::failed`] and keeps serving everything else.
-#[derive(Debug)]
+/// Every variant carries the context a caller needs to react
+/// programmatically — tenant, site and attempt counts, not just a message.
+#[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// Planning, execution or learning surfaced an error.
     Scheduler(SchedulerError),
@@ -218,6 +298,39 @@ pub enum RuntimeError {
     /// any poisoned locks are recovered (their guarded state is consistent
     /// between operations), and every other tenant's jobs proceed.
     WorkerPanicked(String),
+    /// Every attempt hit an injected site outage; the job is surfaced as a
+    /// typed partial failure instead of being lost.
+    SiteUnavailable {
+        /// The submitting tenant.
+        tenant: String,
+        /// The site whose outage exhausted the final attempt.
+        site: SiteId,
+        /// Attempts made (== `RuntimeConfig::max_attempts`).
+        attempts: usize,
+    },
+    /// The job's successful attempt overran [`RuntimeJob::deadline_s`] on
+    /// the simulated clock. Terminal: not retried, not counted toward
+    /// quarantine, and the observation never reaches the learners.
+    DeadlineExceeded {
+        /// The submitting tenant.
+        tenant: String,
+        /// The configured deadline (simulated seconds).
+        deadline_s: f64,
+        /// What the attempt actually took (simulated seconds).
+        elapsed_s: f64,
+        /// Attempts made before the overrun.
+        attempts: usize,
+    },
+    /// The tenant is in quarantine cool-off: the job was rejected *before*
+    /// planning or execution (no environment draws, no site slots).
+    Quarantined {
+        /// The quarantined tenant.
+        tenant: String,
+        /// Consecutive failures that tripped the quarantine.
+        failures: usize,
+        /// Cool-off rejections remaining after this one.
+        remaining_cooloff: usize,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -225,8 +338,48 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::Scheduler(e) => write!(f, "{e}"),
             RuntimeError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            RuntimeError::SiteUnavailable {
+                tenant,
+                site,
+                attempts,
+            } => write!(
+                f,
+                "tenant {tenant}: site {} unavailable after {attempts} attempts",
+                site.0
+            ),
+            RuntimeError::DeadlineExceeded {
+                tenant,
+                deadline_s,
+                elapsed_s,
+                attempts,
+            } => write!(
+                f,
+                "tenant {tenant}: deadline {deadline_s}s exceeded \
+                 (simulated {elapsed_s}s over {attempts} attempts)"
+            ),
+            RuntimeError::Quarantined {
+                tenant,
+                failures,
+                remaining_cooloff,
+            } => write!(
+                f,
+                "tenant {tenant}: quarantined after {failures} consecutive failures \
+                 ({remaining_cooloff} cool-off rejections remain)"
+            ),
         }
     }
+}
+
+/// One failed job in [`RuntimeReport::failed`]: which admission it was,
+/// whose it was, and the structured error that terminated it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedJob {
+    /// Admission order of the job (0-based).
+    pub sequence: usize,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Why it failed.
+    pub error: RuntimeError,
 }
 
 impl std::error::Error for RuntimeError {}
@@ -263,16 +416,30 @@ fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 struct TenantQueue {
     name: String,
     jobs: VecDeque<AdmittedJob>,
+    /// Pops granted per rotation (>= 1). Weight 1 for every tenant is
+    /// exactly the classic one-job-per-tenant round-robin.
+    weight: u64,
+    /// Deficit counter: pops remaining in the current rotation. Refreshed
+    /// to `weight` when the cursor (re)enters the tenant with 0 credits.
+    credits: u64,
+    /// A worker holds one of this tenant's jobs right now. At most one job
+    /// per tenant is in flight: `pop` skips in-flight tenants and
+    /// `complete_one` clears the flag. This serializes each tenant's jobs
+    /// in submission order across any worker count — the property the
+    /// quarantine ledger and the failure-determinism harness rely on.
+    in_flight: bool,
 }
 
-/// The shared ingress queue: per-tenant FIFOs drained round-robin.
+/// The shared ingress queue: per-tenant FIFOs drained by **weighted
+/// deficit round-robin**.
 ///
-/// Fairness model: tenants are registered in first-submission order; each
-/// pop scans from a rotating cursor and takes the front of the next
-/// non-empty tenant queue, then advances the cursor past that tenant. A
-/// tenant's own jobs run in submission order, but across tenants service
-/// interleaves one-job-per-tenant — a burst of `n` jobs from one tenant
-/// delays another tenant's next job by at most one job, not `n`.
+/// Fairness model: tenants are registered in first-submission order (the
+/// rotation order); each rotation grants a tenant up to `weight`
+/// consecutive pops before the cursor moves on. With all weights 1 this
+/// is exactly one-job-per-tenant round-robin: a burst of `n` jobs from one
+/// tenant delays another tenant's next job by at most one job, not `n`.
+/// Heavier tenants get proportionally more service without ever locking
+/// the rotation (credits exhaust, the cursor moves on).
 ///
 /// Once the ingress is **closed**, an empty tenant FIFO can never refill;
 /// `pop` retires such departed tenants from the rotation, so a service
@@ -295,18 +462,24 @@ struct QueueState {
 }
 
 impl QueueState {
-    /// Drops tenants whose queues are empty (legal only once closed). The
-    /// cursor is re-based so the rotation continues with exactly the
-    /// tenant that would have been served next among the survivors.
+    /// Drops tenants whose queues are empty and idle (legal only once
+    /// closed; an in-flight tenant stays registered so its completion can
+    /// clear the flag). The cursor is re-based so the rotation continues
+    /// with exactly the tenant that would have been served next among the
+    /// survivors.
     fn retire_departed(&mut self) {
-        if self.tenants.iter().all(|t| !t.jobs.is_empty()) {
+        if self
+            .tenants
+            .iter()
+            .all(|t| !t.jobs.is_empty() || t.in_flight)
+        {
             return;
         }
         let cursor = self.cursor;
         let mut removed_before_cursor = 0;
         let old = std::mem::take(&mut self.tenants);
         for (i, tenant) in old.into_iter().enumerate() {
-            if tenant.jobs.is_empty() {
+            if tenant.jobs.is_empty() && !tenant.in_flight {
                 self.index.remove(&tenant.name);
                 if i < cursor {
                     removed_before_cursor += 1;
@@ -337,9 +510,10 @@ struct JobQueue {
 }
 
 impl JobQueue {
-    /// Admits a job (with its pinned catalog version); returns its
-    /// admission sequence number.
-    fn submit(&self, job: RuntimeJob, pinned: Arc<CatalogVersion>) -> usize {
+    /// Admits a job (with its pinned catalog version and its tenant's
+    /// service weight); returns its admission sequence number. A
+    /// resubmitting tenant's weight updates to the latest value.
+    fn submit(&self, job: RuntimeJob, pinned: Arc<CatalogVersion>, weight: u64) -> usize {
         let mut guard = lock_recover(&self.state);
         let state = &mut *guard;
         let sequence = state.next_sequence;
@@ -353,10 +527,14 @@ impl JobQueue {
                 state.tenants.push(TenantQueue {
                     name: job.tenant.clone(),
                     jobs: VecDeque::new(),
+                    weight: weight.max(1),
+                    credits: 0,
+                    in_flight: false,
                 });
                 slot
             }
         };
+        state.tenants[slot].weight = weight.max(1);
         state.tenants[slot].jobs.push_back(AdmittedJob {
             sequence,
             pinned,
@@ -367,8 +545,10 @@ impl JobQueue {
         sequence
     }
 
-    /// Takes the next job in round-robin tenant order, blocking while the
-    /// queue is empty but not closed. `None` once closed and drained. The
+    /// Takes the next job in weighted-deficit-round-robin tenant order,
+    /// blocking while no tenant is serviceable (queue empty, or every
+    /// queued tenant already has a job in flight) and the queue is not yet
+    /// closed and drained. `None` once closed and every FIFO is empty. The
     /// scan indexes the rotation directly — no per-step tenant-name clone.
     fn pop(&self) -> Option<AdmittedJob> {
         let mut state = lock_recover(&self.state);
@@ -379,12 +559,33 @@ impl JobQueue {
             let n = state.tenants.len();
             for offset in 0..n {
                 let t = (state.cursor + offset) % n;
-                if let Some(job) = state.tenants[t].jobs.pop_front() {
-                    state.cursor = (t + 1) % n;
-                    return Some(job);
+                let tenant = &mut state.tenants[t];
+                if tenant.in_flight || tenant.jobs.is_empty() {
+                    continue;
                 }
+                if tenant.credits == 0 {
+                    tenant.credits = tenant.weight.max(1);
+                }
+                tenant.credits -= 1;
+                let job = tenant
+                    .jobs
+                    .pop_front()
+                    .expect("non-empty checked above");
+                tenant.in_flight = true;
+                if tenant.credits == 0 || tenant.jobs.is_empty() {
+                    // Rotation exhausted (or nothing left to spend it on):
+                    // the next pop moves past this tenant with a fresh
+                    // deficit next time around.
+                    tenant.credits = 0;
+                    state.cursor = (t + 1) % n;
+                } else {
+                    // Credits remain: the cursor stays so the tenant's
+                    // burst continues once this job completes.
+                    state.cursor = t;
+                }
+                return Some(job);
             }
-            if state.closed {
+            if state.closed && state.tenants.iter().all(|t| t.jobs.is_empty()) {
                 return None;
             }
             state = self
@@ -394,12 +595,19 @@ impl JobQueue {
         }
     }
 
-    /// Records one completion (success or failure).
-    fn complete_one(&self) {
+    /// Records one completion (success or failure) and releases the
+    /// tenant's in-flight slot so its next job becomes serviceable.
+    fn complete_one(&self, tenant: &str) {
         let mut state = lock_recover(&self.state);
+        if let Some(&slot) = state.index.get(tenant) {
+            state.tenants[slot].in_flight = false;
+        }
         state.outstanding -= 1;
         let drained = state.outstanding == 0;
         drop(state);
+        // Waiting workers may be parked on the in-flight flag, not just on
+        // submissions — wake them.
+        self.ready.notify_all();
         if drained {
             self.idle.notify_all();
         }
@@ -440,8 +648,20 @@ impl Drop for CloseOnDrop<'_> {
 #[derive(Default)]
 struct ResultSink {
     completed: Vec<TenantReport>,
-    failed: Vec<(usize, String, String)>,
+    failed: Vec<FailedJob>,
     completions: usize,
+}
+
+/// Per-tenant failure ledger behind the quarantine policy. Tenant jobs are
+/// serialized by the queue's in-flight flag, so transitions here happen in
+/// each tenant's submission order no matter how many workers run.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantHealth {
+    /// Countable failures (panics, site-exhausted jobs) since the last
+    /// success or quarantine trip.
+    consecutive_failures: usize,
+    /// Quarantine rejections still owed before service resumes.
+    cooloff_remaining: usize,
 }
 
 /// The live ingress of a running [`FederationRuntime::serve`] call: the
@@ -463,10 +683,13 @@ pub struct Ingress<'r, 'a> {
 
 impl Ingress<'_, '_> {
     /// Enqueues a job; returns its admission sequence number. The job pins
-    /// the currently published catalog version.
+    /// the currently published catalog version and carries its tenant's
+    /// current service weight (see
+    /// [`FederationRuntime::set_tenant_weight`]).
     pub fn submit(&self, job: RuntimeJob) -> usize {
         let pinned = self.runtime.catalog.current();
-        self.queue.submit(job, pinned)
+        let weight = self.runtime.tenant_weight(&job.tenant);
+        self.queue.submit(job, pinned, weight)
     }
 
     /// Appends one delta batch to `table` and publishes the successor
@@ -504,6 +727,15 @@ pub struct FederationRuntime<'a> {
     env: Mutex<SimulationEnv>,
     admission: SiteAdmission,
     registry: ModellingRegistry,
+    /// The injected fault schedule, if any (see
+    /// [`FederationRuntime::with_fault_plan`]).
+    fault_plan: Option<FaultPlan>,
+    /// Tenant service weights for the deficit-round-robin queue (absent =
+    /// weight 1).
+    weights: Mutex<HashMap<String, u64>>,
+    /// The quarantine ledger. Persists across `run`/`serve` calls — a
+    /// tenant mid-cool-off stays quarantined into the next batch.
+    health: Mutex<HashMap<String, TenantHealth>>,
 }
 
 impl<'a> FederationRuntime<'a> {
@@ -536,6 +768,9 @@ impl<'a> FederationRuntime<'a> {
             env: Mutex::new(env),
             admission,
             registry: ModellingRegistry::dream_defaults(2),
+            fault_plan: None,
+            weights: Mutex::new(HashMap::new()),
+            health: Mutex::new(HashMap::new()),
         }
     }
 
@@ -544,6 +779,27 @@ impl<'a> FederationRuntime<'a> {
     pub fn with_parallel_fragments(mut self, enabled: bool) -> Self {
         self.config.parallel_fragments = enabled;
         self
+    }
+
+    /// Injects a deterministic fault schedule (builder style): every job
+    /// executes at fault position `sequence + attempt`, so a fixed plan
+    /// and workload yield bit-identical per-job outcomes at any worker
+    /// count. `FaultPlan::none()` (or not calling this) runs fault-free.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
+    /// Sets a tenant's service weight for the deficit-round-robin queue:
+    /// up to `weight` of its jobs are served per rotation (0 clamps to 1).
+    /// Takes effect at the tenant's next submission.
+    pub fn set_tenant_weight(&self, tenant: &str, weight: u64) {
+        lock_recover(&self.weights).insert(tenant.to_string(), weight.max(1));
+    }
+
+    /// The tenant's current service weight (1 unless configured).
+    fn tenant_weight(&self, tenant: &str) -> u64 {
+        lock_recover(&self.weights).get(tenant).copied().unwrap_or(1)
     }
 
     /// The configuration in use.
@@ -596,7 +852,8 @@ impl<'a> FederationRuntime<'a> {
     pub fn run(&self, jobs: Vec<RuntimeJob>) -> RuntimeReport {
         let queue = JobQueue::default();
         for job in jobs {
-            queue.submit(job, self.catalog.current());
+            let weight = self.tenant_weight(&job.tenant);
+            queue.submit(job, self.catalog.current(), weight);
         }
         queue.close();
         let started = Instant::now();
@@ -648,8 +905,48 @@ impl<'a> FederationRuntime<'a> {
         (value, report)
     }
 
-    /// One worker: pop round-robin, process, record, until the ingress is
-    /// closed and drained.
+    /// Checks the quarantine gate for one popped job: `Some(error)` when
+    /// the tenant is mid-cool-off (the rejection itself consumes one
+    /// cool-off unit), `None` when the job may proceed.
+    fn quarantine_gate(&self, tenant: &str) -> Option<RuntimeError> {
+        let mut health = lock_recover(&self.health);
+        let h = health.entry(tenant.to_string()).or_default();
+        if h.cooloff_remaining == 0 {
+            return None;
+        }
+        h.cooloff_remaining -= 1;
+        Some(RuntimeError::Quarantined {
+            tenant: tenant.to_string(),
+            failures: self.config.quarantine_threshold,
+            remaining_cooloff: h.cooloff_remaining,
+        })
+    }
+
+    /// Updates the tenant's failure ledger after one job outcome. Panics
+    /// and site-exhausted failures count toward quarantine; a success (or
+    /// any other error kind) resets the streak; quarantine rejections
+    /// leave the ledger untouched.
+    fn record_health(&self, tenant: &str, outcome: &Result<(MidasReport, usize), RuntimeError>) {
+        let threshold = self.config.quarantine_threshold;
+        let mut health = lock_recover(&self.health);
+        let h = health.entry(tenant.to_string()).or_default();
+        match outcome {
+            Err(RuntimeError::WorkerPanicked(_))
+            | Err(RuntimeError::SiteUnavailable { .. }) => {
+                h.consecutive_failures += 1;
+                if threshold > 0 && h.consecutive_failures >= threshold {
+                    h.cooloff_remaining = self.config.quarantine_cooloff;
+                    h.consecutive_failures = 0;
+                }
+            }
+            Err(RuntimeError::Quarantined { .. }) => {}
+            _ => h.consecutive_failures = 0,
+        }
+    }
+
+    /// One worker: pop (weighted round-robin), gate on quarantine,
+    /// process with retries, record, until the ingress is closed and
+    /// drained.
     ///
     /// Processing runs under `catch_unwind`: a job that panics — in
     /// planning, execution or learning — fails *alone* as
@@ -662,36 +959,49 @@ impl<'a> FederationRuntime<'a> {
     fn worker_loop(&self, worker: usize, queue: &JobQueue, sink: &Mutex<ResultSink>) {
         while let Some(admitted) = queue.pop() {
             let dequeued = Instant::now();
-            let outcome: Result<MidasReport, RuntimeError> = match std::panic::catch_unwind(
-                std::panic::AssertUnwindSafe(|| self.process(&admitted)),
-            ) {
-                Ok(result) => result.map_err(RuntimeError::Scheduler),
-                Err(payload) => {
-                    Err(RuntimeError::WorkerPanicked(panic_message(payload.as_ref())))
-                }
-            };
+            let tenant = admitted.job.tenant.clone();
+            let outcome: Result<(MidasReport, usize), RuntimeError> =
+                match self.quarantine_gate(&tenant) {
+                    Some(rejected) => Err(rejected),
+                    None => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.process(&admitted)
+                    })) {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            Err(RuntimeError::WorkerPanicked(panic_message(payload.as_ref())))
+                        }
+                    },
+                };
+            // Ledger first, then sink, then release the tenant's in-flight
+            // slot: the tenant's next job must observe this one's verdict.
+            self.record_health(&tenant, &outcome);
             {
                 let mut sink = lock_recover(sink);
                 let completion = sink.completions;
                 sink.completions += 1;
                 match outcome {
-                    Ok(report) => sink.completed.push(TenantReport {
+                    Ok((report, attempts)) => sink.completed.push(TenantReport {
                         sequence: admitted.sequence,
                         completion,
-                        tenant: admitted.job.tenant.clone(),
+                        tenant: tenant.clone(),
                         worker,
                         wall_latency_s: dequeued.elapsed().as_secs_f64(),
-                        pinned: Arc::clone(&admitted.pinned),
+                        attempts,
+                        pinned_version: admitted.pinned.version(),
+                        pinned: self
+                            .config
+                            .retain_pinned_snapshots
+                            .then(|| Arc::clone(&admitted.pinned)),
                         report,
                     }),
-                    Err(e) => sink.failed.push((
-                        admitted.sequence,
-                        admitted.job.tenant.clone(),
-                        e.to_string(),
-                    )),
+                    Err(error) => sink.failed.push(FailedJob {
+                        sequence: admitted.sequence,
+                        tenant: tenant.clone(),
+                        error,
+                    }),
                 }
             }
-            queue.complete_one();
+            queue.complete_one(&tenant);
         }
     }
 
@@ -703,7 +1013,7 @@ impl<'a> FederationRuntime<'a> {
             ..
         } = sink;
         completed.sort_by_key(|r| r.sequence);
-        failed.sort_by_key(|(sequence, _, _)| *sequence);
+        failed.sort_by_key(|f| f.sequence);
 
         let wall_s = started.elapsed().as_secs_f64();
         let mut tenants: HashMap<String, TenantStats> = HashMap::new();
@@ -742,61 +1052,136 @@ impl<'a> FederationRuntime<'a> {
 
     /// One pass of the pipeline for one admitted job — the concurrent
     /// counterpart of `MidasSession::submit`, operation for operation,
-    /// reading the job's pinned catalog version throughout.
-    fn process(&self, admitted: &AdmittedJob) -> Result<MidasReport, SchedulerError> {
+    /// reading the job's pinned catalog version throughout — wrapped in
+    /// the resilience loop: up to [`RuntimeConfig::max_attempts`] attempts,
+    /// re-planning with failed sites marked hot between them. Returns the
+    /// report plus the number of attempts taken.
+    fn process(&self, admitted: &AdmittedJob) -> Result<(MidasReport, usize), RuntimeError> {
         let job = &admitted.job;
         let query = &job.query;
+        let scheduler_err =
+            |e: SchedulerError| RuntimeError::Scheduler(e);
         // The pinned snapshot as a plain execution catalog: compacted at
         // most once per version, then shared — seeding below is Arc::clone.
         let catalog = admitted.pinned.pin();
-        // Plan: enumerate the QEP space, cost it analytically, select under
-        // the tenant's policy. Pure CPU — runs fully in parallel.
+        // Plan once: enumerate the QEP space and profile the fragments.
+        // Pure CPU — runs fully in parallel. Retries re-*select* from the
+        // same space under hot-site pressure; they do not re-profile.
         let space = EnumerationSpace::for_query(
             self.federation,
             self.placement,
             query,
             self.config.max_vms,
         )
-        .map_err(SchedulerError::Engine)?;
-        let model = PlanCostModel::build(self.placement, query, &catalog)
-            .map_err(SchedulerError::Engine)?;
+        .map_err(|e| scheduler_err(SchedulerError::Engine(e)))?;
+        let base_model = PlanCostModel::build(self.placement, query, &catalog)
+            .map_err(|e| scheduler_err(SchedulerError::Engine(e)))?;
         let weights = WeightedSumModel::new(&job.policy.weights);
-        let outcome = moqp_exhaustive(
-            &space,
-            &model,
-            self.federation,
-            &weights,
-            &job.policy.constraints,
-        );
+        let left_rows = base_rows(&catalog, &query.left_table).map_err(scheduler_err)?;
+        let right_rows = base_rows(&catalog, &query.right_table).map_err(scheduler_err)?;
 
-        // Execute: per-site admission + shared drifting environment, over
-        // the pinned snapshot (seeded per query by Arc::clone).
-        let left_rows = base_rows(&catalog, &query.left_table)?;
-        let right_rows = base_rows(&catalog, &query.right_table)?;
-        let federated = assemble(self.federation, self.placement, query, &outcome.chosen)?;
-        let executor = SharedExecutor::new(self.federation, &self.env, &self.admission)
-            .with_pacing(self.config.pacing)
-            .with_parallel_fragments(self.config.parallel_fragments)
-            .with_partition_degree(self.config.partition_degree);
-        let executed = executor.run_with_scale(&federated, &catalog, self.config.work_scale)?;
-        let features = features_from(left_rows, right_rows, &executed, self.config.work_scale);
-        let costs = executed.cost_vector();
+        let max_attempts = self.config.max_attempts.max(1);
+        let mut hot_sites: Vec<SiteId> = Vec::new();
+        for attempt in 0..max_attempts {
+            // Select: multi-objective choice under the tenant's policy,
+            // with sites that failed earlier attempts penalized so the
+            // join routes around them.
+            let model = if hot_sites.is_empty() {
+                base_model.clone()
+            } else {
+                base_model
+                    .clone()
+                    .with_hot_sites(&hot_sites, self.config.hot_site_penalty)
+            };
+            let outcome = moqp_exhaustive(
+                &space,
+                &model,
+                self.federation,
+                &weights,
+                &job.policy.constraints,
+            );
 
-        // Learn: shared per-class modelling, incremental DREAM refit.
-        let fit = self.registry.observe(query.class(), &features, &costs)?;
+            // Execute: per-site admission + shared drifting environment,
+            // over the pinned snapshot (seeded per query by Arc::clone).
+            // The fault position advances with the attempt, so a retry can
+            // outlive a short outage window even when the failing site is
+            // a pinned scan site no re-plan can move.
+            let federated = assemble(self.federation, self.placement, query, &outcome.chosen)
+                .map_err(|e| scheduler_err(SchedulerError::Engine(e)))?;
+            let mut executor = SharedExecutor::new(self.federation, &self.env, &self.admission)
+                .with_pacing(self.config.pacing)
+                .with_parallel_fragments(self.config.parallel_fragments)
+                .with_partition_degree(self.config.partition_degree);
+            if let Some(plan) = &self.fault_plan {
+                executor =
+                    executor.with_faults(plan, admitted.sequence as u64 + attempt as u64);
+            }
+            let executed =
+                match executor.run_with_scale(&federated, &catalog, self.config.work_scale) {
+                    Ok(executed) => executed,
+                    Err(EngineError::SiteUnavailable { site }) => {
+                        if !hot_sites.contains(&site) {
+                            hot_sites.push(site);
+                        }
+                        if attempt + 1 == max_attempts {
+                            return Err(RuntimeError::SiteUnavailable {
+                                tenant: job.tenant.clone(),
+                                site,
+                                attempts: max_attempts,
+                            });
+                        }
+                        // Exponential wall-clock backoff before the retry
+                        // (default base 0.0 = no sleep; simulated outcomes
+                        // never depend on it).
+                        let backoff = self.config.backoff_base_s * f64::powi(2.0, attempt as i32);
+                        if backoff > 0.0 {
+                            std::thread::sleep(std::time::Duration::from_secs_f64(backoff));
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(scheduler_err(SchedulerError::Engine(e))),
+                };
 
-        Ok(MidasReport {
-            label: query.label.clone(),
-            space_size: space.len(),
-            pareto_size: outcome.pareto.len(),
-            predicted_costs: outcome.chosen_costs,
-            actual_costs: costs,
-            dream_window: fit.map(|report| report.window_used),
-            result_rows: executed.result.n_rows(),
-            result_fingerprint: executed.result.fingerprint(),
-            catalog_cloned_bytes: executed.catalog_cloned_bytes,
-            chosen: outcome.chosen,
-        })
+            // Deadline: judged on the attempt that ran to completion,
+            // before the observation can contaminate the learners.
+            if let Some(deadline_s) = job.deadline_s {
+                if executed.elapsed_s > deadline_s {
+                    return Err(RuntimeError::DeadlineExceeded {
+                        tenant: job.tenant.clone(),
+                        deadline_s,
+                        elapsed_s: executed.elapsed_s,
+                        attempts: attempt + 1,
+                    });
+                }
+            }
+
+            let features =
+                features_from(left_rows, right_rows, &executed, self.config.work_scale);
+            let costs = executed.cost_vector();
+
+            // Learn: shared per-class modelling, incremental DREAM refit.
+            let fit = self
+                .registry
+                .observe(query.class(), &features, &costs)
+                .map_err(|e| scheduler_err(SchedulerError::Estimation(e)))?;
+
+            return Ok((
+                MidasReport {
+                    label: query.label.clone(),
+                    space_size: space.len(),
+                    pareto_size: outcome.pareto.len(),
+                    predicted_costs: outcome.chosen_costs,
+                    actual_costs: costs,
+                    dream_window: fit.map(|report| report.window_used),
+                    result_rows: executed.result.n_rows(),
+                    result_fingerprint: executed.result.fingerprint(),
+                    catalog_cloned_bytes: executed.catalog_cloned_bytes,
+                    chosen: outcome.chosen,
+                },
+                attempt + 1,
+            ));
+        }
+        unreachable!("the attempt loop returns on its final iteration")
     }
 }
 
@@ -813,19 +1198,27 @@ mod tests {
         VersionedCatalog::new(Catalog::new()).current()
     }
 
+    /// Pops one job and immediately completes it (clearing the in-flight
+    /// flag), returning the tenant it came from.
+    fn pop_complete(q: &JobQueue) -> Option<String> {
+        let j = q.pop()?;
+        let tenant = j.job.tenant.clone();
+        q.complete_one(&tenant);
+        Some(tenant)
+    }
+
     #[test]
     fn pop_is_round_robin_and_retires_departed_tenants_once_closed() {
         let q = JobQueue::default();
         for (tenant, n) in [("a", 3usize), ("b", 1), ("c", 2)] {
             for _ in 0..n {
-                q.submit(job(tenant), pinned());
+                q.submit(job(tenant), pinned(), 1);
             }
         }
         q.close();
         let mut order = Vec::new();
-        while let Some(j) = q.pop() {
-            order.push(j.job.tenant.clone());
-            q.complete_one();
+        while let Some(tenant) = pop_complete(&q) {
+            order.push(tenant);
         }
         // Retirement never perturbs the round-robin service order…
         assert_eq!(order, ["a", "b", "c", "a", "c", "a"]);
@@ -836,41 +1229,84 @@ mod tests {
     }
 
     #[test]
+    fn weighted_tenants_get_proportional_service() {
+        let q = JobQueue::default();
+        for _ in 0..6 {
+            q.submit(job("heavy"), pinned(), 3);
+        }
+        for _ in 0..3 {
+            q.submit(job("light"), pinned(), 1);
+        }
+        q.close();
+        let mut order = Vec::new();
+        while let Some(tenant) = pop_complete(&q) {
+            order.push(tenant);
+        }
+        // Deficit round-robin: 3 heavy pops per light pop, and the tail
+        // drains heavy's leftovers once light departs.
+        assert_eq!(
+            order,
+            ["heavy", "heavy", "heavy", "light", "heavy", "heavy", "heavy", "light", "light"]
+        );
+    }
+
+    #[test]
+    fn in_flight_tenants_are_skipped_until_completion() {
+        let q = JobQueue::default();
+        q.submit(job("a"), pinned(), 1);
+        q.submit(job("a"), pinned(), 1);
+        q.submit(job("b"), pinned(), 1);
+        q.close();
+        // A's first job is in flight; the next pop must skip to b even
+        // though a's FIFO still holds a job.
+        let first = q.pop().unwrap();
+        assert_eq!(first.job.tenant, "a");
+        let second = q.pop().unwrap();
+        assert_eq!(second.job.tenant, "b");
+        // Completing a's job releases its second one.
+        q.complete_one("a");
+        let third = q.pop().unwrap();
+        assert_eq!(third.job.tenant, "a");
+        q.complete_one("b");
+        q.complete_one("a");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn retirement_rebases_the_cursor_onto_the_next_survivor() {
         let q = JobQueue::default();
-        q.submit(job("a"), pinned());
-        q.submit(job("b"), pinned());
-        q.submit(job("c"), pinned());
-        q.submit(job("c"), pinned());
+        q.submit(job("a"), pinned(), 1);
+        q.submit(job("b"), pinned(), 1);
+        q.submit(job("c"), pinned(), 1);
+        q.submit(job("c"), pinned(), 1);
         // Serve a and b while open (cursor now points at c)…
-        assert_eq!(q.pop().unwrap().job.tenant, "a");
-        assert_eq!(q.pop().unwrap().job.tenant, "b");
+        assert_eq!(pop_complete(&q).unwrap(), "a");
+        assert_eq!(pop_complete(&q).unwrap(), "b");
         q.close();
         // …then retirement removes both departed tenants *before* the
         // cursor; service continues exactly at c.
-        assert_eq!(q.pop().unwrap().job.tenant, "c");
+        let j = q.pop().unwrap();
+        assert_eq!(j.job.tenant, "c");
         {
             let state = lock_recover(&q.state);
             assert_eq!(state.tenants.len(), 1);
             assert_eq!(state.cursor, 0);
         }
-        assert_eq!(q.pop().unwrap().job.tenant, "c");
-        for _ in 0..4 {
-            q.complete_one();
-        }
+        q.complete_one("c");
+        assert_eq!(pop_complete(&q).unwrap(), "c");
         assert!(q.pop().is_none());
     }
 
     #[test]
     fn retirement_repoints_the_index_at_survivors_compacted_slots() {
         let q = JobQueue::default();
-        q.submit(job("a"), pinned());
-        q.submit(job("b"), pinned());
-        q.submit(job("b"), pinned());
-        assert_eq!(q.pop().unwrap().job.tenant, "a");
+        q.submit(job("a"), pinned(), 1);
+        q.submit(job("b"), pinned(), 1);
+        q.submit(job("b"), pinned(), 1);
+        assert_eq!(pop_complete(&q).unwrap(), "a");
         q.close();
         // Retirement drops a (slot 0) and compacts b from slot 1 to 0.
-        assert_eq!(q.pop().unwrap().job.tenant, "b");
+        assert_eq!(pop_complete(&q).unwrap(), "b");
         {
             let state = lock_recover(&q.state);
             assert_eq!(state.index.get("b"), Some(&0));
@@ -878,12 +1314,9 @@ mod tests {
         }
         // A submission routed through the index after compaction must land
         // in b's (moved) FIFO, not panic on a stale slot.
-        q.submit(job("b"), pinned());
-        assert_eq!(q.pop().unwrap().job.tenant, "b");
-        assert_eq!(q.pop().unwrap().job.tenant, "b");
-        for _ in 0..4 {
-            q.complete_one();
-        }
+        q.submit(job("b"), pinned(), 1);
+        assert_eq!(pop_complete(&q).unwrap(), "b");
+        assert_eq!(pop_complete(&q).unwrap(), "b");
         assert!(q.pop().is_none());
     }
 
@@ -891,14 +1324,13 @@ mod tests {
     fn one_shot_tenants_do_not_accumulate_after_close() {
         let q = JobQueue::default();
         for i in 0..100 {
-            q.submit(job(&format!("tenant-{i}")), pinned());
+            q.submit(job(&format!("tenant-{i}")), pinned(), 1);
         }
         assert_eq!(lock_recover(&q.state).tenants.len(), 100);
         q.close();
         let mut served = 0;
-        while let Some(_job) = q.pop() {
+        while pop_complete(&q).is_some() {
             served += 1;
-            q.complete_one();
             // Once closed, tenants retire as their FIFOs drain: the
             // rotation shrinks monotonically instead of scanning 100 dead
             // queues per pop forever.
@@ -909,12 +1341,34 @@ mod tests {
     }
 
     #[test]
-    fn runtime_error_formats_both_variants() {
+    fn runtime_error_formats_every_variant_with_context() {
         let p = RuntimeError::WorkerPanicked("boom".to_string());
         assert_eq!(p.to_string(), "worker panicked: boom");
         let s = RuntimeError::Scheduler(SchedulerError::MissingTable {
             table: "ghost".to_string(),
         });
         assert!(s.to_string().contains("ghost"));
+        let u = RuntimeError::SiteUnavailable {
+            tenant: "hospital-A".to_string(),
+            site: SiteId(2),
+            attempts: 3,
+        };
+        let text = u.to_string();
+        assert!(text.contains("hospital-A") && text.contains("site 2") && text.contains('3'));
+        let d = RuntimeError::DeadlineExceeded {
+            tenant: "hospital-B".to_string(),
+            deadline_s: 1.5,
+            elapsed_s: 9.0,
+            attempts: 2,
+        };
+        let text = d.to_string();
+        assert!(text.contains("hospital-B") && text.contains("1.5") && text.contains('9'));
+        let qe = RuntimeError::Quarantined {
+            tenant: "rogue".to_string(),
+            failures: 3,
+            remaining_cooloff: 7,
+        };
+        let text = qe.to_string();
+        assert!(text.contains("rogue") && text.contains('7'));
     }
 }

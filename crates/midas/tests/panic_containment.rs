@@ -77,9 +77,10 @@ fn a_panicking_job_fails_alone_in_a_closed_batch() {
 
     // Exactly the rogue job failed, with the panic surfaced as its error.
     assert_eq!(report.failed.len(), 1, "failed: {:?}", report.failed);
-    let (sequence, tenant, error) = &report.failed[0];
-    assert_eq!(*sequence, 1);
-    assert_eq!(tenant, "rogue");
+    let failure = &report.failed[0];
+    assert_eq!(failure.sequence, 1);
+    assert_eq!(failure.tenant, "rogue");
+    let error = failure.error.to_string();
     assert!(error.contains("worker panicked"), "error was: {error}");
 
     // Every other tenant's job completed with a real result.
@@ -134,7 +135,7 @@ fn serve_returns_a_report_despite_a_panicking_job() {
     });
     assert_eq!(submitted, 3);
     assert_eq!(report.failed.len(), 1);
-    assert_eq!(report.failed[0].1, "rogue");
+    assert_eq!(report.failed[0].tenant, "rogue");
     assert_eq!(report.completed.len(), 2);
     assert!(report
         .completed

@@ -43,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workers: 2,
             parallel_fragments: true,
             max_vms: 4,
+            // Keep each job's pinned snapshot on its report so the
+            // visibility printout below can count the patients it saw.
+            retain_pinned_snapshots: true,
             ..RuntimeConfig::default()
         },
     );
@@ -68,11 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .expect("admission wave ingests");
             next_uid += 150;
             println!(
-                "hour {hour}: published catalog v{} (+{} rows, {} prior bytes shared, {} recopied)",
+                "hour {hour}: published catalog v{} (+{} rows, {} prior bytes shared)",
                 receipt.version,
                 receipt.stats.delta_rows,
                 receipt.stats.shared_bytes,
-                receipt.stats.recopied_bytes
             );
         }
         // Wait for the backlog before the "evening report".
@@ -81,11 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ncompleted {} queries, {} failed", report.completed.len(), report.failed.len());
     println!(
-        "catalog at v{}; ingest totals: {} rows in {} versions, {} bytes recopied (copy-on-write)",
+        "catalog at v{}; ingest totals: {} rows in {} versions, {} prior bytes Arc-shared",
         report.catalog_version,
         report.ingest.rows_ingested,
         report.ingest.versions_published,
-        report.ingest.bytes_recopied
+        report.ingest.bytes_shared
     );
     for r in &report.completed {
         println!(
@@ -94,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.report.label,
             r.tenant,
             r.pinned_version(),
-            r.pinned.table_rows("patient").unwrap_or(0),
+            r.pinned.as_ref().and_then(|v| v.table_rows("patient")).unwrap_or(0),
             r.report.result_rows,
             r.report.actual_costs[0],
             r.report.actual_costs[1],
@@ -117,9 +119,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nsnapshot isolation: v{} saw {} patients, v{} saw {}",
         early.pinned_version(),
-        early.pinned.table_rows("patient").unwrap_or(0),
+        early.pinned.as_ref().and_then(|v| v.table_rows("patient")).unwrap_or(0),
         late.pinned_version(),
-        late.pinned.table_rows("patient").unwrap_or(0),
+        late.pinned.as_ref().and_then(|v| v.table_rows("patient")).unwrap_or(0),
     );
     Ok(())
 }

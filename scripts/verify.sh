@@ -31,11 +31,22 @@
 #      The same binary also records BENCH_ingest_throughput.json — qps of
 #      the streaming Ingress while hospital delta batches publish new
 #      copy-on-write catalog versions mid-flight — and gates the live-data
-#      plane: appending a delta chunk must recopy exactly 0 bytes of prior
-#      chunks (Arc-shared, measured by pointer identity), and with 4
-#      workers + parallel fragments every query result must be bit-identical
-#      to standalone execution against the catalog version it pinned at
-#      admission (snapshot isolation).
+#      plane: every append must Arc-share the prior chunks' bytes, pin-time
+#      compaction must be paid at most once per version (repeated pins
+#      return the cached snapshot), and with 4 workers + parallel fragments
+#      every query result must be bit-identical to standalone execution
+#      against the catalog version it pinned at admission (snapshot
+#      isolation);
+#   7. the fault-resilience run, which records BENCH_fault_resilience.json
+#      (target/repro/ and repo root): a skewed 16-tenant workload — one
+#      rogue tenant flooding panicking jobs, weighted and quiet clinics —
+#      under an injected FaultPlan (site outages, slowdowns, admission
+#      flaps). Gates: zero lost jobs (every submission terminates with a
+#      completed report or a typed RuntimeError), every non-rogue job
+#      completes (short outages absorbed by retry, quarantine contains the
+#      rogue), weighted deficit round-robin bounds quiet-tenant completion
+#      despite the flood, and the per-job outcome ledger is bit-identical
+#      at 1 and 4 workers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,5 +67,8 @@ cargo run -q --release --offline -p midas-bench --bin repro_bench_engine_exec
 
 echo "==> runtime + ingest throughput (BENCH_runtime_throughput.json, BENCH_ingest_throughput.json)"
 cargo run -q --release --offline -p midas-bench --bin repro_bench_runtime
+
+echo "==> fault resilience (BENCH_fault_resilience.json)"
+cargo run -q --release --offline -p midas-bench --bin repro_bench_fault_resilience
 
 echo "verify: OK"

@@ -1,0 +1,295 @@
+//! SF 1 scale-jump benchmark: morsel-driven fused chunk-native execution
+//! vs the whole-column vectorized path, recorded as
+//! `target/repro/BENCH_engine_sf1.json` (copied to the repo root as
+//! `BENCH_engine_sf1.json`).
+//!
+//! The database is the paper's 1 GiB configuration
+//! ([`GenConfig::sf_1gib`]: SF 1.0, lineitems capped at 1.2 M physical
+//! rows by uniform rescale) generated twice from one seed: once
+//! materialized (the unfused baseline's flat catalog) and once **streamed
+//! chunk-at-a-time** into a chunk-native [`CatalogVersion`] the fused
+//! executor queries directly. Before any timing, every query is
+//! cross-checked bit-for-bit — tables, fingerprints and all three work
+//! profiles — between the two paths, and after all fused runs the bench
+//! asserts the chunk-native database paid **zero** snapshot-compaction
+//! bytes: the hot path never calls `pin()`.
+//!
+//! Two gates:
+//!
+//! * **no-regression, always**: total fused (serial, degree 1)
+//!   wall-clock across Q12/Q13/Q14/Q17 must not exceed the unfused
+//!   vectorized total (sums of per-query minima over interleaved
+//!   samples, with a small tolerance for timer noise). This holds on
+//!   any hardware — the fused wins measured here (deferred join gather,
+//!   compiled kernels, scratch reuse, no compaction) are single-thread
+//!   wins;
+//! * **speedup, on parallel hardware**: with ≥ 4 CPUs, fused execution at
+//!   the topology-aware partition degree must be ≥ 1.5x the whole-column
+//!   vectorized path on at least two of the four queries. On fewer cores
+//!   the measured numbers are still recorded and the gate is reported as
+//!   skipped rather than lying about hardware.
+
+use midas_bench::{print_table, write_json};
+use midas_engines::ops::{default_partition_degree, execute};
+use midas_tpch::gen::{GenConfig, TpchDb};
+use midas_tpch::queries::{q12, q13, q14, q17, TwoTableQuery};
+use std::time::Instant;
+
+/// Median-of samples per timed configuration (each query runs its full
+/// three-plan pipeline per sample).
+const SAMPLES: usize = 5;
+/// Rows per generated chunk of the streamed database.
+const CHUNK_ROWS: usize = 64 * 1024;
+/// Partition degrees cross-checked for parity before any timing.
+const PARITY_DEGREES: [usize; 3] = [1, 3, 8];
+/// The conditional gate: fused at the auto degree vs unfused serial.
+const GATE_SPEEDUP: f64 = 1.5;
+/// Queries that must clear [`GATE_SPEEDUP`] when the gate is enforced.
+const GATE_MIN_QUERIES: usize = 2;
+/// Cores needed before the speedup gate is meaningful.
+const GATE_MIN_CPUS: usize = 4;
+/// Tolerance on the always-on no-regression gate (timer noise).
+const NO_REGRESSION_TOLERANCE: f64 = 1.05;
+
+/// Times several configurations **interleaved round-robin** (one sample
+/// of each per round) so every configuration sees the same ambient
+/// machine noise, and returns each configuration's `(median, min)`.
+/// Blocked sampling on a busy single-core box attributes a noisy minute
+/// to whichever configuration happened to run during it; interleaving
+/// makes the pairwise comparison fair. Medians describe typical cost;
+/// the minimum — the sample least disturbed by outside load — is the
+/// noise-robust statistic the wall-clock gates compare.
+fn interleaved_stats(runs: &mut [&mut dyn FnMut()]) -> Vec<(f64, f64)> {
+    for run in runs.iter_mut() {
+        run(); // warmup, one per configuration
+    }
+    let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(SAMPLES); runs.len()];
+    for _ in 0..SAMPLES {
+        for (i, run) in runs.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            run();
+            times[i].push(t0.elapsed().as_secs_f64());
+        }
+    }
+    times
+        .into_iter()
+        .map(|mut t| {
+            t.sort_by(|a, b| a.total_cmp(b));
+            (t[t.len() / 2], t[0])
+        })
+        .collect()
+}
+
+fn main() {
+    let config = GenConfig::sf_1gib(2);
+    let t0 = Instant::now();
+    let flat = TpchDb::generate(config);
+    let gen_flat_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let chunked = TpchDb::generate_chunked(config, CHUNK_ROWS);
+    let gen_chunked_s = t0.elapsed().as_secs_f64();
+    let lineitem_rows = flat.table("lineitem").map_or(0, |t| t.n_rows());
+    let auto_degree = default_partition_degree();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "SF 1 (capped: rescale={:.3}, {} lineitem rows, {} chunks of ≤{} rows) — \
+         generate {:.2}s materialized / {:.2}s streamed; {} CPU(s), auto degree {}\n",
+        chunked.rescale,
+        lineitem_rows,
+        chunked.total_chunks(),
+        CHUNK_ROWS,
+        gen_flat_s,
+        gen_chunked_s,
+        cpus,
+        auto_degree,
+    );
+
+    let queries: Vec<(&str, TwoTableQuery)> = vec![
+        ("Q12", q12("MAIL", "SHIP", 1994)),
+        ("Q13", q13("special", "requests")),
+        ("Q14", q14(1995, 9)),
+        ("Q17", q17("Brand#23", "MED BOX")),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<serde_json::Value> = Vec::new();
+    let mut serial_totals = (0.0f64, 0.0f64); // (unfused, fused)
+    let mut auto_speedups: Vec<(String, f64)> = Vec::new();
+    for (name, q) in &queries {
+        // Parity before timing: identical tables, fingerprints and work
+        // profiles between the flat vectorized path and the chunk-native
+        // fused path, at serial and sharded degrees.
+        let mut cat = flat.catalog().clone();
+        let (ref_out, ref_profiles) = q
+            .execute_local(&mut cat, execute)
+            .expect("unfused pipeline runs");
+        for degree in PARITY_DEGREES {
+            let (out, profiles) = q
+                .execute_fused_chunked(chunked.version(), degree)
+                .expect("fused pipeline runs");
+            assert_eq!(out, ref_out, "{name}: fused table drifted at degree {degree}");
+            assert_eq!(
+                out.fingerprint(),
+                ref_out.fingerprint(),
+                "{name}: fingerprint drifted at degree {degree}"
+            );
+            assert_eq!(
+                profiles, ref_profiles,
+                "{name}: work profiles drifted at degree {degree}"
+            );
+        }
+
+        // Timing: unfused whole-column vectorized (flat catalog), fused
+        // chunk-native serial, fused chunk-native at the auto degree.
+        let mut run_unfused = || {
+            q.execute_local(&mut cat, execute).expect("runs");
+        };
+        let mut run_fused_serial = || {
+            q.execute_fused_chunked(chunked.version(), 1).expect("runs");
+        };
+        let mut run_fused_auto = || {
+            q.execute_fused_chunked(chunked.version(), auto_degree)
+                .expect("runs");
+        };
+        let stats = interleaved_stats(&mut [
+            &mut run_unfused,
+            &mut run_fused_serial,
+            &mut run_fused_auto,
+        ]);
+        let (unfused_s, fused_serial_s, fused_auto_s) = (stats[0].0, stats[1].0, stats[2].0);
+        let speedup_serial = unfused_s / fused_serial_s;
+        let speedup_auto = unfused_s / fused_auto_s;
+        serial_totals.0 += stats[0].1;
+        serial_totals.1 += stats[1].1;
+        auto_speedups.push((name.to_string(), stats[0].1 / stats[2].1));
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", unfused_s * 1e3),
+            format!("{:.1}", fused_serial_s * 1e3),
+            format!("{:.1}", fused_auto_s * 1e3),
+            format!("{speedup_serial:.2}x"),
+            format!("{speedup_auto:.2}x"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "query": name,
+            "unfused_vectorized_median_s": unfused_s,
+            "fused_serial_median_s": fused_serial_s,
+            "fused_auto_median_s": fused_auto_s,
+            "unfused_vectorized_min_s": stats[0].1,
+            "fused_serial_min_s": stats[1].1,
+            "fused_auto_min_s": stats[2].1,
+            "auto_degree": auto_degree,
+            "speedup_fused_serial": speedup_serial,
+            "speedup_fused_auto": speedup_auto,
+            "speedup_fused_auto_min": stats[0].1 / stats[2].1,
+        }));
+    }
+    print_table(
+        &[
+            "query",
+            "unfused (ms)",
+            "fused p=1 (ms)",
+            &format!("fused p={auto_degree} (ms)"),
+            "p=1 speedup",
+            &format!("p={auto_degree} speedup"),
+        ],
+        &rows,
+    );
+
+    // The chunk-native database must have answered everything without a
+    // single snapshot compaction.
+    let compaction = chunked.version().compaction_bytes();
+    assert_eq!(
+        compaction, 0,
+        "chunk-native execution must never compact a snapshot"
+    );
+    println!("\nchunk-native compaction bytes: {compaction} (gated: must be 0) — OK");
+
+    // Always-on no-regression gate: fused serial must not lose to the
+    // whole-column path it replaces, comparing per-query minima (the
+    // least-disturbed samples) summed across the four queries.
+    let (unfused_total, fused_total) = serial_totals;
+    assert!(
+        fused_total <= unfused_total * NO_REGRESSION_TOLERANCE,
+        "fused serial total {fused_total:.3}s (sum of per-query minima) exceeds \
+         unfused total {unfused_total:.3}s (tolerance {NO_REGRESSION_TOLERANCE})"
+    );
+    println!(
+        "no-regression gate: fused serial total {:.3}s ≤ unfused total {:.3}s \
+         (sums of per-query minima) — OK",
+        fused_total, unfused_total
+    );
+
+    // Conditional speedup gate, hardware permitting.
+    let gate_enforced = cpus >= GATE_MIN_CPUS;
+    let cleared: Vec<&str> = auto_speedups
+        .iter()
+        .filter(|(_, s)| *s >= GATE_SPEEDUP)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if gate_enforced {
+        assert!(
+            cleared.len() >= GATE_MIN_QUERIES,
+            "only {cleared:?} cleared the {GATE_SPEEDUP}x fused speedup gate \
+             (need {GATE_MIN_QUERIES} of {})",
+            auto_speedups.len()
+        );
+        println!(
+            "fused speedup gate: enforced ({cpus} CPUs) — {cleared:?} ≥ {GATE_SPEEDUP}x — OK"
+        );
+    } else {
+        println!(
+            "fused speedup gate: SKIPPED — {cpus} CPU(s) cannot overlap shards \
+             (parity and the serial no-regression gate were still enforced); \
+             measured {auto_speedups:?}"
+        );
+    }
+
+    let no_regression_json = serde_json::json!({
+        "enforced": true,
+        "statistic": "sum of per-query minima over interleaved samples",
+        "unfused_total_s": unfused_total,
+        "fused_serial_total_s": fused_total,
+        "tolerance": NO_REGRESSION_TOLERANCE,
+    });
+    let speedup_json = serde_json::json!({
+        "min_speedup": GATE_SPEEDUP,
+        "min_queries": GATE_MIN_QUERIES,
+        "enforced": gate_enforced,
+        "cleared": cleared,
+    });
+    let zero_compaction_json = serde_json::json!({
+        "enforced": true,
+        "bytes": compaction,
+    });
+    let gates_json = serde_json::json!({
+        "no_regression": no_regression_json,
+        "speedup": speedup_json,
+        "zero_compaction": zero_compaction_json,
+    });
+    write_json(
+        "BENCH_engine_sf1",
+        &serde_json::json!({
+            "scale_factor": config.scale_factor,
+            "rescale": chunked.rescale,
+            "lineitem_rows": lineitem_rows,
+            "chunk_rows": CHUNK_ROWS,
+            "total_chunks": chunked.total_chunks(),
+            "samples": SAMPLES,
+            "unit": "seconds per full three-plan pipeline (medians and minima over interleaved samples)",
+            "parity": "bit-for-bit vs unfused vectorized (table, fingerprint, profiles) at degrees [1, 3, 8]",
+            "compaction_bytes": compaction,
+            "cpus_available": cpus,
+            "generate_materialized_s": gen_flat_s,
+            "generate_streamed_s": gen_chunked_s,
+            "rows": json_rows,
+            "gates": gates_json,
+        }),
+    );
+    let root_copy = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine_sf1.json");
+    if let Err(e) = std::fs::copy("target/repro/BENCH_engine_sf1.json", &root_copy) {
+        eprintln!("warning: could not copy BENCH_engine_sf1.json to repo root: {e}");
+    }
+}

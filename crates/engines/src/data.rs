@@ -381,6 +381,9 @@ pub struct Table {
     /// two tables with identical rows are equal whether or not either has
     /// been measured yet.
     bytes_cache: OnceLock<u64>,
+    /// Memoized [`Table::utf8_len_sums`]; excluded from `PartialEq` and
+    /// `Debug` for the same reason as `bytes_cache`.
+    len_sums_cache: OnceLock<Vec<usize>>,
 }
 
 impl fmt::Debug for Table {
@@ -413,6 +416,7 @@ impl Table {
             columns,
             n_rows,
             bytes_cache: OnceLock::new(),
+            len_sums_cache: OnceLock::new(),
         })
     }
 
@@ -423,6 +427,7 @@ impl Table {
             columns: Vec::new(),
             n_rows: 0,
             bytes_cache: OnceLock::new(),
+            len_sums_cache: OnceLock::new(),
         }
     }
 
@@ -482,7 +487,28 @@ impl Table {
             columns,
             n_rows: indices.len(),
             bytes_cache: OnceLock::new(),
+            len_sums_cache: OnceLock::new(),
         }
+    }
+
+    /// Total byte length of the string values of each column (`0` for
+    /// non-Utf8 columns), memoized like [`Table::estimated_bytes`].
+    ///
+    /// Chunk-native scans use these to reproduce the `estimated_bytes` /
+    /// `estimated_bytes_sel` of a *concatenation* of chunks without ever
+    /// materializing it: the integer length sums accumulate exactly across
+    /// chunks, and applying the same floating-point expression once over
+    /// the global sums yields the identical bit pattern.
+    pub fn utf8_len_sums(&self) -> &[usize] {
+        self.len_sums_cache.get_or_init(|| {
+            self.columns
+                .iter()
+                .map(|c| match &c.data {
+                    ColumnData::Utf8(v) => v.iter().map(|s| s.len()).sum(),
+                    _ => 0,
+                })
+                .collect()
+        })
     }
 
     /// [`Table::estimated_bytes`] of the *virtual* table selected by `sel`
@@ -522,6 +548,7 @@ impl Table {
             columns,
             n_rows,
             bytes_cache: OnceLock::new(),
+            len_sums_cache: OnceLock::new(),
         }
     }
 
@@ -533,6 +560,7 @@ impl Table {
             columns,
             n_rows: indices.len(),
             bytes_cache: OnceLock::new(),
+            len_sums_cache: OnceLock::new(),
         }
     }
 
@@ -621,6 +649,7 @@ impl Table {
             columns,
             n_rows,
             bytes_cache: OnceLock::new(),
+            len_sums_cache: OnceLock::new(),
         })
     }
 
@@ -1039,6 +1068,24 @@ mod tests {
         let empties = Table::concat("e", &[&empty, &empty]).unwrap();
         assert_eq!((empties.n_rows(), empties.n_columns()), (0, 2));
         assert_eq!(empties.schema(), empty.schema());
+    }
+
+    #[test]
+    fn utf8_len_sums_reconstruct_estimated_bytes() {
+        let t = sample();
+        assert_eq!(t.utf8_len_sums(), &[0, 6, 0]);
+        // The global length sums plus the fixed widths rebuild the exact
+        // memoized byte estimate — the identity chunk-native scans rely on.
+        let per_row: f64 = t
+            .columns()
+            .iter()
+            .zip(t.utf8_len_sums())
+            .map(|(c, &sum)| match &c.data {
+                ColumnData::Utf8(_) => sum as f64 / t.n_rows() as f64,
+                _ => c.avg_value_bytes(),
+            })
+            .sum();
+        assert_eq!((per_row * t.n_rows() as f64) as u64, t.estimated_bytes());
     }
 
     #[test]

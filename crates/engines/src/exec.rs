@@ -3,11 +3,22 @@
 //! A federated query is a sequence of *fragments*, each pinned to a site,
 //! engine and VM allocation. Fragments exchange data by name: a fragment's
 //! output is visible to later fragments as the table `@frag<N>`. Running a
-//! fragment does real row processing (through [`crate::ops::execute`]) and
-//! then converts the measured [`WorkProfile`] into simulated wall-clock time
-//! under the engine profile, VM parallelism, current site load and noise —
-//! plus billed money under the site's pricing model, including egress for
-//! cross-site fragment inputs.
+//! fragment does real row processing and then converts the measured
+//! [`WorkProfile`] into simulated wall-clock time under the engine
+//! profile, VM parallelism, current site load and noise — plus billed
+//! money under the site's pricing model, including egress for cross-site
+//! fragment inputs.
+//!
+//! **Morsel-driven relational phase.** Fragment plans run through the
+//! fused executor ([`crate::fused::execute_fused_with_partitions`]):
+//! filters and projections stream over cache-resident morsels with
+//! per-operator compiled kernel plans and pooled scratch buffers, and
+//! `Aggregate ∘ Filter* ∘ HashJoin` shapes consume the join as index
+//! triples, gathering only referenced columns. This is purely an engine
+//! substitution — results and work profiles are bit-identical to
+//! [`crate::ops::execute_with_partitions`] (the `fused_differential`
+//! suite pins this), so every simulation quantity derived from a
+//! profile is unchanged.
 //!
 //! The data plane is zero-copy: base tables live in a shared
 //! [`Catalog`] of `Arc<Table>` entries, the per-query execution catalog is
@@ -21,7 +32,7 @@
 use crate::catalog::Catalog;
 use crate::engine::{EngineKind, EngineProfile};
 use crate::error::EngineError;
-use crate::ops::{execute_with_partitions, OpKind, PhysicalPlan, WorkProfile};
+use crate::ops::{OpKind, PhysicalPlan, WorkProfile};
 use crate::sim::{FaultPlan, SimulationEnv, SiteAdmission};
 use crate::data::Table;
 use midas_cloud::{Federation, InstanceType, Money, SiteId};
@@ -128,12 +139,20 @@ impl<'a> Executor<'a> {
 
     /// Sets the intra-operator partition fan-out: hash joins and grouped
     /// aggregations inside every fragment run `degree`-way partitioned on
-    /// scoped threads (see [`execute_with_partitions`]). Results, work
+    /// scoped threads (see [`crate::ops::execute_with_partitions`]). Results, work
     /// profiles and fingerprints are bit-identical at every degree; 0/1 is
     /// the serial path.
     pub fn with_partition_degree(mut self, degree: usize) -> Self {
         self.partition_degree = degree.max(1);
         self
+    }
+
+    /// Topology-aware fan-out (see
+    /// [`SharedExecutor::with_auto_partition_degree`]): partition degree =
+    /// available parallelism, clamped to the engine maximum.
+    pub fn with_auto_partition_degree(self) -> Self {
+        let degree = crate::ops::default_partition_degree();
+        self.with_partition_degree(degree)
     }
 
     /// Read access to the simulation environment (for tests/experiments).
@@ -338,6 +357,16 @@ impl<'a> SharedExecutor<'a> {
     pub fn with_partition_degree(mut self, degree: usize) -> Self {
         self.partition_degree = degree.max(1);
         self
+    }
+
+    /// Topology-aware fan-out: sets the partition degree to
+    /// [`crate::ops::default_partition_degree`] — the host's available
+    /// parallelism clamped to the engine maximum — so callers get the
+    /// sharded paths exactly when the hardware can overlap them (and the
+    /// deterministic serial path on a single-core host).
+    pub fn with_auto_partition_degree(self) -> Self {
+        let degree = crate::ops::default_partition_degree();
+        self.with_partition_degree(degree)
     }
 
     /// Runs this executor under an injected fault schedule at the given
@@ -552,7 +581,8 @@ fn run_federated(
             }
             let capped = faults.is_some_and(|f| f.capped(fragment.site));
             let permit = admission.map(|a| a.acquire_capped(fragment.site, capped));
-            let result = execute_with_partitions(&fragment.plan, &catalog, partition_degree);
+            let result =
+                crate::fused::execute_fused_with_partitions(&fragment.plan, &catalog, partition_degree);
             if pacing > 0.0 {
                 if let (Ok((_, work)), Some(Ok(shape))) = (&result, &shapes[idx]) {
                     let workers = fragment.vm_count.max(1) * shape.vcpus.max(1);

@@ -7,7 +7,7 @@
 //! NULL propagates Kleene-style through comparisons and arithmetic; `AND`
 //! and `OR` use three-valued logic collapsed to "NULL is not true".
 //!
-//! Two evaluation paths share those semantics:
+//! Three evaluation paths share those semantics:
 //!
 //! * [`Expr::eval`] / [`Expr::eval_mask`] — row-at-a-time over `Value`s;
 //!   the readable reference implementation and differential oracle;
@@ -15,8 +15,30 @@
 //!   whole columns under a selection vector, producing typed vectors plus
 //!   a validity bitmask with no per-row `Value` boxing and no string
 //!   cloning. This is what the default executor in [`crate::ops`] uses.
+//! * [`Expr::compile`] → [`KernelPlan`] — the **kernel-plan layer**: the
+//!   tree is resolved *once per operator* into a flat post-order program
+//!   of register-machine steps (column loads with duplicate references
+//!   deduplicated, literal broadcasts, one kernel call per node). Each
+//!   batch then replays the program instead of re-walking the tree, and
+//!   the plan can be bound either to a whole [`Table`] or to a sparse
+//!   slice of pre-gathered columns ([`KernelCols`]) — which is how the
+//!   morsel-driven executor in [`crate::fused`] evaluates expressions
+//!   over deferred join output without materializing unreferenced
+//!   columns.
+//!
+//! All three paths funnel into the same kernel functions
+//! (`arith_batch`, `cmp_batch`, `kleene_batch`, …), so batch and compiled
+//! evaluation are bit-identical by construction. Kernel temporaries
+//! (value vectors, validity masks, selection vectors) are drawn from an
+//! [`EvalScratch`] pool that callers can carry across batches, so
+//! per-morsel evaluation does not allocate on the hot path.
 
-use crate::data::{ColumnData, Table, Value};
+// Kernel loops index `vals[pos]` in lockstep with operand accessors and a
+// lazily-materialized validity mask; an iterator rewrite would obscure the
+// parallel-array structure without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
+use crate::data::{Column, ColumnData, Table, Value};
 use crate::error::EngineError;
 
 /// Binary operators.
@@ -488,6 +510,7 @@ pub enum BatchVals<'a> {
 #[derive(Clone, Copy)]
 pub struct SelView<'s> {
     sel: Option<&'s [u32]>,
+    base: usize,
     n: usize,
 }
 
@@ -496,8 +519,26 @@ impl<'s> SelView<'s> {
     pub fn new(table: &Table, sel: Option<&'s [u32]>) -> Self {
         SelView {
             sel,
+            base: 0,
             n: sel.map_or(table.n_rows(), |s| s.len()),
         }
+    }
+
+    /// A view over `n` rows restricted to `sel` (`None` = all `n` rows),
+    /// without needing a `Table` — used when evaluating against
+    /// pre-gathered columns ([`KernelCols::Cols`]).
+    pub fn over(n: usize, sel: Option<&'s [u32]>) -> Self {
+        SelView {
+            sel,
+            base: 0,
+            n: sel.map_or(n, |s| s.len()),
+        }
+    }
+
+    /// A morsel view over the contiguous row range `base..base + n` (no
+    /// selection vector needed for a dense range).
+    pub fn range(base: usize, n: usize) -> Self {
+        SelView { sel: None, base, n }
     }
 
     /// Number of selected rows.
@@ -510,14 +551,126 @@ impl<'s> SelView<'s> {
         self.n == 0
     }
 
+    /// The contiguous source row range this view covers, when it has no
+    /// selection vector (a dense morsel or whole-table view). Lets
+    /// gathers degrade to slice copies.
+    #[inline]
+    pub fn dense_range(&self) -> Option<std::ops::Range<usize>> {
+        match self.sel {
+            Some(_) => None,
+            None => Some(self.base..self.base + self.n),
+        }
+    }
+
     /// Original row id of batch position `pos`.
     #[inline]
     pub fn row(&self, pos: usize) -> usize {
         match self.sel {
             Some(s) => s[pos] as usize,
-            None => pos,
+            None => self.base + pos,
         }
     }
+}
+
+/// A reusable pool of kernel temporaries: value vectors, validity masks
+/// and selection vectors.
+///
+/// Every batch kernel draws its output buffers from one of these and the
+/// tree walk / plan executor returns consumed intermediates to it, so an
+/// operator that carries a scratch across batches (the morsel executor
+/// evaluates thousands of cache-resident batches per query) allocates
+/// only on the first few morsels. A `Default`-constructed scratch is
+/// always valid; pooling is purely an optimization and never changes
+/// results.
+#[derive(Default)]
+pub struct EvalScratch {
+    f64s: Vec<Vec<f64>>,
+    bools: Vec<Vec<bool>>,
+    sels: Vec<Vec<u32>>,
+}
+
+/// Upper bound on pooled vectors per family — enough for the deepest
+/// expression trees in play while bounding idle memory.
+const SCRATCH_POOL_CAP: usize = 16;
+
+impl EvalScratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+
+    fn take_f64(&mut self, n: usize) -> Vec<f64> {
+        let mut v = self.f64s.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, 0.0);
+        v
+    }
+
+    fn take_bools(&mut self, n: usize, fill: bool) -> Vec<bool> {
+        let mut v = self.bools.pop().unwrap_or_default();
+        v.clear();
+        v.resize(n, fill);
+        v
+    }
+
+    /// A cleared selection vector from the pool.
+    pub fn take_sel(&mut self) -> Vec<u32> {
+        let mut v = self.sels.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Returns a selection vector to the pool.
+    pub fn put_sel(&mut self, v: Vec<u32>) {
+        if self.sels.len() < SCRATCH_POOL_CAP {
+            self.sels.push(v);
+        }
+    }
+
+    fn put_f64(&mut self, v: Vec<f64>) {
+        if self.f64s.len() < SCRATCH_POOL_CAP {
+            self.f64s.push(v);
+        }
+    }
+
+    fn put_bools(&mut self, v: Vec<bool>) {
+        if self.bools.len() < SCRATCH_POOL_CAP {
+            self.bools.push(v);
+        }
+    }
+
+    /// Returns a consumed batch result's buffers to the pool.
+    pub fn recycle(&mut self, bv: BatchVals<'_>) {
+        match bv {
+            BatchVals::Num { vals, valid, .. } => {
+                self.put_f64(vals);
+                if let Some(v) = valid {
+                    self.put_bools(v);
+                }
+            }
+            BatchVals::Bools { vals, valid } => {
+                self.put_bools(vals);
+                if let Some(v) = valid {
+                    self.put_bools(v);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Lazily materializes an all-true validity mask from the pool, exactly
+/// like the `get_or_insert_with(|| vec![true; n])` it replaces.
+#[inline]
+fn lazy_mask<'m>(
+    valid: &'m mut Option<Vec<bool>>,
+    scratch: &mut EvalScratch,
+    n: usize,
+) -> &'m mut Vec<bool> {
+    if valid.is_none() {
+        *valid = Some(scratch.take_bools(n, true));
+    }
+    valid.as_mut().expect("just set")
 }
 
 // Internal operand views used by the kernels below.
@@ -675,6 +828,7 @@ fn arith_batch(
     l: NumOperand<'_>,
     r: NumOperand<'_>,
     n: usize,
+    scratch: &mut EvalScratch,
 ) -> Result<BatchVals<'static>, EngineError> {
     use BinOp::*;
     // Zero selected rows: scalar evaluation never runs, so no value is
@@ -705,12 +859,12 @@ fn arith_batch(
         };
         return Ok(BatchVals::ConstNum { val, ty: out_ty });
     }
-    let mut vals = vec![0.0f64; n];
+    let mut vals = scratch.take_f64(n);
     let mut valid: Option<Vec<bool>> = None;
-    for (pos, slot) in vals.iter_mut().enumerate() {
+    for pos in 0..n {
         match (ls.at(pos), rs.at(pos)) {
             (Some(x), Some(y)) => {
-                *slot = match op {
+                vals[pos] = match op {
                     Add => x + y,
                     Sub => x - y,
                     Mul => x * y,
@@ -723,7 +877,7 @@ fn arith_batch(
                     _ => unreachable!("arith op"),
                 };
             }
-            _ => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+            _ => lazy_mask(&mut valid, scratch, n)[pos] = false,
         }
     }
     Ok(BatchVals::Num {
@@ -738,23 +892,28 @@ fn cmp_batch(
     l: Side<'_>,
     r: Side<'_>,
     sv: &SelView<'_>,
+    scratch: &mut EvalScratch,
 ) -> Result<BatchVals<'static>, EngineError> {
-    use std::cmp::Ordering;
     let n = sv.len();
     if matches!(l, Side::Null) || matches!(r, Side::Null) {
         return Ok(BatchVals::ConstNull);
     }
-    let mut vals = vec![false; n];
-    let mut valid: Option<Vec<bool>> = None;
-    let set = |vals: &mut Vec<bool>,
-                   valid: &mut Option<Vec<bool>>,
-                   pos: usize,
-                   ord: Option<Ordering>| {
-        match ord {
-            Some(ord) => vals[pos] = ord_matches(op, ord),
-            None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+    // Mixed families: scalar comparison fails on the first row where
+    // both sides are non-NULL; rows with a NULL side yield NULL.
+    let same_family = matches!(
+        (&l, &r),
+        (Side::N(..), Side::N(..)) | (Side::S(_), Side::S(_)) | (Side::B(_), Side::B(_))
+    );
+    if !same_family {
+        if side_any_both_valid(&l, &r, sv) {
+            return Err(EngineError::TypeMismatch {
+                context: format!("{op:?} between incompatible types"),
+            });
         }
-    };
+        return Ok(BatchVals::ConstNull);
+    }
+    let mut vals = scratch.take_bools(n, false);
+    let mut valid: Option<Vec<bool>> = None;
     match (&l, &r) {
         (Side::N(ls, _), Side::N(rs, _)) => {
             for pos in 0..n {
@@ -763,38 +922,29 @@ fn cmp_batch(
                         let ord = x.partial_cmp(&y).ok_or(EngineError::TypeMismatch {
                             context: "NaN comparison".to_string(),
                         })?;
-                        set(&mut vals, &mut valid, pos, Some(ord));
+                        vals[pos] = ord_matches(op, ord);
                     }
-                    _ => set(&mut vals, &mut valid, pos, None),
+                    _ => lazy_mask(&mut valid, scratch, n)[pos] = false,
                 }
             }
         }
         (Side::S(ls), Side::S(rs)) => {
             for pos in 0..n {
                 match (ls.at(sv, pos), rs.at(sv, pos)) {
-                    (Some(x), Some(y)) => set(&mut vals, &mut valid, pos, Some(x.cmp(y))),
-                    _ => set(&mut vals, &mut valid, pos, None),
+                    (Some(x), Some(y)) => vals[pos] = ord_matches(op, x.cmp(y)),
+                    _ => lazy_mask(&mut valid, scratch, n)[pos] = false,
                 }
             }
         }
         (Side::B(ls), Side::B(rs)) => {
             for pos in 0..n {
                 match (ls.at(pos), rs.at(pos)) {
-                    (Some(x), Some(y)) => set(&mut vals, &mut valid, pos, Some(x.cmp(&y))),
-                    _ => set(&mut vals, &mut valid, pos, None),
+                    (Some(x), Some(y)) => vals[pos] = ord_matches(op, x.cmp(&y)),
+                    _ => lazy_mask(&mut valid, scratch, n)[pos] = false,
                 }
             }
         }
-        // Mixed families: scalar comparison fails on the first row where
-        // both sides are non-NULL; rows with a NULL side yield NULL.
-        _ => {
-            if side_any_both_valid(&l, &r, sv) {
-                return Err(EngineError::TypeMismatch {
-                    context: format!("{op:?} between incompatible types"),
-                });
-            }
-            return Ok(BatchVals::ConstNull);
-        }
+        _ => unreachable!("mixed families handled above"),
     }
     Ok(BatchVals::Bools { vals, valid })
 }
@@ -817,6 +967,7 @@ fn kleene_batch(
     l: BoolOperand<'_>,
     r: BoolOperand<'_>,
     n: usize,
+    scratch: &mut EvalScratch,
 ) -> BatchVals<'static> {
     let at = |o: &BoolOperand<'_>, pos: usize| -> Option<bool> {
         match o {
@@ -838,12 +989,12 @@ fn kleene_batch(
             None => BatchVals::ConstNull,
         };
     }
-    let mut vals = vec![false; n];
+    let mut vals = scratch.take_bools(n, false);
     let mut valid: Option<Vec<bool>> = None;
-    for (pos, slot) in vals.iter_mut().enumerate() {
+    for pos in 0..n {
         match combine_kleene(op, at(&l, pos), at(&r, pos)) {
-            Some(b) => *slot = b,
-            None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+            Some(b) => vals[pos] = b,
+            None => lazy_mask(&mut valid, scratch, n)[pos] = false,
         }
     }
     BatchVals::Bools { vals, valid }
@@ -860,6 +1011,288 @@ fn combine_kleene(op: BinOp, l: Option<bool>, r: Option<bool>) -> Option<bool> {
     }
 }
 
+/// `Expr::Col` kernel: gathers one column under the selection view into a
+/// typed batch vector (strings stay borrowed in place).
+fn col_batch<'a>(col: &'a Column, sv: &SelView<'_>, scratch: &mut EvalScratch) -> BatchVals<'a> {
+    let n = sv.len();
+    fn gather_valid(
+        validity: &Option<Vec<bool>>,
+        sv: &SelView<'_>,
+        scratch: &mut EvalScratch,
+    ) -> Option<Vec<bool>> {
+        validity.as_ref().map(|v| {
+            let n = sv.len();
+            let mut out = scratch.take_bools(n, false);
+            for (pos, slot) in out.iter_mut().enumerate() {
+                *slot = v[sv.row(pos)];
+            }
+            out
+        })
+    }
+    match &col.data {
+        ColumnData::Int64(v) => {
+            let mut vals = scratch.take_f64(n);
+            for (pos, slot) in vals.iter_mut().enumerate() {
+                *slot = v[sv.row(pos)] as f64;
+            }
+            BatchVals::Num {
+                vals,
+                valid: gather_valid(&col.validity, sv, scratch),
+                ty: NumTy::Int,
+            }
+        }
+        ColumnData::Float64(v) => {
+            let mut vals = scratch.take_f64(n);
+            for (pos, slot) in vals.iter_mut().enumerate() {
+                *slot = v[sv.row(pos)];
+            }
+            BatchVals::Num {
+                vals,
+                valid: gather_valid(&col.validity, sv, scratch),
+                ty: NumTy::Float,
+            }
+        }
+        ColumnData::Date(v) => {
+            let mut vals = scratch.take_f64(n);
+            for (pos, slot) in vals.iter_mut().enumerate() {
+                *slot = v[sv.row(pos)] as f64;
+            }
+            BatchVals::Num {
+                vals,
+                valid: gather_valid(&col.validity, sv, scratch),
+                ty: NumTy::Date,
+            }
+        }
+        ColumnData::Bool(v) => {
+            let mut vals = scratch.take_bools(n, false);
+            for (pos, slot) in vals.iter_mut().enumerate() {
+                *slot = v[sv.row(pos)];
+            }
+            BatchVals::Bools {
+                vals,
+                valid: gather_valid(&col.validity, sv, scratch),
+            }
+        }
+        ColumnData::Utf8(v) => BatchVals::Str {
+            vals: v,
+            valid: col.validity.as_deref(),
+        },
+    }
+}
+
+/// `Expr::Lit` kernel: broadcasts a literal as a constant batch.
+fn lit_batch(v: &Value) -> BatchVals<'_> {
+    match v {
+        Value::Int64(x) => BatchVals::ConstNum {
+            val: *x as f64,
+            ty: NumTy::Int,
+        },
+        Value::Float64(x) => BatchVals::ConstNum {
+            val: *x,
+            ty: NumTy::Float,
+        },
+        Value::Date(d) => BatchVals::ConstNum {
+            val: *d as f64,
+            ty: NumTy::Date,
+        },
+        Value::Bool(b) => BatchVals::ConstBool(*b),
+        Value::Utf8(s) => BatchVals::ConstStr(s.as_str()),
+        Value::Null => BatchVals::ConstNull,
+    }
+}
+
+/// `Expr::Not` kernel.
+fn not_batch(
+    inner: &BatchVals<'_>,
+    sv: &SelView<'_>,
+    scratch: &mut EvalScratch,
+) -> Result<BatchVals<'static>, EngineError> {
+    let n = sv.len();
+    match as_bool_operand(classify(inner), sv)? {
+        BoolOperand::Null => Ok(BatchVals::ConstNull),
+        BoolOperand::Op(BoolSide::Const(b)) => Ok(BatchVals::ConstBool(!b)),
+        BoolOperand::Op(bs) => {
+            let mut vals = scratch.take_bools(n, false);
+            let mut valid: Option<Vec<bool>> = None;
+            for pos in 0..n {
+                match bs.at(pos) {
+                    Some(b) => vals[pos] = !b,
+                    None => lazy_mask(&mut valid, scratch, n)[pos] = false,
+                }
+            }
+            Ok(BatchVals::Bools { vals, valid })
+        }
+    }
+}
+
+/// `Expr::IsNull` kernel.
+fn is_null_batch(
+    inner: &BatchVals<'_>,
+    sv: &SelView<'_>,
+    scratch: &mut EvalScratch,
+) -> BatchVals<'static> {
+    let n = sv.len();
+    match classify(inner) {
+        Side::Null => BatchVals::ConstBool(true),
+        Side::N(NumSide::Const(_), _)
+        | Side::B(BoolSide::Const(_))
+        | Side::S(StrSide::Const(_)) => BatchVals::ConstBool(false),
+        Side::N(NumSide::Vec(_, valid), _) | Side::B(BoolSide::Vec(_, valid)) => match valid {
+            None => BatchVals::ConstBool(false),
+            Some(v) => {
+                let mut vals = scratch.take_bools(n, false);
+                for (pos, slot) in vals.iter_mut().enumerate() {
+                    *slot = !v[pos];
+                }
+                BatchVals::Bools { vals, valid: None }
+            }
+        },
+        Side::S(StrSide::Col(_, valid)) => match valid {
+            None => BatchVals::ConstBool(false),
+            Some(v) => {
+                let mut vals = scratch.take_bools(n, false);
+                for (pos, slot) in vals.iter_mut().enumerate() {
+                    *slot = !v[sv.row(pos)];
+                }
+                BatchVals::Bools { vals, valid: None }
+            }
+        },
+    }
+}
+
+/// `Expr::Contains` kernel.
+fn contains_batch(
+    inner: &BatchVals<'_>,
+    needle: &str,
+    sv: &SelView<'_>,
+    scratch: &mut EvalScratch,
+) -> Result<BatchVals<'static>, EngineError> {
+    let n = sv.len();
+    match classify(inner) {
+        Side::Null => Ok(BatchVals::ConstNull),
+        Side::S(StrSide::Const(s)) => Ok(BatchVals::ConstBool(s.contains(needle))),
+        Side::S(ss) => {
+            let mut vals = scratch.take_bools(n, false);
+            let mut valid: Option<Vec<bool>> = None;
+            for pos in 0..n {
+                match ss.at(sv, pos) {
+                    Some(s) => vals[pos] = s.contains(needle),
+                    None => lazy_mask(&mut valid, scratch, n)[pos] = false,
+                }
+            }
+            Ok(BatchVals::Bools { vals, valid })
+        }
+        other => {
+            if side_any_valid(&other, sv) {
+                Err(EngineError::TypeMismatch {
+                    context: "CONTAINS on non-string".to_string(),
+                })
+            } else {
+                Ok(BatchVals::ConstNull)
+            }
+        }
+    }
+}
+
+/// `Expr::InList` kernel.
+fn in_list_batch(
+    inner: &BatchVals<'_>,
+    list: &[Value],
+    sv: &SelView<'_>,
+    scratch: &mut EvalScratch,
+) -> Result<BatchVals<'static>, EngineError> {
+    let n = sv.len();
+    match classify(inner) {
+        Side::Null => Ok(BatchVals::ConstNull),
+        Side::N(ns, _) => {
+            // Only numeric candidates can match a numeric probe
+            // (values_equal semantics).
+            let cands: Vec<f64> = list.iter().filter_map(|v| v.as_f64()).collect();
+            in_list_kernel(n, scratch, |pos| ns.at(pos), |x| cands.contains(&x))
+        }
+        Side::B(bs) => {
+            let cands: Vec<bool> = list
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Bool(b) => Some(*b),
+                    _ => None,
+                })
+                .collect();
+            in_list_kernel(n, scratch, |pos| bs.at(pos), |x| cands.contains(&x))
+        }
+        Side::S(ss) => in_list_kernel(
+            n,
+            scratch,
+            |pos| ss.at(sv, pos),
+            |x| {
+                list.iter()
+                    .any(|cand| matches!(cand, Value::Utf8(c) if c.as_str() == x))
+            },
+        ),
+    }
+}
+
+/// `Expr::Bin` kernel: dispatches arithmetic, comparison or Kleene logic
+/// over two already-evaluated operands.
+fn bin_batch(
+    op: BinOp,
+    l: &BatchVals<'_>,
+    r: &BatchVals<'_>,
+    sv: &SelView<'_>,
+    scratch: &mut EvalScratch,
+) -> Result<BatchVals<'static>, EngineError> {
+    use BinOp::*;
+    let n = sv.len();
+    match op {
+        Add | Sub | Mul | Div => {
+            let lo = as_num_operand(classify(l), sv, op)?;
+            let ro = as_num_operand(classify(r), sv, op)?;
+            arith_batch(op, lo, ro, n, scratch)
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => cmp_batch(op, classify(l), classify(r), sv, scratch),
+        And | Or => {
+            let lo = as_bool_operand(classify(l), sv)?;
+            let ro = as_bool_operand(classify(r), sv)?;
+            Ok(kleene_batch(op, lo, ro, n, scratch))
+        }
+    }
+}
+
+/// Converts a predicate's batch result into a selection vector of
+/// original row ids (shared by `eval_sel` and `KernelPlan::eval_sel_into`).
+fn sel_from_bools(
+    bv: &BatchVals<'_>,
+    sv: &SelView<'_>,
+    out: &mut Vec<u32>,
+) -> Result<(), EngineError> {
+    out.clear();
+    let n = sv.len();
+    match classify(bv) {
+        Side::B(BoolSide::Const(true)) => {
+            out.extend((0..n).map(|pos| sv.row(pos) as u32));
+            Ok(())
+        }
+        Side::B(BoolSide::Const(false)) | Side::Null => Ok(()),
+        Side::B(bs) => {
+            for pos in 0..n {
+                if bs.at(pos) == Some(true) {
+                    out.push(sv.row(pos) as u32);
+                }
+            }
+            Ok(())
+        }
+        other => {
+            if side_any_valid(&other, sv) {
+                Err(EngineError::TypeMismatch {
+                    context: "predicate produced a non-boolean batch".to_string(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
 impl Expr {
     /// Evaluates the expression over the rows of `table` selected by `sel`
     /// (`None` = all rows), producing a typed batch vector.
@@ -873,178 +1306,53 @@ impl Expr {
         table: &'a Table,
         sel: Option<&[u32]>,
     ) -> Result<BatchVals<'a>, EngineError> {
+        let mut scratch = EvalScratch::default();
+        self.eval_batch_in(table, sel, &mut scratch)
+    }
+
+    /// [`Expr::eval_batch`] with caller-provided scratch buffers, so
+    /// operators evaluating many batches reuse allocations across them.
+    pub fn eval_batch_in<'a>(
+        &'a self,
+        table: &'a Table,
+        sel: Option<&[u32]>,
+        scratch: &mut EvalScratch,
+    ) -> Result<BatchVals<'a>, EngineError> {
         let sv = SelView::new(table, sel);
-        let n = sv.len();
         match self {
-            Expr::Col(i) => {
-                let col = table.column(*i)?;
-                let gather_valid = |validity: &Option<Vec<bool>>| -> Option<Vec<bool>> {
-                    validity
-                        .as_ref()
-                        .map(|v| (0..n).map(|pos| v[sv.row(pos)]).collect())
-                };
-                Ok(match &col.data {
-                    ColumnData::Int64(v) => BatchVals::Num {
-                        vals: (0..n).map(|pos| v[sv.row(pos)] as f64).collect(),
-                        valid: gather_valid(&col.validity),
-                        ty: NumTy::Int,
-                    },
-                    ColumnData::Float64(v) => BatchVals::Num {
-                        vals: (0..n).map(|pos| v[sv.row(pos)]).collect(),
-                        valid: gather_valid(&col.validity),
-                        ty: NumTy::Float,
-                    },
-                    ColumnData::Date(v) => BatchVals::Num {
-                        vals: (0..n).map(|pos| v[sv.row(pos)] as f64).collect(),
-                        valid: gather_valid(&col.validity),
-                        ty: NumTy::Date,
-                    },
-                    ColumnData::Bool(v) => BatchVals::Bools {
-                        vals: (0..n).map(|pos| v[sv.row(pos)]).collect(),
-                        valid: gather_valid(&col.validity),
-                    },
-                    ColumnData::Utf8(v) => BatchVals::Str {
-                        vals: v,
-                        valid: col.validity.as_deref(),
-                    },
-                })
-            }
-            Expr::Lit(v) => Ok(match v {
-                Value::Int64(x) => BatchVals::ConstNum {
-                    val: *x as f64,
-                    ty: NumTy::Int,
-                },
-                Value::Float64(x) => BatchVals::ConstNum {
-                    val: *x,
-                    ty: NumTy::Float,
-                },
-                Value::Date(d) => BatchVals::ConstNum {
-                    val: *d as f64,
-                    ty: NumTy::Date,
-                },
-                Value::Bool(b) => BatchVals::ConstBool(*b),
-                Value::Utf8(s) => BatchVals::ConstStr(s.as_str()),
-                Value::Null => BatchVals::ConstNull,
-            }),
+            Expr::Col(i) => Ok(col_batch(table.column(*i)?, &sv, scratch)),
+            Expr::Lit(v) => Ok(lit_batch(v)),
             Expr::Not(e) => {
-                let inner = e.eval_batch(table, sel)?;
-                match as_bool_operand(classify(&inner), &sv)? {
-                    BoolOperand::Null => Ok(BatchVals::ConstNull),
-                    BoolOperand::Op(BoolSide::Const(b)) => Ok(BatchVals::ConstBool(!b)),
-                    BoolOperand::Op(bs) => {
-                        let mut vals = vec![false; n];
-                        let mut valid: Option<Vec<bool>> = None;
-                        for (pos, slot) in vals.iter_mut().enumerate() {
-                            match bs.at(pos) {
-                                Some(b) => *slot = !b,
-                                None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
-                            }
-                        }
-                        Ok(BatchVals::Bools { vals, valid })
-                    }
-                }
+                let inner = e.eval_batch_in(table, sel, scratch)?;
+                let out = not_batch(&inner, &sv, scratch);
+                scratch.recycle(inner);
+                out
             }
             Expr::IsNull(e) => {
-                let inner = e.eval_batch(table, sel)?;
-                Ok(match classify(&inner) {
-                    Side::Null => BatchVals::ConstBool(true),
-                    Side::N(NumSide::Const(_), _)
-                    | Side::B(BoolSide::Const(_))
-                    | Side::S(StrSide::Const(_)) => BatchVals::ConstBool(false),
-                    Side::N(NumSide::Vec(_, valid), _) | Side::B(BoolSide::Vec(_, valid)) => {
-                        match valid {
-                            None => BatchVals::ConstBool(false),
-                            Some(v) => BatchVals::Bools {
-                                vals: v.iter().map(|&ok| !ok).collect(),
-                                valid: None,
-                            },
-                        }
-                    }
-                    Side::S(StrSide::Col(_, valid)) => match valid {
-                        None => BatchVals::ConstBool(false),
-                        Some(v) => BatchVals::Bools {
-                            vals: (0..n).map(|pos| !v[sv.row(pos)]).collect(),
-                            valid: None,
-                        },
-                    },
-                })
+                let inner = e.eval_batch_in(table, sel, scratch)?;
+                let out = is_null_batch(&inner, &sv, scratch);
+                scratch.recycle(inner);
+                Ok(out)
             }
             Expr::Contains { expr, needle } => {
-                let inner = expr.eval_batch(table, sel)?;
-                match classify(&inner) {
-                    Side::Null => Ok(BatchVals::ConstNull),
-                    Side::S(StrSide::Const(s)) => {
-                        Ok(BatchVals::ConstBool(s.contains(needle.as_str())))
-                    }
-                    Side::S(ss) => {
-                        let mut vals = vec![false; n];
-                        let mut valid: Option<Vec<bool>> = None;
-                        for (pos, slot) in vals.iter_mut().enumerate() {
-                            match ss.at(&sv, pos) {
-                                Some(s) => *slot = s.contains(needle.as_str()),
-                                None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
-                            }
-                        }
-                        Ok(BatchVals::Bools { vals, valid })
-                    }
-                    other => {
-                        if side_any_valid(&other, &sv) {
-                            Err(EngineError::TypeMismatch {
-                                context: "CONTAINS on non-string".to_string(),
-                            })
-                        } else {
-                            Ok(BatchVals::ConstNull)
-                        }
-                    }
-                }
+                let inner = expr.eval_batch_in(table, sel, scratch)?;
+                let out = contains_batch(&inner, needle, &sv, scratch);
+                scratch.recycle(inner);
+                out
             }
             Expr::InList { expr, list } => {
-                let inner = expr.eval_batch(table, sel)?;
-                match classify(&inner) {
-                    Side::Null => Ok(BatchVals::ConstNull),
-                    Side::N(ns, _) => {
-                        // Only numeric candidates can match a numeric probe
-                        // (values_equal semantics).
-                        let cands: Vec<f64> = list.iter().filter_map(|v| v.as_f64()).collect();
-                        in_list_kernel(n, |pos| ns.at(pos), |x| cands.contains(&x))
-                    }
-                    Side::B(bs) => {
-                        let cands: Vec<bool> = list
-                            .iter()
-                            .filter_map(|v| match v {
-                                Value::Bool(b) => Some(*b),
-                                _ => None,
-                            })
-                            .collect();
-                        in_list_kernel(n, |pos| bs.at(pos), |x| cands.contains(&x))
-                    }
-                    Side::S(ss) => in_list_kernel(
-                        n,
-                        |pos| ss.at(&sv, pos),
-                        |x| {
-                            list.iter()
-                                .any(|cand| matches!(cand, Value::Utf8(c) if c.as_str() == x))
-                        },
-                    ),
-                }
+                let inner = expr.eval_batch_in(table, sel, scratch)?;
+                let out = in_list_batch(&inner, list, &sv, scratch);
+                scratch.recycle(inner);
+                out
             }
             Expr::Bin { op, left, right } => {
-                use BinOp::*;
-                let l = left.eval_batch(table, sel)?;
-                let r = right.eval_batch(table, sel)?;
-                match op {
-                    Add | Sub | Mul | Div => {
-                        let lo = as_num_operand(classify(&l), &sv, *op)?;
-                        let ro = as_num_operand(classify(&r), &sv, *op)?;
-                        arith_batch(*op, lo, ro, n)
-                    }
-                    Eq | Ne | Lt | Le | Gt | Ge => cmp_batch(*op, classify(&l), classify(&r), &sv),
-                    And | Or => {
-                        let lo = as_bool_operand(classify(&l), &sv)?;
-                        let ro = as_bool_operand(classify(&r), &sv)?;
-                        Ok(kleene_batch(*op, lo, ro, n))
-                    }
-                }
+                let l = left.eval_batch_in(table, sel, scratch)?;
+                let r = right.eval_batch_in(table, sel, scratch)?;
+                let out = bin_batch(*op, &l, &r, &sv, scratch);
+                scratch.recycle(l);
+                scratch.recycle(r);
+                out
             }
         }
     }
@@ -1054,26 +1362,26 @@ impl Expr {
     /// as in SQL `WHERE`). The batch counterpart of [`Expr::eval_mask`]:
     /// `eval_sel(t, None)` selects exactly the rows `eval_mask` marks true.
     pub fn eval_sel(&self, table: &Table, sel: Option<&[u32]>) -> Result<Vec<u32>, EngineError> {
+        let mut scratch = EvalScratch::default();
+        let mut out = Vec::new();
+        self.eval_sel_in(table, sel, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Expr::eval_sel`] with caller-provided scratch and output vector;
+    /// `out` is cleared and refilled.
+    pub fn eval_sel_in(
+        &self,
+        table: &Table,
+        sel: Option<&[u32]>,
+        scratch: &mut EvalScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<(), EngineError> {
         let sv = SelView::new(table, sel);
-        let n = sv.len();
-        let out = self.eval_batch(table, sel)?;
-        match classify(&out) {
-            Side::B(BoolSide::Const(true)) => Ok((0..n).map(|pos| sv.row(pos) as u32).collect()),
-            Side::B(BoolSide::Const(false)) | Side::Null => Ok(Vec::new()),
-            Side::B(bs) => Ok((0..n)
-                .filter(|&pos| bs.at(pos) == Some(true))
-                .map(|pos| sv.row(pos) as u32)
-                .collect()),
-            other => {
-                if side_any_valid(&other, &sv) {
-                    Err(EngineError::TypeMismatch {
-                        context: "predicate produced a non-boolean batch".to_string(),
-                    })
-                } else {
-                    Ok(Vec::new())
-                }
-            }
-        }
+        let bv = self.eval_batch_in(table, sel, scratch)?;
+        let res = sel_from_bools(&bv, &sv, out);
+        scratch.recycle(bv);
+        res
     }
 }
 
@@ -1081,18 +1389,249 @@ impl Expr {
 /// tests membership.
 fn in_list_kernel<T>(
     n: usize,
+    scratch: &mut EvalScratch,
     get: impl Fn(usize) -> Option<T>,
     hit: impl Fn(T) -> bool,
 ) -> Result<BatchVals<'static>, EngineError> {
-    let mut vals = vec![false; n];
+    let mut vals = scratch.take_bools(n, false);
     let mut valid: Option<Vec<bool>> = None;
-    for (pos, slot) in vals.iter_mut().enumerate() {
+    for pos in 0..n {
         match get(pos) {
-            Some(x) => *slot = hit(x),
-            None => valid.get_or_insert_with(|| vec![true; n])[pos] = false,
+            Some(x) => vals[pos] = hit(x),
+            None => lazy_mask(&mut valid, scratch, n)[pos] = false,
         }
     }
     Ok(BatchVals::Bools { vals, valid })
+}
+
+// ========================== compiled kernel plans ===========================
+//
+// A `KernelPlan` is the pre-compiled form of one `Expr`: a flat post-order
+// program over virtual registers, resolved once per operator instead of
+// re-walking the boxed tree for every batch. Compilation also deduplicates
+// column loads (an expression referencing `Col(3)` four times gathers it
+// once per batch) and records the distinct referenced columns, which lets
+// the fused executor bind a plan to a *sparse* set of gathered columns —
+// the basis of selection-aware deferred join gathering.
+//
+// Step execution calls the exact same kernel functions as
+// `Expr::eval_batch_in`, in the same post-order, so results and the
+// ok-vs-err outcome are identical by construction.
+
+/// One step of a compiled plan. `dst`/`src` are register indices.
+enum KStep<'e> {
+    /// Gather a column into a register.
+    Col { col: usize, dst: usize },
+    /// Broadcast a literal.
+    Lit { v: &'e Value, dst: usize },
+    /// Binary kernel.
+    Bin {
+        op: BinOp,
+        l: usize,
+        r: usize,
+        dst: usize,
+    },
+    /// Logical negation.
+    Not { src: usize, dst: usize },
+    /// NULL test.
+    IsNull { src: usize, dst: usize },
+    /// Substring containment.
+    Contains {
+        src: usize,
+        needle: &'e str,
+        dst: usize,
+    },
+    /// Literal-list membership.
+    InList {
+        src: usize,
+        list: &'e [Value],
+        dst: usize,
+    },
+}
+
+/// A compiled expression: see [`Expr::compile`].
+pub struct KernelPlan<'e> {
+    steps: Vec<KStep<'e>>,
+    out: usize,
+    n_regs: usize,
+    cols: Vec<usize>,
+}
+
+/// The column binding a [`KernelPlan`] evaluates against: either a whole
+/// table, or an index-aligned sparse slice of pre-gathered columns (only
+/// the plan's [`KernelPlan::referenced_cols`] need be present).
+pub enum KernelCols<'a> {
+    /// Resolve column indices against a table.
+    Table(&'a Table),
+    /// Resolve column indices against a sparse, index-aligned slice.
+    Cols(&'a [Option<Column>]),
+}
+
+impl<'a> KernelCols<'a> {
+    fn column(&self, i: usize) -> Result<&'a Column, EngineError> {
+        match self {
+            KernelCols::Table(t) => t.column(i),
+            KernelCols::Cols(cols) => {
+                cols.get(i)
+                    .and_then(|c| c.as_ref())
+                    .ok_or(EngineError::ColumnIndex {
+                        index: i,
+                        width: cols.len(),
+                    })
+            }
+        }
+    }
+}
+
+impl Expr {
+    /// Compiles the expression into a [`KernelPlan`] — done once per
+    /// operator; each batch then replays the flat step program.
+    pub fn compile(&self) -> KernelPlan<'_> {
+        let mut plan = KernelPlan {
+            steps: Vec::new(),
+            out: 0,
+            n_regs: 0,
+            cols: Vec::new(),
+        };
+        let mut col_regs: Vec<(usize, usize)> = Vec::new();
+        plan.out = compile_node(self, &mut plan, &mut col_regs);
+        plan
+    }
+}
+
+fn compile_node<'e>(
+    e: &'e Expr,
+    plan: &mut KernelPlan<'e>,
+    col_regs: &mut Vec<(usize, usize)>,
+) -> usize {
+    let alloc = |plan: &mut KernelPlan<'e>| {
+        let reg = plan.n_regs;
+        plan.n_regs += 1;
+        reg
+    };
+    match e {
+        Expr::Col(i) => {
+            // Deduplicated: the first reference gathers, later ones reuse
+            // the register (the first gather also carries any column-index
+            // error, matching the tree walk's first visit).
+            if let Some(&(_, reg)) = col_regs.iter().find(|(c, _)| c == i) {
+                return reg;
+            }
+            let dst = alloc(plan);
+            plan.steps.push(KStep::Col { col: *i, dst });
+            plan.cols.push(*i);
+            col_regs.push((*i, dst));
+            dst
+        }
+        Expr::Lit(v) => {
+            let dst = alloc(plan);
+            plan.steps.push(KStep::Lit { v, dst });
+            dst
+        }
+        Expr::Not(inner) => {
+            let src = compile_node(inner, plan, col_regs);
+            let dst = alloc(plan);
+            plan.steps.push(KStep::Not { src, dst });
+            dst
+        }
+        Expr::IsNull(inner) => {
+            let src = compile_node(inner, plan, col_regs);
+            let dst = alloc(plan);
+            plan.steps.push(KStep::IsNull { src, dst });
+            dst
+        }
+        Expr::Contains { expr, needle } => {
+            let src = compile_node(expr, plan, col_regs);
+            let dst = alloc(plan);
+            plan.steps.push(KStep::Contains { src, needle, dst });
+            dst
+        }
+        Expr::InList { expr, list } => {
+            let src = compile_node(expr, plan, col_regs);
+            let dst = alloc(plan);
+            plan.steps.push(KStep::InList { src, list, dst });
+            dst
+        }
+        Expr::Bin { op, left, right } => {
+            let l = compile_node(left, plan, col_regs);
+            let r = compile_node(right, plan, col_regs);
+            let dst = alloc(plan);
+            plan.steps.push(KStep::Bin {
+                op: *op,
+                l,
+                r,
+                dst,
+            });
+            dst
+        }
+    }
+}
+
+fn reg<'r, 'a>(regs: &'r [Option<BatchVals<'a>>], i: usize) -> &'r BatchVals<'a> {
+    regs[i]
+        .as_ref()
+        .expect("operand register written before use (post-order program)")
+}
+
+impl<'e> KernelPlan<'e> {
+    /// Distinct column indices the plan reads, in first-use order.
+    pub fn referenced_cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Evaluates the plan over the rows selected by `sv` against `cols`.
+    /// Identical to [`Expr::eval_batch`] of the source expression.
+    pub fn eval<'a>(
+        &'a self,
+        cols: &KernelCols<'a>,
+        sv: &SelView<'_>,
+        scratch: &mut EvalScratch,
+    ) -> Result<BatchVals<'a>, EngineError> {
+        let mut regs: Vec<Option<BatchVals<'a>>> = Vec::with_capacity(self.n_regs);
+        regs.resize_with(self.n_regs, || None);
+        for step in &self.steps {
+            let (dst, bv) = match step {
+                KStep::Col { col, dst } => (*dst, col_batch(cols.column(*col)?, sv, scratch)),
+                KStep::Lit { v, dst } => (*dst, lit_batch(v)),
+                KStep::Not { src, dst } => (*dst, not_batch(reg(&regs, *src), sv, scratch)?),
+                KStep::IsNull { src, dst } => (*dst, is_null_batch(reg(&regs, *src), sv, scratch)),
+                KStep::Contains { src, needle, dst } => {
+                    (*dst, contains_batch(reg(&regs, *src), needle, sv, scratch)?)
+                }
+                KStep::InList { src, list, dst } => {
+                    (*dst, in_list_batch(reg(&regs, *src), list, sv, scratch)?)
+                }
+                KStep::Bin { op, l, r, dst } => (
+                    *dst,
+                    bin_batch(*op, reg(&regs, *l), reg(&regs, *r), sv, scratch)?,
+                ),
+            };
+            regs[dst] = Some(bv);
+        }
+        let out = regs[self.out]
+            .take()
+            .expect("plan output register is written by the last step");
+        for r in regs.into_iter().flatten() {
+            scratch.recycle(r);
+        }
+        Ok(out)
+    }
+
+    /// Evaluates the plan as a predicate, filling `out` with the selected
+    /// original row ids. Identical to [`Expr::eval_sel`] of the source
+    /// expression.
+    pub fn eval_sel_into(
+        &self,
+        cols: &KernelCols<'_>,
+        sv: &SelView<'_>,
+        scratch: &mut EvalScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<(), EngineError> {
+        let bv = self.eval(cols, sv, scratch)?;
+        let res = sel_from_bools(&bv, sv, out);
+        scratch.recycle(bv);
+        res
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fused;
 pub mod ops;
 pub mod placement;
 pub mod sim;
@@ -42,7 +43,10 @@ pub use engine::{EngineKind, EngineProfile};
 pub use error::EngineError;
 pub use exec::{ExecutionOutcome, Executor, QepConfig, SharedExecutor};
 pub use expr::Expr;
-pub use ops::{AggExpr, JoinType, PhysicalPlan, WorkProfile};
+pub use fused::{
+    execute_fused, execute_fused_versioned, execute_fused_with_partitions, MORSEL_ROWS,
+};
+pub use ops::{default_partition_degree, AggExpr, JoinType, PhysicalPlan, WorkProfile};
 pub use placement::Placement;
 pub use sim::{split_seed, AdmissionStats, LoadModel, SimulationEnv, SiteAdmission};
 pub use version::{

@@ -23,7 +23,7 @@
 use crate::catalog::Catalog;
 use crate::data::{Column, ColumnData, DataType, Table, Value};
 use crate::error::EngineError;
-use crate::expr::{BatchVals, Expr, NumTy, SelView};
+use crate::expr::{BatchVals, EvalScratch, Expr, NumTy, SelView};
 use std::collections::HashMap;
 
 /// Join flavours needed by the TPC-H two-table queries.
@@ -299,8 +299,20 @@ pub fn execute_with_partitions(
 ) -> Result<(Table, WorkProfile), EngineError> {
     let degree = partition_degree.clamp(1, MAX_PARTITION_DEGREE);
     let mut profile = WorkProfile::default();
-    let batch = run_vec(plan, catalog, &mut profile, degree)?;
+    let mut scratch = EvalScratch::new();
+    let batch = run_vec(plan, catalog, &mut profile, degree, &mut scratch)?;
     Ok((batch.materialize(), profile))
+}
+
+/// A topology-aware default for the `partition_degree` knob: the host's
+/// available parallelism, clamped to `[1, MAX_PARTITION_DEGREE]`. On a
+/// single-core box this is 1 (the serial path — scoped threads would only
+/// add overhead); on a 64-way box it saturates at the hard cap. Callers
+/// that want a fixed fan-out can still pass any explicit degree.
+pub fn default_partition_degree() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .clamp(1, MAX_PARTITION_DEGREE)
 }
 
 /// Executes a plan row-at-a-time through the reference scalar operators.
@@ -586,7 +598,7 @@ fn hash_join(
 /// Disambiguates right-side column names that collide with left-side ones
 /// (with an `r.` prefix) and assembles the join result — shared by the
 /// scalar and vectorized joins so their output schemas can never drift.
-fn finish_join_output(left: &Table, mut columns: Vec<Column>) -> Result<Table, EngineError> {
+pub(crate) fn finish_join_output(left: &Table, mut columns: Vec<Column>) -> Result<Table, EngineError> {
     let left_names: Vec<String> = left.columns().iter().map(|c| c.name.clone()).collect();
     for col in columns.iter_mut().skip(left.n_columns()) {
         if left_names.contains(&col.name) {
@@ -781,35 +793,37 @@ fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
 
 /// A table flowing between vectorized operators: either borrowed from the
 /// catalog (scans) or owned (materializing operators), plus an optional
-/// selection vector of live original-row ids.
-enum TableSlot<'a> {
+/// selection vector of live original-row ids. Shared with the fused morsel
+/// executor in [`crate::fused`], which builds the same batches from
+/// chunk-native pipelines.
+pub(crate) enum TableSlot<'a> {
     Borrowed(&'a Table),
     Owned(Table),
 }
 
-struct Batch<'a> {
-    slot: TableSlot<'a>,
-    sel: Option<Vec<u32>>,
+pub(crate) struct Batch<'a> {
+    pub(crate) slot: TableSlot<'a>,
+    pub(crate) sel: Option<Vec<u32>>,
 }
 
 impl<'a> Batch<'a> {
-    fn all(slot: TableSlot<'a>) -> Self {
+    pub(crate) fn all(slot: TableSlot<'a>) -> Self {
         Batch { slot, sel: None }
     }
 
-    fn table(&self) -> &Table {
+    pub(crate) fn table(&self) -> &Table {
         match &self.slot {
             TableSlot::Borrowed(t) => t,
             TableSlot::Owned(t) => t,
         }
     }
 
-    fn sel_ref(&self) -> Option<&[u32]> {
+    pub(crate) fn sel_ref(&self) -> Option<&[u32]> {
         self.sel.as_deref()
     }
 
     /// Logical row count (what the scalar path would have materialized).
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match &self.sel {
             Some(s) => s.len(),
             None => self.table().n_rows(),
@@ -818,7 +832,7 @@ impl<'a> Batch<'a> {
 
     /// Original row id of batch position `pos`.
     #[inline]
-    fn row_id(&self, pos: usize) -> usize {
+    pub(crate) fn row_id(&self, pos: usize) -> usize {
         match &self.sel {
             Some(s) => s[pos] as usize,
             None => pos,
@@ -826,7 +840,7 @@ impl<'a> Batch<'a> {
     }
 
     /// Gathers the batch into a concrete table (the final plan result).
-    fn materialize(self) -> Table {
+    pub(crate) fn materialize(self) -> Table {
         match (self.slot, self.sel) {
             (TableSlot::Owned(t), None) => t,
             (TableSlot::Borrowed(t), None) => t.clone(),
@@ -838,7 +852,7 @@ impl<'a> Batch<'a> {
 
 /// Records one operator's work from a batch without materializing it; byte
 /// accounting is identical to measuring the materialized table.
-fn record_batch(profile: &mut WorkProfile, kind: OpKind, rows_in: u64, batch: &Batch<'_>) {
+pub(crate) fn record_batch(profile: &mut WorkProfile, kind: OpKind, rows_in: u64, batch: &Batch<'_>) {
     profile.ops.push(OpWork {
         kind,
         rows_in,
@@ -852,6 +866,7 @@ fn run_vec<'a>(
     catalog: &'a Catalog,
     profile: &mut WorkProfile,
     degree: usize,
+    scratch: &mut EvalScratch,
 ) -> Result<Batch<'a>, EngineError> {
     match plan {
         PhysicalPlan::Scan { table } => {
@@ -866,7 +881,8 @@ fn run_vec<'a>(
             let base = catalog
                 .get(table)
                 .ok_or_else(|| EngineError::UnknownTable(table.clone()))?;
-            let sel = predicate.eval_sel(base, None)?;
+            let mut sel = scratch.take_sel();
+            predicate.eval_sel_in(base, None, scratch, &mut sel)?;
             // Storage-side pruning: only the surviving rows are charged.
             let rows = sel.len() as u64;
             let batch = Batch {
@@ -877,9 +893,13 @@ fn run_vec<'a>(
             Ok(batch)
         }
         PhysicalPlan::Filter { input, predicate } => {
-            let b = run_vec(input, catalog, profile, degree)?;
+            let b = run_vec(input, catalog, profile, degree, scratch)?;
             let rows_in = b.len() as u64;
-            let sel = predicate.eval_sel(b.table(), b.sel_ref())?;
+            let mut sel = scratch.take_sel();
+            predicate.eval_sel_in(b.table(), b.sel_ref(), scratch, &mut sel)?;
+            if let Some(old) = b.sel {
+                scratch.put_sel(old);
+            }
             let batch = Batch {
                 slot: b.slot,
                 sel: Some(sel),
@@ -888,9 +908,9 @@ fn run_vec<'a>(
             Ok(batch)
         }
         PhysicalPlan::Project { input, exprs } => {
-            let b = run_vec(input, catalog, profile, degree)?;
+            let b = run_vec(input, catalog, profile, degree, scratch)?;
             let rows_in = b.len() as u64;
-            let out = project_vec(&b, exprs)?;
+            let out = project_vec(&b, exprs, scratch)?;
             let batch = Batch::all(TableSlot::Owned(out));
             record_batch(profile, OpKind::Project, rows_in, &batch);
             Ok(batch)
@@ -902,8 +922,8 @@ fn run_vec<'a>(
             right_keys,
             join_type,
         } => {
-            let lb = run_vec(left, catalog, profile, degree)?;
-            let rb = run_vec(right, catalog, profile, degree)?;
+            let lb = run_vec(left, catalog, profile, degree, scratch)?;
+            let rb = run_vec(right, catalog, profile, degree, scratch)?;
             let rows_in = (lb.len() + rb.len()) as u64;
             let out = hash_join_vec(&lb, &rb, left_keys, right_keys, *join_type, degree)?;
             let batch = Batch::all(TableSlot::Owned(out));
@@ -915,15 +935,15 @@ fn run_vec<'a>(
             group_by,
             aggs,
         } => {
-            let b = run_vec(input, catalog, profile, degree)?;
+            let b = run_vec(input, catalog, profile, degree, scratch)?;
             let rows_in = b.len() as u64;
-            let out = aggregate_vec(&b, group_by, aggs, degree)?;
+            let out = aggregate_vec(&b, group_by, aggs, degree, scratch)?;
             let batch = Batch::all(TableSlot::Owned(out));
             record_batch(profile, OpKind::Aggregate, rows_in, &batch);
             Ok(batch)
         }
         PhysicalPlan::Sort { input, by } => {
-            let b = run_vec(input, catalog, profile, degree)?;
+            let b = run_vec(input, catalog, profile, degree, scratch)?;
             let rows_in = b.len() as u64;
             let sel = sort_sel(&b, by)?;
             let batch = Batch {
@@ -934,7 +954,7 @@ fn run_vec<'a>(
             Ok(batch)
         }
         PhysicalPlan::Limit { input, n } => {
-            let b = run_vec(input, catalog, profile, degree)?;
+            let b = run_vec(input, catalog, profile, degree, scratch)?;
             let rows_in = b.len() as u64;
             let keep = b.len().min(*n);
             let sel = match b.sel {
@@ -956,7 +976,11 @@ fn run_vec<'a>(
 
 // ----- vectorized projection -----
 
-fn project_vec(b: &Batch<'_>, exprs: &[(String, Expr)]) -> Result<Table, EngineError> {
+pub(crate) fn project_vec(
+    b: &Batch<'_>,
+    exprs: &[(String, Expr)],
+    scratch: &mut EvalScratch,
+) -> Result<Table, EngineError> {
     let t = b.table();
     let sel = b.sel_ref();
     let sv = SelView::new(t, sel);
@@ -970,8 +994,9 @@ fn project_vec(b: &Batch<'_>, exprs: &[(String, Expr)]) -> Result<Table, EngineE
             Expr::Col(i) => columns.push(gather_normalized(t.column(*i)?, &sv, name)),
             Expr::Lit(v) => columns.push(broadcast_value(name, v, sv.len())),
             _ => {
-                let bv = expr.eval_batch(t, sel)?;
+                let bv = expr.eval_batch_in(t, sel, scratch)?;
                 columns.push(column_from_batch(name, &bv, &sv));
+                scratch.recycle(bv);
             }
         }
     }
@@ -982,7 +1007,7 @@ fn project_vec(b: &Batch<'_>, exprs: &[(String, Expr)]) -> Result<Table, EngineE
 /// `column_from_values` applies to scalar projection output: NULL slots
 /// hold the type default, an all-NULL (or empty) result collapses to
 /// Int64, and a fully valid result drops its validity mask.
-fn gather_normalized(col: &Column, sv: &SelView<'_>, name: &str) -> Column {
+pub(crate) fn gather_normalized(col: &Column, sv: &SelView<'_>, name: &str) -> Column {
     let n = sv.len();
     if n == 0 {
         return Column::new(name, ColumnData::Int64(Vec::new()));
@@ -1025,7 +1050,7 @@ fn gather_normalized(col: &Column, sv: &SelView<'_>, name: &str) -> Column {
 /// Broadcasts one literal value into a column of length `n`, exactly as
 /// `column_from_values(vec![v; n])` would: typed data, all-NULL literals
 /// collapse to Int64, zero rows collapse to an empty Int64 column.
-fn broadcast_value(name: &str, v: &Value, n: usize) -> Column {
+pub(crate) fn broadcast_value(name: &str, v: &Value, n: usize) -> Column {
     if n == 0 {
         return Column::new(name, ColumnData::Int64(Vec::new()));
     }
@@ -1043,7 +1068,7 @@ fn broadcast_value(name: &str, v: &Value, n: usize) -> Column {
 
 /// Builds an output column from a batch vector, with `column_from_values`'s
 /// normalization rules (see [`gather_normalized`]).
-fn column_from_batch(name: &str, bv: &BatchVals<'_>, sv: &SelView<'_>) -> Column {
+pub(crate) fn column_from_batch(name: &str, bv: &BatchVals<'_>, sv: &SelView<'_>) -> Column {
     let n = sv.len();
     if n == 0 {
         return Column::new(name, ColumnData::Int64(Vec::new()));
@@ -1348,17 +1373,28 @@ fn partition_keys(
 
 /// The partitioned counterpart of [`serial_join_indices`]: both sides are
 /// radix-partitioned by key hash into `p` shards (selection vectors of
-/// batch positions — no rows move), each shard builds and probes its own
-/// [`U64Map`] on a scoped thread, and the shard outputs are merged back in
-/// shard-index order through a per-probe-position scatter.
+/// batch positions — no rows move), each shard builds its own [`U64Map`]
+/// on a scoped thread, probe work is split into bounded-size **probe
+/// tasks** that share the shard's build map read-only, and all task
+/// outputs merge back through a per-probe-position scatter.
+///
+/// The task split is the skew defence: with a plain thread-per-shard
+/// probe, one hot key (every `lineitem` row of one part, say) piles its
+/// whole probe side into a single shard and serializes the phase. Here a
+/// shard whose probe list exceeds its fair share `ceil(total / p)` is
+/// re-partitioned morsel-wise into up to `p` contiguous ranges, so the
+/// hot shard's probes run in parallel against the one shared build map
+/// (probing is read-only — only building needs exclusivity). Total probe
+/// tasks stay ≤ 2·p, keeping the thread fan-out bounded by the clamped
+/// degree.
 ///
 /// Determinism: equal keys share a shard, so a shard's hash chains are
 /// exactly the serial chains restricted to its keys (built in reverse →
 /// ascending build position, verified by [`keys_equal`]); and because each
-/// probe position lives in exactly one shard, with its matches contiguous
+/// probe position lives in exactly one task, with its matches contiguous
 /// there in chain order, the scatter reproduces the serial output row for
-/// row — bit-for-bit, at every `p`.
-fn partitioned_join_indices(
+/// row — bit-for-bit, at every `p` and every task decomposition.
+pub(crate) fn partitioned_join_indices(
     lb: &Batch<'_>,
     rb: &Batch<'_>,
     lcols: &[&Column],
@@ -1374,12 +1410,16 @@ fn partitioned_join_indices(
     let build_keys = partition_keys(rb, rcols, false, p);
     let probe_keys = partition_keys(lb, lcols, false, p);
 
-    // Per-shard build + probe, one scoped thread per shard; outputs are
-    // collected in shard-index order (join order below).
-    let mut shard_outs: Vec<Vec<(u32, u32, bool)>> = std::thread::scope(|scope| {
+    // Phase 1: per-shard hash-table builds, one scoped thread per shard.
+    struct ShardBuild {
+        build: Vec<(u32, u64)>,
+        map: U64Map,
+        next: Vec<u32>,
+    }
+    let builds: Vec<ShardBuild> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..p)
             .map(|s| {
-                let (build_keys, probe_keys) = (&build_keys, &probe_keys);
+                let build_keys = &build_keys;
                 scope.spawn(move || {
                     let mut build: Vec<(u32, u64)> =
                         Vec::with_capacity(build_keys.shard_len(s));
@@ -1391,31 +1431,73 @@ fn partitioned_join_indices(
                         next[local] = *head;
                         *head = local as u32 + 1;
                     }
+                    ShardBuild { build, map, next }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join build thread panicked"))
+            .collect()
+    });
+
+    // Phase 2: probe tasks — each shard's probe list, split morsel-wise
+    // into contiguous ranges of at most its fair share of positions.
+    let probes: Vec<Vec<(u32, u64)>> = (0..p)
+        .map(|s| {
+            let mut v = Vec::with_capacity(probe_keys.shard_len(s));
+            probe_keys.for_shard(s, |pos, h| v.push((pos, h)));
+            v
+        })
+        .collect();
+    let probe_total: usize = probes.iter().map(|v| v.len()).sum();
+    let fair = probe_total.div_ceil(p).max(1);
+    let mut tasks: Vec<(usize, usize, usize)> = Vec::new(); // (shard, start, end)
+    for (s, v) in probes.iter().enumerate() {
+        if v.is_empty() {
+            continue;
+        }
+        let n_tasks = v.len().div_ceil(fair).min(p);
+        let step = v.len().div_ceil(n_tasks).max(1);
+        let mut start = 0;
+        while start < v.len() {
+            let end = (start + step).min(v.len());
+            tasks.push((s, start, end));
+            start = end;
+        }
+    }
+    let mut shard_outs: Vec<Vec<(u32, u32, bool)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .iter()
+            .map(|&(s, start, end)| {
+                let (builds, probes) = (&builds, &probes);
+                scope.spawn(move || {
+                    let sb = &builds[s];
                     let mut out: Vec<(u32, u32, bool)> = Vec::new();
-                    probe_keys.for_shard(s, |pos, h| {
+                    for &(pos, h) in &probes[s][start..end] {
                         let lrow = lb.row_id(pos as usize);
                         let mut matched = false;
-                        let mut cur = map.get(h);
+                        let mut cur = sb.map.get(h);
                         while cur != 0 {
                             let local = (cur - 1) as usize;
-                            let rrow = rb.row_id(build[local].0 as usize);
+                            let rrow = rb.row_id(sb.build[local].0 as usize);
                             if keys_equal(lcols, lrow, rcols, rrow) {
                                 out.push((pos, rrow as u32, true));
                                 matched = true;
                             }
-                            cur = next[local];
+                            cur = sb.next[local];
                         }
                         if !matched && join_type == JoinType::LeftOuter {
                             out.push((pos, 0, false));
                         }
-                    });
+                    }
                     out
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("join shard thread panicked"))
+            .map(|h| h.join().expect("join probe thread panicked"))
             .collect()
     });
     // NULL-key probe rows are always unmatched; under LeftOuter they emit
@@ -1455,7 +1537,7 @@ fn partitioned_join_indices(
 /// The serial first-seen group-id assignment: one hash-chained pass over
 /// the batch, returning each position's group id and the first original
 /// row of every group, in first-seen order.
-fn serial_group_ids(b: &Batch<'_>, gcols: &[&Column], n: usize) -> (Vec<u32>, Vec<u32>) {
+pub(crate) fn serial_group_ids(b: &Batch<'_>, gcols: &[&Column], n: usize) -> (Vec<u32>, Vec<u32>) {
     let mut group_ids: Vec<u32> = Vec::with_capacity(n);
     let mut rep_rows: Vec<u32> = Vec::new();
     let mut map = U64Map::with_capacity(n);
@@ -1507,7 +1589,7 @@ struct ShardGroups {
 /// global first occurrences — the merged `group_ids` / representative rows
 /// are bit-identical to the serial pass, which keeps the downstream
 /// accumulation (shared code) bit-identical too.
-fn partitioned_group_ids(
+pub(crate) fn partitioned_group_ids(
     b: &Batch<'_>,
     gcols: &[&Column],
     p: usize,
@@ -1590,7 +1672,7 @@ fn partitioned_group_ids(
 
 // ----- vectorized join -----
 
-fn hash_join_vec(
+pub(crate) fn hash_join_vec(
     lb: &Batch<'_>,
     rb: &Batch<'_>,
     left_keys: &[usize],
@@ -1680,7 +1762,7 @@ fn hash_join_vec(
 /// The serial build/probe producing the join's gather indices:
 /// `(left row, right row, right matched)` triples flattened into three
 /// vectors, in probe order with matches in build-chain order.
-fn serial_join_indices(
+pub(crate) fn serial_join_indices(
     lb: &Batch<'_>,
     rb: &Batch<'_>,
     lcols: &[&Column],
@@ -1738,7 +1820,7 @@ fn serial_join_indices(
 /// Numeric view with `Value::as_f64` semantics: booleans and strings are
 /// not numeric and silently yield `None`, exactly as the scalar
 /// aggregation steps skip them.
-fn agg_num_input(bv: &BatchVals<'_>, sv: &SelView<'_>) -> Vec<Option<f64>> {
+pub(crate) fn agg_num_input(bv: &BatchVals<'_>, sv: &SelView<'_>) -> Vec<Option<f64>> {
     let n = sv.len();
     match bv {
         BatchVals::Num { vals, valid, .. } => (0..n)
@@ -1754,7 +1836,7 @@ fn agg_num_input(bv: &BatchVals<'_>, sv: &SelView<'_>) -> Vec<Option<f64>> {
 
 /// Boolean view with `matches!(v, Value::Bool(true))` semantics: anything
 /// that is not a valid boolean counts as false, never as an error.
-fn agg_bool_input(bv: &BatchVals<'_>, sv: &SelView<'_>) -> Vec<Option<bool>> {
+pub(crate) fn agg_bool_input(bv: &BatchVals<'_>, sv: &SelView<'_>) -> Vec<Option<bool>> {
     let n = sv.len();
     match bv {
         BatchVals::Bools { vals, valid } => (0..n)
@@ -1768,11 +1850,251 @@ fn agg_bool_input(bv: &BatchVals<'_>, sv: &SelView<'_>) -> Vec<Option<bool>> {
     }
 }
 
-fn aggregate_vec(
+/// The expression-evaluation surface the shared aggregation accumulator
+/// ([`accumulate_aggs`]) runs against. The vectorized executor implements
+/// it over a [`Batch`]; the fused executor implements it over a *virtual*
+/// join output (deferred-gather columns), so both paths accumulate through
+/// literally the same float additions in the same order.
+pub(crate) trait AggInput {
+    /// Predicate view of `e` over every batch position, with
+    /// `matches!(v, Value::Bool(true))` semantics.
+    fn eval_bools(&mut self, e: &Expr) -> Result<Vec<Option<bool>>, EngineError>;
+    /// Numeric view of `e` over every batch position (`Value::as_f64`
+    /// semantics).
+    fn eval_nums(&mut self, e: &Expr) -> Result<Vec<Option<f64>>, EngineError>;
+    /// Numeric view of `e` over the given batch positions only (SumIf's
+    /// predicate-true subset).
+    fn eval_nums_at(&mut self, e: &Expr, sub_pos: &[u32])
+        -> Result<Vec<Option<f64>>, EngineError>;
+}
+
+struct BatchAggInput<'x, 'a> {
+    b: &'x Batch<'a>,
+    scratch: &'x mut EvalScratch,
+}
+
+impl AggInput for BatchAggInput<'_, '_> {
+    fn eval_bools(&mut self, e: &Expr) -> Result<Vec<Option<bool>>, EngineError> {
+        let t = self.b.table();
+        let sel = self.b.sel_ref();
+        let sv = SelView::new(t, sel);
+        let bv = e.eval_batch_in(t, sel, self.scratch)?;
+        let out = agg_bool_input(&bv, &sv);
+        self.scratch.recycle(bv);
+        Ok(out)
+    }
+
+    fn eval_nums(&mut self, e: &Expr) -> Result<Vec<Option<f64>>, EngineError> {
+        let t = self.b.table();
+        let sel = self.b.sel_ref();
+        let sv = SelView::new(t, sel);
+        let bv = e.eval_batch_in(t, sel, self.scratch)?;
+        let out = agg_num_input(&bv, &sv);
+        self.scratch.recycle(bv);
+        Ok(out)
+    }
+
+    fn eval_nums_at(
+        &mut self,
+        e: &Expr,
+        sub_pos: &[u32],
+    ) -> Result<Vec<Option<f64>>, EngineError> {
+        // The scalar path only evaluates SumIf's value on rows where the
+        // predicate holds; mirror that by evaluating the value batch under
+        // the predicate-true sub-selection of original row ids.
+        let t = self.b.table();
+        let sub_rows: Vec<u32> = sub_pos
+            .iter()
+            .map(|&p| self.b.row_id(p as usize) as u32)
+            .collect();
+        let bv = e.eval_batch_in(t, Some(&sub_rows), self.scratch)?;
+        let sub_sv = SelView::new(t, Some(&sub_rows));
+        let out = agg_num_input(&bv, &sub_sv);
+        self.scratch.recycle(bv);
+        Ok(out)
+    }
+}
+
+/// Accumulated output of one aggregate over all groups.
+pub(crate) enum AggCol {
+    Counts(Vec<u64>),
+    Opt(Vec<Option<f64>>),
+}
+
+/// One pass per aggregate over the batch positions, accumulating straight
+/// into per-group states. Shared verbatim by the vectorized and fused
+/// executors — given identical `group_ids` and an [`AggInput`] that yields
+/// identical per-position values, the accumulation (and so every float
+/// rounding) is bit-identical.
+pub(crate) fn accumulate_aggs(
+    input: &mut dyn AggInput,
+    aggs: &[(String, AggExpr)],
+    group_ids: &[u32],
+    n_groups: usize,
+    n: usize,
+) -> Result<Vec<AggCol>, EngineError> {
+    let mut agg_cols: Vec<AggCol> = Vec::with_capacity(aggs.len());
+    for (_, agg) in aggs {
+        let col = match agg {
+            AggExpr::Count => {
+                let mut counts = vec![0u64; n_groups];
+                for pos in 0..n {
+                    counts[group_ids[pos] as usize] += 1;
+                }
+                AggCol::Counts(counts)
+            }
+            AggExpr::CountIf(pred) => {
+                let flags = input.eval_bools(pred)?;
+                let mut counts = vec![0u64; n_groups];
+                for (pos, flag) in flags.iter().enumerate() {
+                    if *flag == Some(true) {
+                        counts[group_ids[pos] as usize] += 1;
+                    }
+                }
+                AggCol::Counts(counts)
+            }
+            AggExpr::Sum(e) => {
+                let nums = input.eval_nums(e)?;
+                let mut totals = vec![0.0f64; n_groups];
+                let mut seen = vec![false; n_groups];
+                for (pos, x) in nums.iter().enumerate() {
+                    if let Some(x) = x {
+                        let g = group_ids[pos] as usize;
+                        totals[g] += x;
+                        seen[g] = true;
+                    }
+                }
+                AggCol::Opt(
+                    totals
+                        .into_iter()
+                        .zip(seen)
+                        .map(|(tot, s)| if s { Some(tot) } else { None })
+                        .collect(),
+                )
+            }
+            AggExpr::SumIf { value, predicate } => {
+                let flags = input.eval_bools(predicate)?;
+                let mut sub_pos: Vec<u32> = Vec::new();
+                for (pos, flag) in flags.iter().enumerate() {
+                    if *flag == Some(true) {
+                        sub_pos.push(pos as u32);
+                    }
+                }
+                let nums = input.eval_nums_at(value, &sub_pos)?;
+                let mut totals = vec![0.0f64; n_groups];
+                // Every processed row marks its group as seen.
+                let mut seen = vec![false; n_groups];
+                for pos in 0..n {
+                    seen[group_ids[pos] as usize] = true;
+                }
+                for (i, x) in nums.iter().enumerate() {
+                    if let Some(x) = x {
+                        totals[group_ids[sub_pos[i] as usize] as usize] += x;
+                    }
+                }
+                AggCol::Opt(
+                    totals
+                        .into_iter()
+                        .zip(seen)
+                        .map(|(tot, s)| if s { Some(tot) } else { None })
+                        .collect(),
+                )
+            }
+            AggExpr::Avg(e) => {
+                let nums = input.eval_nums(e)?;
+                let mut totals = vec![0.0f64; n_groups];
+                let mut counts = vec![0u64; n_groups];
+                for (pos, x) in nums.iter().enumerate() {
+                    if let Some(x) = x {
+                        let g = group_ids[pos] as usize;
+                        totals[g] += x;
+                        counts[g] += 1;
+                    }
+                }
+                AggCol::Opt(
+                    totals
+                        .into_iter()
+                        .zip(counts)
+                        .map(|(tot, c)| if c > 0 { Some(tot / c as f64) } else { None })
+                        .collect(),
+                )
+            }
+            AggExpr::Min(e) | AggExpr::Max(e) => {
+                let is_min = matches!(agg, AggExpr::Min(_));
+                let nums = input.eval_nums(e)?;
+                let mut best: Vec<Option<f64>> = vec![None; n_groups];
+                for (pos, x) in nums.iter().enumerate() {
+                    if let Some(x) = x {
+                        let g = group_ids[pos] as usize;
+                        best[g] = Some(match best[g] {
+                            None => *x,
+                            Some(cur) => {
+                                if is_min {
+                                    cur.min(*x)
+                                } else {
+                                    cur.max(*x)
+                                }
+                            }
+                        });
+                    }
+                }
+                AggCol::Opt(best)
+            }
+        };
+        agg_cols.push(col);
+    }
+    Ok(agg_cols)
+}
+
+/// Materializes accumulated aggregates into output columns, normalized
+/// like `column_from_values` (all-NULL collapses to Int64, a fully valid
+/// result drops its mask). Shared by both executors.
+pub(crate) fn agg_output_columns(
+    aggs: &[(String, AggExpr)],
+    agg_cols: Vec<AggCol>,
+) -> Vec<Column> {
+    aggs.iter()
+        .zip(agg_cols)
+        .map(|((name, _), col)| match col {
+            AggCol::Counts(v) => Column::new(
+                name,
+                ColumnData::Int64(v.into_iter().map(|c| c as i64).collect()),
+            ),
+            AggCol::Opt(v) => {
+                if v.is_empty() {
+                    Column::new(name, ColumnData::Int64(Vec::new()))
+                } else if v.iter().all(|x| x.is_none()) {
+                    Column::with_validity(
+                        name,
+                        ColumnData::Int64(vec![0; v.len()]),
+                        vec![false; v.len()],
+                    )
+                } else if v.iter().all(|x| x.is_some()) {
+                    Column::new(
+                        name,
+                        ColumnData::Float64(v.into_iter().map(|x| x.unwrap()).collect()),
+                    )
+                } else {
+                    let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
+                    Column::with_validity(
+                        name,
+                        ColumnData::Float64(
+                            v.into_iter().map(|x| x.unwrap_or(0.0)).collect(),
+                        ),
+                        validity,
+                    )
+                }
+            }
+        })
+        .collect()
+}
+
+pub(crate) fn aggregate_vec(
     b: &Batch<'_>,
     group_by: &[usize],
     aggs: &[(String, AggExpr)],
     degree: usize,
+    scratch: &mut EvalScratch,
 ) -> Result<Table, EngineError> {
     let t = b.table();
     let sel = b.sel_ref();
@@ -1806,133 +2128,10 @@ fn aggregate_vec(
     }
 
     // Compute aggregates: one pass over the batch per aggregate,
-    // accumulating straight from column slices into per-group states.
-    enum AggCol {
-        Counts(Vec<u64>),
-        Opt(Vec<Option<f64>>),
-    }
-    let mut agg_cols: Vec<AggCol> = Vec::with_capacity(aggs.len());
-    for (_, agg) in aggs {
-        let col = match agg {
-            AggExpr::Count => {
-                let mut counts = vec![0u64; n_groups];
-                for pos in 0..n {
-                    counts[group_ids[pos] as usize] += 1;
-                }
-                AggCol::Counts(counts)
-            }
-            AggExpr::CountIf(pred) => {
-                let bv = pred.eval_batch(t, sel)?;
-                let flags = agg_bool_input(&bv, &sv);
-                let mut counts = vec![0u64; n_groups];
-                for (pos, flag) in flags.iter().enumerate() {
-                    if *flag == Some(true) {
-                        counts[group_ids[pos] as usize] += 1;
-                    }
-                }
-                AggCol::Counts(counts)
-            }
-            AggExpr::Sum(e) => {
-                let bv = e.eval_batch(t, sel)?;
-                let nums = agg_num_input(&bv, &sv);
-                let mut totals = vec![0.0f64; n_groups];
-                let mut seen = vec![false; n_groups];
-                for (pos, x) in nums.iter().enumerate() {
-                    if let Some(x) = x {
-                        let g = group_ids[pos] as usize;
-                        totals[g] += x;
-                        seen[g] = true;
-                    }
-                }
-                AggCol::Opt(
-                    totals
-                        .into_iter()
-                        .zip(seen)
-                        .map(|(tot, s)| if s { Some(tot) } else { None })
-                        .collect(),
-                )
-            }
-            AggExpr::SumIf { value, predicate } => {
-                let pv = predicate.eval_batch(t, sel)?;
-                let flags = agg_bool_input(&pv, &sv);
-                // The scalar path only evaluates `value` on rows where the
-                // predicate holds; mirror that by evaluating the value
-                // batch under the predicate-true sub-selection.
-                let mut sub_rows: Vec<u32> = Vec::new();
-                let mut sub_pos: Vec<u32> = Vec::new();
-                for (pos, flag) in flags.iter().enumerate() {
-                    if *flag == Some(true) {
-                        sub_rows.push(b.row_id(pos) as u32);
-                        sub_pos.push(pos as u32);
-                    }
-                }
-                let vv = value.eval_batch(t, Some(&sub_rows))?;
-                let sub_sv = SelView::new(t, Some(&sub_rows));
-                let nums = agg_num_input(&vv, &sub_sv);
-                let mut totals = vec![0.0f64; n_groups];
-                // Every processed row marks its group as seen.
-                let mut seen = vec![false; n_groups];
-                for pos in 0..n {
-                    seen[group_ids[pos] as usize] = true;
-                }
-                for (i, x) in nums.iter().enumerate() {
-                    if let Some(x) = x {
-                        totals[group_ids[sub_pos[i] as usize] as usize] += x;
-                    }
-                }
-                AggCol::Opt(
-                    totals
-                        .into_iter()
-                        .zip(seen)
-                        .map(|(tot, s)| if s { Some(tot) } else { None })
-                        .collect(),
-                )
-            }
-            AggExpr::Avg(e) => {
-                let bv = e.eval_batch(t, sel)?;
-                let nums = agg_num_input(&bv, &sv);
-                let mut totals = vec![0.0f64; n_groups];
-                let mut counts = vec![0u64; n_groups];
-                for (pos, x) in nums.iter().enumerate() {
-                    if let Some(x) = x {
-                        let g = group_ids[pos] as usize;
-                        totals[g] += x;
-                        counts[g] += 1;
-                    }
-                }
-                AggCol::Opt(
-                    totals
-                        .into_iter()
-                        .zip(counts)
-                        .map(|(tot, c)| if c > 0 { Some(tot / c as f64) } else { None })
-                        .collect(),
-                )
-            }
-            AggExpr::Min(e) | AggExpr::Max(e) => {
-                let is_min = matches!(agg, AggExpr::Min(_));
-                let bv = e.eval_batch(t, sel)?;
-                let nums = agg_num_input(&bv, &sv);
-                let mut best: Vec<Option<f64>> = vec![None; n_groups];
-                for (pos, x) in nums.iter().enumerate() {
-                    if let Some(x) = x {
-                        let g = group_ids[pos] as usize;
-                        best[g] = Some(match best[g] {
-                            None => *x,
-                            Some(cur) => {
-                                if is_min {
-                                    cur.min(*x)
-                                } else {
-                                    cur.max(*x)
-                                }
-                            }
-                        });
-                    }
-                }
-                AggCol::Opt(best)
-            }
-        };
-        agg_cols.push(col);
-    }
+    // accumulating straight from column slices into per-group states
+    // (shared accumulator — see `accumulate_aggs`).
+    let mut input = BatchAggInput { b, scratch };
+    let agg_cols = accumulate_aggs(&mut input, aggs, &group_ids, n_groups, n)?;
 
     // Assemble: group-key columns (gathered from representative rows) then
     // aggregate columns, normalized like `column_from_values`.
@@ -1940,37 +2139,7 @@ fn aggregate_vec(
     for &g in group_by {
         columns.push(t.column(g)?.take_ids(&rep_rows));
     }
-    for ((name, _), col) in aggs.iter().zip(agg_cols) {
-        columns.push(match col {
-            AggCol::Counts(v) => Column::new(
-                name,
-                ColumnData::Int64(v.into_iter().map(|c| c as i64).collect()),
-            ),
-            AggCol::Opt(v) => {
-                if v.is_empty() {
-                    Column::new(name, ColumnData::Int64(Vec::new()))
-                } else if v.iter().all(|x| x.is_none()) {
-                    Column::with_validity(
-                        name,
-                        ColumnData::Int64(vec![0; v.len()]),
-                        vec![false; v.len()],
-                    )
-                } else if v.iter().all(|x| x.is_some()) {
-                    Column::new(
-                        name,
-                        ColumnData::Float64(v.into_iter().map(|x| x.unwrap()).collect()),
-                    )
-                } else {
-                    let validity: Vec<bool> = v.iter().map(|x| x.is_some()).collect();
-                    Column::with_validity(
-                        name,
-                        ColumnData::Float64(v.into_iter().map(|x| x.unwrap_or(0.0)).collect()),
-                        validity,
-                    )
-                }
-            }
-        });
-    }
+    columns.extend(agg_output_columns(aggs, agg_cols));
     Table::new("agg", columns)
 }
 
@@ -1978,7 +2147,7 @@ fn aggregate_vec(
 
 /// Stable-sorts the selection by the sort keys, comparing typed column
 /// slices with `cmp_values` semantics (NULLs first, numerics as f64).
-fn sort_sel(b: &Batch<'_>, by: &[(usize, bool)]) -> Result<Vec<u32>, EngineError> {
+pub(crate) fn sort_sel(b: &Batch<'_>, by: &[(usize, bool)]) -> Result<Vec<u32>, EngineError> {
     let t = b.table();
     // Validate columns up-front so the comparator can't panic mid-sort.
     for &(c, _) in by {

@@ -93,6 +93,50 @@ impl ChunkedTable {
         }
     }
 
+    /// Builds a chunked table directly from pre-built chunks — the
+    /// streaming generator's entry point (no materialized intermediate
+    /// table, no compaction debt). All chunks must share one schema;
+    /// at least one chunk is required (a zero-row chunk is fine). A
+    /// single-chunk table pre-seeds its snapshot like
+    /// [`ChunkedTable::from_shared`], so it never pays compaction either.
+    pub fn from_chunks(
+        name: impl Into<String>,
+        chunks: Vec<Arc<Table>>,
+    ) -> Result<ChunkedTable, EngineError> {
+        let name = name.into();
+        let base = chunks.first().ok_or_else(|| EngineError::TypeMismatch {
+            context: format!("chunked table {name:?} needs at least one chunk"),
+        })?;
+        for c in &chunks[1..] {
+            if c.schema() != base.schema() {
+                return Err(EngineError::TypeMismatch {
+                    context: format!(
+                        "chunk for table {:?} has schema {:?}, expected {:?}",
+                        name,
+                        c.schema(),
+                        base.schema()
+                    ),
+                });
+            }
+        }
+        let snapshot = OnceLock::new();
+        if chunks.len() == 1 {
+            let _ = snapshot.set(Arc::clone(&chunks[0]));
+        }
+        let n_rows = chunks.iter().map(|c| c.n_rows()).sum();
+        Ok(ChunkedTable {
+            name,
+            chunks,
+            n_rows,
+            snapshot,
+        })
+    }
+
+    /// The table's logical name (chunk tables may carry their own names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Logical row count across all chunks.
     pub fn n_rows(&self) -> usize {
         self.n_rows
@@ -212,6 +256,20 @@ impl fmt::Debug for CatalogVersion {
 }
 
 impl CatalogVersion {
+    /// Builds a standalone version 0 directly from chunked tables — how a
+    /// streaming generator publishes a dataset that was never materialized
+    /// as whole tables (so chunk-native scans can run it without any
+    /// `pin()` compaction).
+    pub fn from_chunked(tables: Vec<ChunkedTable>) -> CatalogVersion {
+        CatalogVersion {
+            version: 0,
+            tables: tables
+                .into_iter()
+                .map(|t| (t.name.clone(), Arc::new(t)))
+                .collect(),
+        }
+    }
+
     /// Monotonically increasing version number (0 = the base catalog).
     pub fn version(&self) -> u64 {
         self.version

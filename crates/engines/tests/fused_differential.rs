@@ -1,0 +1,621 @@
+//! Differential property tests for the morsel-driven fused executor:
+//! [`execute_fused_with_partitions`] must agree with the whole-column
+//! vectorized executor (`execute`) — identical result tables, identical
+//! fingerprints, identical `WorkProfile`s — on random NULL-bearing tables
+//! at every partition degree. The chunk-native path
+//! ([`execute_fused_versioned`]) is additionally swept over **randomized
+//! chunk boundaries** (including empty chunks) against the flat logical
+//! table, pinning the claim that morsel and chunk boundaries are
+//! invisible: scans that never compact a snapshot produce bit-for-bit the
+//! plans' flat results.
+
+use std::sync::Arc;
+
+use midas_engines::data::{Column, ColumnData, Table, Value};
+use midas_engines::expr::Expr;
+use midas_engines::ops::{execute, AggExpr, JoinType, PhysicalPlan};
+use midas_engines::version::{CatalogVersion, ChunkedTable};
+use midas_engines::{execute_fused_versioned, execute_fused_with_partitions, Catalog};
+use proptest::prelude::*;
+
+/// Degrees swept by every case: serial, uneven shard counts, and more
+/// shards than most generated tables have rows.
+const DEGREES: [usize; 4] = [1, 2, 3, 7];
+
+const WORDS: [&str; 5] = ["alpha", "beta", "gamma", "delta", ""];
+
+/// One generated row: (int, int_null, float, word_idx, word_null, date,
+/// bool, bool_null). A "null" flag of 0 marks the value NULL.
+type Row = (
+    (i64, i64, f64),
+    (usize, i64, i64),
+    (i64, i64),
+);
+
+fn rows_strategy(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (
+            (-20i64..20, 0i64..5, -10.0..10.0f64),
+            (0usize..5, 0i64..5, -100i64..100),
+            (0i64..2, 0i64..5),
+        ),
+        0..max,
+    )
+}
+
+/// Random chunk boundary knobs — resolved against the row count at build
+/// time so empty and single-row chunks both occur.
+fn cuts_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..64, 0..4)
+}
+
+/// Builds the five-column test table: a Int64 (nullable), b Float64,
+/// s Utf8 (nullable), d Date, c Bool (nullable).
+fn table_of(name: &str, rows: &[Row]) -> Table {
+    let a_data: Vec<i64> = rows.iter().map(|r| r.0 .0).collect();
+    let a_valid: Vec<bool> = rows.iter().map(|r| r.0 .1 != 0).collect();
+    let b_data: Vec<f64> = rows.iter().map(|r| r.0 .2).collect();
+    let s_data: Vec<String> = rows.iter().map(|r| WORDS[r.1 .0].to_string()).collect();
+    let s_valid: Vec<bool> = rows.iter().map(|r| r.1 .1 != 0).collect();
+    let d_data: Vec<i32> = rows.iter().map(|r| r.1 .2 as i32).collect();
+    let c_data: Vec<bool> = rows.iter().map(|r| r.2 .0 != 0).collect();
+    let c_valid: Vec<bool> = rows.iter().map(|r| r.2 .1 != 0).collect();
+    Table::new(
+        name,
+        vec![
+            Column::with_validity("a", ColumnData::Int64(a_data), a_valid),
+            Column::new("b", ColumnData::Float64(b_data)),
+            Column::with_validity("s", ColumnData::Utf8(s_data), s_valid),
+            Column::new("d", ColumnData::Date(d_data)),
+            Column::with_validity("c", ColumnData::Bool(c_data), c_valid),
+        ],
+    )
+    .expect("aligned")
+}
+
+/// Splits `rows` into chunks at the (modulo-resolved, deduplicated) cut
+/// points. The final chunk may be empty, exercising appends-free empty
+/// tails; every chunk carries the table's own name so flattening and
+/// snapshots are name-identical to the logical table.
+fn chunked_of(name: &str, rows: &[Row], cuts: &[usize]) -> ChunkedTable {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (rows.len() + 1)).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut chunks: Vec<Arc<Table>> = Vec::new();
+    let mut start = 0usize;
+    for &b in &bounds {
+        if b > start {
+            chunks.push(Arc::new(table_of(name, &rows[start..b])));
+            start = b;
+        }
+    }
+    chunks.push(Arc::new(table_of(name, &rows[start..])));
+    ChunkedTable::from_chunks(name, chunks).expect("chunks share the schema")
+}
+
+/// A predicate over the test table assembled from generated knobs; rich
+/// enough to cover comparisons, IN lists, CONTAINS, arithmetic, IS NULL
+/// and three-valued AND/OR/NOT.
+fn pred_of(t1: i64, f1: f64, w: usize, d1: i64, bits: i64) -> Expr {
+    let num = match bits % 3 {
+        0 => Expr::col(0).ge(Expr::int(t1)),
+        1 => Expr::col(0).add(Expr::col(1)).lt(Expr::float(f1)),
+        _ => Expr::col(0).mul(Expr::int(2)).ne(Expr::col(3)),
+    };
+    let strp = match (bits / 3) % 3 {
+        0 => Expr::col(2).eq(Expr::str(WORDS[w])),
+        1 => Expr::col(2).in_list(vec![
+            Value::Utf8(WORDS[w].to_string()),
+            Value::Utf8("beta".to_string()),
+        ]),
+        _ => Expr::col(2).contains("a"),
+    };
+    let datep = Expr::col(3).ge(Expr::date(d1 as i32));
+    let boolp = match (bits / 9) % 3 {
+        0 => Expr::col(4).eq(Expr::Lit(Value::Bool(true))),
+        1 => Expr::col(4).is_null(),
+        _ => Expr::col(0).is_null().negate(),
+    };
+    let lhs = if (bits / 27) % 2 == 0 {
+        num.and(strp)
+    } else {
+        num.or(strp.negate())
+    };
+    let rhs = if (bits / 54) % 2 == 0 {
+        datep.or(boolp)
+    } else {
+        datep.and(boolp)
+    };
+    if (bits / 108) % 2 == 0 {
+        lhs.and(rhs)
+    } else {
+        lhs.or(rhs)
+    }
+}
+
+fn scan(t: &str) -> Box<PhysicalPlan> {
+    Box::new(PhysicalPlan::Scan {
+        table: t.to_string(),
+    })
+}
+
+/// Runs the whole-column vectorized executor as the oracle, then the
+/// fused morsel executor at every degree over the flat catalog AND over
+/// the chunk-native version — asserting identical tables, fingerprints
+/// and work profiles everywhere (Ok/Err always agrees; when a failing
+/// plan admits several valid first errors the variants may differ, so
+/// errors are compared on presence only).
+fn fused_matches(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    version: &CatalogVersion,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let oracle = execute(plan, catalog);
+    for degree in DEGREES {
+        let flat = execute_fused_with_partitions(plan, catalog, degree);
+        prop_assert_eq!(
+            flat.is_ok(),
+            oracle.is_ok(),
+            "flat fused error disagreement at degree {}: {:?} vs oracle {:?}",
+            degree,
+            flat.as_ref().err(),
+            oracle.as_ref().err()
+        );
+        let chunked = execute_fused_versioned(plan, version, degree);
+        prop_assert_eq!(
+            chunked.is_ok(),
+            oracle.is_ok(),
+            "chunk-native fused error disagreement at degree {}: {:?} vs oracle {:?}",
+            degree,
+            chunked.as_ref().err(),
+            oracle.as_ref().err()
+        );
+        if let Ok(o) = &oracle {
+            let f = flat.expect("agrees with oracle");
+            prop_assert_eq!(&f.0, &o.0, "flat fused table differs at degree {}", degree);
+            prop_assert_eq!(f.0.fingerprint(), o.0.fingerprint());
+            prop_assert_eq!(&f.1, &o.1, "flat fused profile differs at degree {}", degree);
+            let c = chunked.expect("agrees with oracle");
+            prop_assert_eq!(&c.0, &o.0, "chunk-native table differs at degree {}", degree);
+            prop_assert_eq!(c.0.fingerprint(), o.0.fingerprint());
+            prop_assert_eq!(&c.1, &o.1, "chunk-native profile differs at degree {}", degree);
+        }
+    }
+    Ok(())
+}
+
+/// Builds the single-table fixture: a flat catalog and a chunked version
+/// over the same logical rows.
+fn fixture(rows: &[Row], cuts: &[usize]) -> (Catalog, CatalogVersion) {
+    let mut catalog = Catalog::new();
+    catalog.insert("t".to_string(), table_of("t", rows));
+    let version = CatalogVersion::from_chunked(vec![chunked_of("t", rows, cuts)]);
+    (catalog, version)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scan, Filter and PrunedScan: morselized predicate evaluation over
+    /// flat and chunk-native inputs matches the whole-column pass
+    /// bit-for-bit, including byte accounting of never-flattened chunked
+    /// views.
+    #[test]
+    fn filter_and_pruned_scan_fused(
+        rows in rows_strategy(40),
+        cuts in cuts_strategy(),
+        t1 in -20i64..20,
+        f1 in -10.0..10.0f64,
+        w in 0usize..5,
+        d1 in -100i64..100,
+        bits in 0i64..216,
+    ) {
+        let (catalog, version) = fixture(&rows, &cuts);
+        let pred = pred_of(t1, f1, w, d1, bits);
+        fused_matches(
+            &PhysicalPlan::Filter { input: scan("t"), predicate: pred.clone() },
+            &catalog,
+            &version,
+        )?;
+        fused_matches(
+            &PhysicalPlan::PrunedScan { table: "t".to_string(), predicate: pred.clone() },
+            &catalog,
+            &version,
+        )?;
+        // Stacked filters keep the pipeline chunk-native end to end.
+        fused_matches(
+            &PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: scan("t"),
+                    predicate: pred,
+                }),
+                predicate: Expr::col(0).ge(Expr::int(t1)),
+            },
+            &catalog,
+            &version,
+        )?;
+    }
+
+    /// Projection — direct columns, literals (incl. NULL), kernels with
+    /// NULL propagation — and the fused filter→project single pass, with
+    /// morsel parts merged across random chunk boundaries.
+    #[test]
+    fn projection_fused(
+        rows in rows_strategy(40),
+        cuts in cuts_strategy(),
+        k in -5i64..5,
+        t1 in -20i64..20,
+        bits in 0i64..216,
+    ) {
+        let (catalog, version) = fixture(&rows, &cuts);
+        let exprs = vec![
+            ("a".to_string(), Expr::col(0)),
+            ("s".to_string(), Expr::col(2)),
+            ("c".to_string(), Expr::col(4)),
+            ("nil".to_string(), Expr::Lit(Value::Null)),
+            ("sum_ab".to_string(), Expr::col(0).add(Expr::col(1))),
+            ("scaled".to_string(), Expr::col(0).mul(Expr::int(k))),
+            ("shifted_d".to_string(), Expr::col(3).sub(Expr::int(t1))),
+            ("a_null".to_string(), Expr::col(0).is_null()),
+            ("flag".to_string(), Expr::col(2).eq(Expr::str("beta"))),
+        ];
+        // Bare projection (no filter to fuse with).
+        fused_matches(
+            &PhysicalPlan::Project { input: scan("t"), exprs: exprs.clone() },
+            &catalog,
+            &version,
+        )?;
+        // Filter directly under Project: the fused single-pass path.
+        fused_matches(
+            &PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: scan("t"),
+                    predicate: pred_of(t1, 0.5, 1, -50, bits),
+                }),
+                exprs,
+            },
+            &catalog,
+            &version,
+        )?;
+    }
+
+    /// Hash joins (inner and left-outer, single and composite keys) over
+    /// chunk-native scan inputs flattened at the join boundary.
+    #[test]
+    fn join_fused(
+        left in rows_strategy(30),
+        right in rows_strategy(30),
+        lcuts in cuts_strategy(),
+        rcuts in cuts_strategy(),
+        outer in 0i64..2,
+        composite in 0i64..2,
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.insert("l".to_string(), table_of("l", &left));
+        catalog.insert("r".to_string(), table_of("r", &right));
+        let version = CatalogVersion::from_chunked(vec![
+            chunked_of("l", &left, &lcuts),
+            chunked_of("r", &right, &rcuts),
+        ]);
+        let join_type = if outer == 0 { JoinType::Inner } else { JoinType::LeftOuter };
+        let (lk, rk) = if composite == 0 {
+            (vec![0], vec![0])
+        } else {
+            (vec![0, 2], vec![0, 2])
+        };
+        let plan = PhysicalPlan::HashJoin {
+            left: scan("l"),
+            right: scan("r"),
+            left_keys: lk,
+            right_keys: rk,
+            join_type,
+        };
+        fused_matches(&plan, &catalog, &version)?;
+    }
+
+    /// Grouped and global aggregation over every aggregate kind directly
+    /// above a scan — the generic (non-deferred) fused aggregate path.
+    #[test]
+    fn aggregate_fused(
+        rows in rows_strategy(50),
+        cuts in cuts_strategy(),
+        t1 in -20i64..20,
+        global in 0i64..2,
+        bits in 0i64..216,
+    ) {
+        let (catalog, version) = fixture(&rows, &cuts);
+        let group_by = if global == 0 { vec![0usize, 2] } else { Vec::new() };
+        let plan = PhysicalPlan::Aggregate {
+            input: scan("t"),
+            group_by,
+            aggs: vec![
+                ("n".to_string(), AggExpr::Count),
+                ("hits".to_string(), AggExpr::CountIf(pred_of(t1, 0.5, 2, -50, bits))),
+                ("total".to_string(), AggExpr::Sum(Expr::col(1))),
+                ("total_a".to_string(), AggExpr::Sum(Expr::col(0))),
+                ("mean".to_string(), AggExpr::Avg(Expr::col(1))),
+                ("lo".to_string(), AggExpr::Min(Expr::col(0))),
+                ("hi".to_string(), AggExpr::Max(Expr::col(3))),
+                (
+                    "cond_total".to_string(),
+                    AggExpr::SumIf {
+                        value: Expr::col(1),
+                        predicate: Expr::col(0).ge(Expr::int(t1)),
+                    },
+                ),
+            ],
+        };
+        fused_matches(&plan, &catalog, &version)?;
+    }
+
+    /// The deferred-gather path: `Aggregate ∘ [Filter*] ∘ HashJoin`
+    /// consumes the join as index triples and gathers only referenced
+    /// columns, yet must reproduce the materializing path's tables AND
+    /// profiles (virtual join bytes included) exactly — with zero, one
+    /// and two peeled filters, grouped and global, inner and outer.
+    #[test]
+    fn aggregate_over_join_fused(
+        left in rows_strategy(30),
+        right in rows_strategy(30),
+        lcuts in cuts_strategy(),
+        rcuts in cuts_strategy(),
+        t1 in -20i64..20,
+        bits in 0i64..216,
+        outer in 0i64..2,
+        global in 0i64..2,
+        nfilters in 0usize..3,
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.insert("l".to_string(), table_of("l", &left));
+        catalog.insert("r".to_string(), table_of("r", &right));
+        let version = CatalogVersion::from_chunked(vec![
+            chunked_of("l", &left, &lcuts),
+            chunked_of("r", &right, &rcuts),
+        ]);
+        let join_type = if outer == 0 { JoinType::Inner } else { JoinType::LeftOuter };
+        let mut input = Box::new(PhysicalPlan::HashJoin {
+            left: scan("l"),
+            right: scan("r"),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type,
+        });
+        // Filters over the join's 10-column output (right side at 5..10).
+        let join_preds = [
+            pred_of(t1, 1.5, 3, -50, bits),
+            Expr::col(5).ge(Expr::int(t1)).or(Expr::col(7).contains("a")),
+        ];
+        for predicate in join_preds.iter().take(nfilters) {
+            input = Box::new(PhysicalPlan::Filter {
+                input,
+                predicate: predicate.clone(),
+            });
+        }
+        let group_by = if global == 0 { vec![2usize, 5] } else { Vec::new() };
+        let plan = PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs: vec![
+                ("n".to_string(), AggExpr::Count),
+                ("total".to_string(), AggExpr::Sum(Expr::col(6))),
+                ("mean".to_string(), AggExpr::Avg(Expr::col(1))),
+                ("lo".to_string(), AggExpr::Min(Expr::col(5))),
+                (
+                    "cond".to_string(),
+                    AggExpr::SumIf {
+                        value: Expr::col(1).add(Expr::col(6)),
+                        predicate: Expr::col(0).ge(Expr::int(t1)),
+                    },
+                ),
+            ],
+        };
+        fused_matches(&plan, &catalog, &version)?;
+    }
+
+    /// Sort + Limit over chunk-native pipelines: chunked limits trim
+    /// per-chunk prefixes; flattening must equal the flat truncation.
+    #[test]
+    fn sort_limit_fused(
+        rows in rows_strategy(40),
+        cuts in cuts_strategy(),
+        limit in 0usize..20,
+        desc in 0i64..2,
+    ) {
+        let (catalog, version) = fixture(&rows, &cuts);
+        // Limit directly over a (possibly filtered) chunk-native scan.
+        fused_matches(
+            &PhysicalPlan::Limit {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: scan("t"),
+                    predicate: Expr::col(0).ge(Expr::int(0)),
+                }),
+                n: limit,
+            },
+            &catalog,
+            &version,
+        )?;
+        // Sort flattens; limit then truncates the sorted selection.
+        fused_matches(
+            &PhysicalPlan::Limit {
+                input: Box::new(PhysicalPlan::Sort {
+                    input: scan("t"),
+                    by: vec![(0, desc == 1), (2, false), (1, desc == 0)],
+                }),
+                n: limit,
+            },
+            &catalog,
+            &version,
+        )?;
+    }
+
+    /// A full pipeline — filter, join, aggregate (deferred), sort, limit —
+    /// matches end-to-end, profile included, at every degree and chunking.
+    #[test]
+    fn full_pipeline_fused(
+        left in rows_strategy(30),
+        right in rows_strategy(30),
+        lcuts in cuts_strategy(),
+        rcuts in cuts_strategy(),
+        t1 in -20i64..20,
+        bits in 0i64..216,
+        limit in 1usize..10,
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.insert("l".to_string(), table_of("l", &left));
+        catalog.insert("r".to_string(), table_of("r", &right));
+        let version = CatalogVersion::from_chunked(vec![
+            chunked_of("l", &left, &lcuts),
+            chunked_of("r", &right, &rcuts),
+        ]);
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::Aggregate {
+                    input: Box::new(PhysicalPlan::HashJoin {
+                        left: Box::new(PhysicalPlan::Filter {
+                            input: scan("l"),
+                            predicate: pred_of(t1, 1.5, 3, -50, bits),
+                        }),
+                        right: scan("r"),
+                        left_keys: vec![0],
+                        right_keys: vec![0],
+                        join_type: JoinType::LeftOuter,
+                    }),
+                    group_by: vec![2],
+                    aggs: vec![
+                        ("n".to_string(), AggExpr::Count),
+                        ("total".to_string(), AggExpr::Sum(Expr::col(6))),
+                    ],
+                }),
+                by: vec![(1, true), (0, false)],
+            }),
+            n: limit,
+        };
+        fused_matches(&plan, &catalog, &version)?;
+    }
+}
+
+/// High partition degrees (more shards than rows, and the MAX clamp) stay
+/// bit-identical on a deterministic pipeline.
+#[test]
+fn extreme_degrees_bit_identical() {
+    let rows: Vec<Row> = (0..257)
+        .map(|i| {
+            (
+                (i % 13, i % 5, (i as f64) * 0.25),
+                ((i % 5) as usize, (i + 1) % 5, i % 90),
+                (i % 2, (i + 2) % 5),
+            )
+        })
+        .collect();
+    let (catalog, version) = fixture(&rows, &[40, 41, 200]);
+    let plan = PhysicalPlan::Aggregate {
+        input: Box::new(PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::HashJoin {
+                left: scan("t"),
+                right: scan("t"),
+                left_keys: vec![0],
+                right_keys: vec![0],
+                join_type: JoinType::Inner,
+            }),
+            predicate: Expr::col(3).ge(Expr::date(10)),
+        }),
+        group_by: vec![2],
+        aggs: vec![
+            ("n".to_string(), AggExpr::Count),
+            ("total".to_string(), AggExpr::Sum(Expr::col(6))),
+        ],
+    };
+    let (ot, op) = execute(&plan, &catalog).expect("oracle runs");
+    for degree in [0, 1, 4, 64, 1000] {
+        let (ft, fp) = execute_fused_with_partitions(&plan, &catalog, degree).expect("runs");
+        assert_eq!(ft, ot, "flat fused differs at degree {degree}");
+        assert_eq!(fp, op, "flat fused profile differs at degree {degree}");
+        let (ct, cp) = execute_fused_versioned(&plan, &version, degree).expect("runs");
+        assert_eq!(ct, ot, "chunk-native differs at degree {degree}");
+        assert_eq!(ct.fingerprint(), ot.fingerprint());
+        assert_eq!(cp, op, "chunk-native profile differs at degree {degree}");
+    }
+}
+
+/// Regression: a constant division by zero over an empty input must not
+/// error (the empty morsel evaluates the kernel exactly like the empty
+/// whole-column batch), and must error on non-empty input.
+#[test]
+fn constant_division_by_zero_over_empty_input() {
+    let (catalog, version) = fixture(&[], &[]);
+    let plan = PhysicalPlan::Filter {
+        input: scan("t"),
+        predicate: Expr::int(1).div(Expr::int(0)).gt(Expr::int(5)),
+    };
+    let o = execute(&plan, &catalog).expect("oracle tolerates empty");
+    let f = execute_fused_with_partitions(&plan, &catalog, 1).expect("fused tolerates empty");
+    let c = execute_fused_versioned(&plan, &version, 1).expect("chunked tolerates empty");
+    assert_eq!(f.0, o.0);
+    assert_eq!(c.0, o.0);
+    let rows: Vec<Row> = vec![((1, 1, 0.5), (0, 1, 0), (0, 1))];
+    let (catalog, version) = fixture(&rows, &[]);
+    assert!(execute_fused_with_partitions(&plan, &catalog, 1).is_err());
+    assert!(execute_fused_versioned(&plan, &version, 1).is_err());
+}
+
+/// Regression: Int64 literals beyond 2^53 project exactly through the
+/// morsel path (direct literal broadcast, not f64-widened kernels).
+#[test]
+fn huge_int_literal_projects_exactly() {
+    let big = (1i64 << 53) + 1;
+    let rows: Vec<Row> = vec![((1, 1, 0.5), (0, 1, 0), (0, 1)); 3];
+    let (catalog, version) = fixture(&rows, &[1, 2]);
+    let plan = PhysicalPlan::Project {
+        input: scan("t"),
+        exprs: vec![("k".to_string(), Expr::int(big))],
+    };
+    let (o, _) = execute(&plan, &catalog).expect("runs");
+    let (f, _) = execute_fused_with_partitions(&plan, &catalog, 1).expect("runs");
+    let (c, _) = execute_fused_versioned(&plan, &version, 1).expect("runs");
+    assert_eq!(f, o);
+    assert_eq!(c, o);
+    assert_eq!(f.row(0)[0], Value::Int64(big));
+}
+
+/// Out-of-range column references fail identically through the deferred
+/// join-aggregate path (group key and aggregate expression both).
+#[test]
+fn deferred_join_aggregate_bad_columns_error() {
+    let rows: Vec<Row> = (0..5)
+        .map(|i| ((i, 1, 0.5), (0usize, 1, i), (0, 1)))
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.insert("l".to_string(), table_of("l", &rows));
+    catalog.insert("r".to_string(), table_of("r", &rows));
+    let version = CatalogVersion::from_chunked(vec![
+        chunked_of("l", &rows, &[2]),
+        chunked_of("r", &rows, &[3]),
+    ]);
+    let join = || {
+        Box::new(PhysicalPlan::HashJoin {
+            left: scan("l"),
+            right: scan("r"),
+            left_keys: vec![0],
+            right_keys: vec![0],
+            join_type: JoinType::Inner,
+        })
+    };
+    // Group key out of the join's 10-column width.
+    let bad_group = PhysicalPlan::Aggregate {
+        input: join(),
+        group_by: vec![12],
+        aggs: vec![("n".to_string(), AggExpr::Count)],
+    };
+    assert!(execute(&bad_group, &catalog).is_err());
+    assert!(execute_fused_with_partitions(&bad_group, &catalog, 1).is_err());
+    assert!(execute_fused_versioned(&bad_group, &version, 2).is_err());
+    // Aggregate expression out of range.
+    let bad_agg = PhysicalPlan::Aggregate {
+        input: join(),
+        group_by: vec![2],
+        aggs: vec![("t".to_string(), AggExpr::Sum(Expr::col(11)))],
+    };
+    assert!(execute(&bad_agg, &catalog).is_err());
+    assert!(execute_fused_with_partitions(&bad_agg, &catalog, 1).is_err());
+    assert!(execute_fused_versioned(&bad_agg, &version, 2).is_err());
+}

@@ -34,7 +34,7 @@ pub mod stream;
 pub mod workload;
 
 pub use dict::{Dictionary, TpchDictionaries};
-pub use gen::{DeltaStream, GenConfig, StringEncoding, TpchDb, TpchDelta};
+pub use gen::{DeltaStream, GenConfig, StringEncoding, TpchChunkedDb, TpchDb, TpchDelta};
 pub use queries::{QueryId, TwoTableQuery};
 pub use stream::{streaming_workload, StreamEvent, StreamSpec};
 pub use workload::{QueryInstance, WorkloadGenerator};

@@ -24,7 +24,8 @@ use midas_engines::data::Table;
 use midas_engines::error::EngineError;
 use midas_engines::expr::Expr;
 use midas_engines::ops::{AggExpr, JoinType, PhysicalPlan, WorkProfile};
-use midas_engines::{Catalog, Value};
+use midas_engines::version::CatalogVersion;
+use midas_engines::{execute_fused_versioned, execute_fused_with_partitions, Catalog, Value};
 
 /// Which of the paper's queries a template instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +106,30 @@ impl TwoTableQuery {
         catalog.insert("@frag0".to_string(), left);
         catalog.insert("@frag1".to_string(), right);
         let (out, combine_profile) = exec(&self.combine, catalog)?;
+        Ok((out, [left_profile, right_profile, combine_profile]))
+    }
+
+    /// Runs the whole three-plan pipeline **chunk-native**: both prepares
+    /// execute against `version` through the morsel-driven fused executor
+    /// (scans iterate chunks directly — no snapshot is ever compacted),
+    /// and the combine runs fused over the prepared `@frag0` / `@frag1`
+    /// fragments. Results and work profiles are bit-identical to
+    /// [`TwoTableQuery::execute_local`] with the vectorized executor on
+    /// the pinned flat catalog.
+    pub fn execute_fused_chunked(
+        &self,
+        version: &CatalogVersion,
+        partition_degree: usize,
+    ) -> Result<(Table, [WorkProfile; 3]), EngineError> {
+        let (left, left_profile) =
+            execute_fused_versioned(&self.left_prepare, version, partition_degree)?;
+        let (right, right_profile) =
+            execute_fused_versioned(&self.right_prepare, version, partition_degree)?;
+        let mut frags = Catalog::new();
+        frags.insert("@frag0".to_string(), left);
+        frags.insert("@frag1".to_string(), right);
+        let (out, combine_profile) =
+            execute_fused_with_partitions(&self.combine, &frags, partition_degree)?;
         Ok((out, [left_profile, right_profile, combine_profile]))
     }
 

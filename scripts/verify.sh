@@ -46,7 +46,19 @@
 #      completes (short outages absorbed by retry, quarantine contains the
 #      rogue), weighted deficit round-robin bounds quiet-tenant completion
 #      despite the flood, and the per-job outcome ledger is bit-identical
-#      at 1 and 4 workers.
+#      at 1 and 4 workers;
+#   8. the SF 1 scale smoke, which records BENCH_engine_sf1.json
+#      (target/repro/ and repo root): the paper's 1 GiB configuration
+#      (SF 1.0, lineitems capped at 1.2 M rows) generated once
+#      materialized and once streamed chunk-at-a-time, then Q12/Q13/Q14/
+#      Q17 timed unfused (whole-column vectorized) vs fused (morsel-driven
+#      chunk-native) with interleaved sampling. Gates: streamed == flat
+#      bit-for-bit; fused == unfused results, fingerprints and work
+#      profiles at partition degrees 1/3/8; zero snapshot-compaction bytes
+#      (the fused path never pins); fused serial total wall-clock no worse
+#      than unfused; and — on >= 4 CPUs — >= 1.5x fused speedup on at
+#      least two of the four queries (skipped with the measured numbers
+#      recorded on smaller hosts). A 10-minute timeout bounds the stage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,5 +82,8 @@ cargo run -q --release --offline -p midas-bench --bin repro_bench_runtime
 
 echo "==> fault resilience (BENCH_fault_resilience.json)"
 cargo run -q --release --offline -p midas-bench --bin repro_bench_fault_resilience
+
+echo "==> SF 1 scale smoke (BENCH_engine_sf1.json)"
+timeout 600 cargo run -q --release --offline -p midas-bench --bin repro_bench_engine_sf1
 
 echo "verify: OK"

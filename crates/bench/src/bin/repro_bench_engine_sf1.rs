@@ -256,6 +256,11 @@ fn main() {
         "min_speedup": GATE_SPEEDUP,
         "min_queries": GATE_MIN_QUERIES,
         "enforced": gate_enforced,
+        "sharded_gate": if gate_enforced {
+            "enforced".to_string()
+        } else {
+            format!("skipped (cpus={cpus})")
+        },
         "cleared": cleared,
     });
     let zero_compaction_json = serde_json::json!({

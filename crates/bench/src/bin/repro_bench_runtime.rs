@@ -112,6 +112,11 @@ fn runtime<'a>(
             pacing,
             parallel_fragments,
             partition_degree,
+            // This bench measures execution-path scaling: repeated queries
+            // must recompute, not hit the result cache (repro_bench_cache
+            // covers the cached path).
+            fragment_cache_bytes: 0,
+            plan_cache_bytes: 0,
             ..Default::default()
         },
     )
@@ -156,6 +161,9 @@ fn balanced_fragment_runs(
                 seed: SEED,
                 pacing,
                 parallel_fragments: parallel,
+                // Overlap gate: every fragment must actually execute.
+                fragment_cache_bytes: 0,
+                plan_cache_bytes: 0,
                 ..Default::default()
             },
         )
@@ -224,6 +232,10 @@ fn ingest_bench(midas: &Midas, db: &TpchDb, target_wall_s: f64) -> serde_json::V
                 // The snapshot-isolation gate replays each query against the
                 // exact `CatalogVersion` it pinned, so keep the handles.
                 retain_pinned_snapshots: true,
+                // Ingest qps with every query recomputing (the cached path
+                // has its own bench + gates in repro_bench_cache).
+                fragment_cache_bytes: 0,
+                plan_cache_bytes: 0,
                 ..Default::default()
             },
         )

@@ -29,6 +29,7 @@
 //! *concurrently* (see [`SharedExecutor::with_parallel_fragments`]) while
 //! the simulation bookkeeping still runs in deterministic fragment order.
 
+use crate::cache::{CacheKey, CacheScope, CachedFragment, FragmentResultCache, PlanFingerprint};
 use crate::catalog::Catalog;
 use crate::engine::{EngineKind, EngineProfile};
 use crate::error::EngineError;
@@ -36,6 +37,7 @@ use crate::ops::{OpKind, PhysicalPlan, WorkProfile};
 use crate::sim::{FaultPlan, SimulationEnv, SiteAdmission};
 use crate::data::Table;
 use midas_cloud::{Federation, InstanceType, Money, SiteId};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -94,6 +96,10 @@ pub struct ExecutionOutcome {
     /// by the runtime bench) as a regression gate so a reintroduced
     /// per-job copy fails loudly.
     pub catalog_cloned_bytes: u64,
+    /// Fragments served from the result cache instead of executing (their
+    /// tables and work profiles are bit-identical to recomputation; only
+    /// wall-clock changes — see [`crate::cache`]).
+    pub cache_hits: u32,
     /// Per-fragment breakdown.
     pub fragments: Vec<FragmentOutcome>,
 }
@@ -198,11 +204,31 @@ impl<'a> Executor<'a> {
                 work_scale,
                 partition_degree: self.partition_degree,
                 faults: None,
+                cache: None,
             },
             query,
             base_tables,
         )
     }
+}
+
+/// How one [`run_federated`] call reaches a shared [`FragmentResultCache`]:
+/// the cache itself, the sharing-scope policy, who is asking, and the
+/// identity of every pinned base table (see [`crate::cache`] for why these
+/// four pieces make a hit sound).
+#[derive(Clone, Copy)]
+pub struct ResultCacheBinding<'a> {
+    /// The shared cache.
+    pub cache: &'a FragmentResultCache,
+    /// The sharing-domain policy in force for this run.
+    pub scope: CacheScope,
+    /// The submitting tenant — the `PerTenant` scope component and the
+    /// eviction owner of any entries this run inserts.
+    pub tenant: &'a str,
+    /// `name → id` identities of the pinned catalog version's tables
+    /// (see `CatalogVersion::table_ids`). Fragments scanning a table
+    /// absent from this map are simply not cached.
+    pub table_ids: &'a HashMap<String, u64>,
 }
 
 /// The fault schedule one run executes under: the plan plus the run's
@@ -244,6 +270,8 @@ struct RunOptions<'a> {
     partition_degree: usize,
     /// Injected faults (`None` = a healthy federation).
     faults: Option<FaultContext<'a>>,
+    /// Shared fragment-result cache (`None` = always execute cold).
+    cache: Option<ResultCacheBinding<'a>>,
 }
 
 /// How a run reaches the simulation environment: exclusively (the legacy
@@ -304,6 +332,7 @@ pub struct SharedExecutor<'a> {
     parallel_fragments: bool,
     partition_degree: usize,
     faults: Option<FaultContext<'a>>,
+    cache: Option<ResultCacheBinding<'a>>,
 }
 
 impl<'a> SharedExecutor<'a> {
@@ -322,6 +351,7 @@ impl<'a> SharedExecutor<'a> {
             parallel_fragments: false,
             partition_degree: 1,
             faults: None,
+            cache: None,
         }
     }
 
@@ -382,6 +412,21 @@ impl<'a> SharedExecutor<'a> {
         self
     }
 
+    /// Serves fragments from (and populates) a shared result cache: before
+    /// a fragment takes its admission slot, its cache key — sharing scope,
+    /// the canonical fingerprint of its dependency-closure plans, and the
+    /// pinned identities of every base table the closure reads — is looked
+    /// up; a hit returns the `Arc`'d table and work profile without
+    /// executing, pacing, or occupying the site. Results and simulated
+    /// outcomes are bit-identical either way (the executor is
+    /// deterministic; see [`crate::cache`]). Injected site outages still
+    /// fail *before* the cache lookup, so fault schedules replay
+    /// identically warm or cold.
+    pub fn with_result_cache(mut self, binding: ResultCacheBinding<'a>) -> Self {
+        self.cache = Some(binding);
+        self
+    }
+
     /// Executes a federated query against base tables (logical scale 1).
     pub fn run(
         &self,
@@ -409,6 +454,7 @@ impl<'a> SharedExecutor<'a> {
                 work_scale,
                 partition_degree: self.partition_degree,
                 faults: self.faults,
+                cache: self.cache,
             },
             query,
             base_tables,
@@ -464,6 +510,7 @@ fn run_federated(
         work_scale,
         partition_degree,
         faults,
+        cache,
     } = opts;
     let work_scale = if work_scale.is_finite() && work_scale > 0.0 {
         work_scale
@@ -486,6 +533,50 @@ fn run_federated(
         deps.push(frag_deps);
     }
     let n_waves = wave_of.iter().max().map_or(0, |&w| w + 1);
+
+    // Result-cache keys, one per fragment. A fragment's key covers its
+    // whole dependency *closure* — the canonical fingerprint of every plan
+    // it transitively consumes (in ascending fragment order; `@frag`
+    // references inside the plans pin the wiring) plus the pinned identity
+    // of every base table the closure scans. Equal keys therefore imply
+    // the same deterministic computation over the same data. A fragment
+    // scanning a table with no identity in the binding is not cacheable.
+    let cache_keys: Vec<Option<CacheKey>> = if let Some(binding) = cache {
+        let mut closures: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (idx, frag_deps) in deps.iter().enumerate() {
+            let mut closure = vec![idx];
+            for &dep in frag_deps {
+                closure.extend(closures[dep].iter().copied());
+            }
+            closure.sort_unstable();
+            closure.dedup();
+            closures.push(closure);
+        }
+        (0..n)
+            .map(|idx| {
+                let closure = &closures[idx];
+                let mut tables: Vec<(String, u64)> = Vec::new();
+                for &member in closure {
+                    for name in referenced_base_tables(&query.fragments[member].plan) {
+                        if tables.iter().any(|(t, _)| *t == name) {
+                            continue;
+                        }
+                        let id = *binding.table_ids.get(&name)?;
+                        tables.push((name, id));
+                    }
+                }
+                let fingerprint = PlanFingerprint::of_plans(
+                    closure.iter().map(|&i| &query.fragments[i].plan),
+                );
+                let scope = binding
+                    .scope
+                    .key(binding.tenant, query.fragments[idx].site);
+                Some(CacheKey::new(scope, fingerprint, tables))
+            })
+            .collect()
+    } else {
+        (0..n).map(|_| None).collect()
+    };
 
     // Seed the execution catalog with only the base tables the query's
     // scans actually reference — by `Arc::clone`, a refcount bump. The
@@ -519,6 +610,7 @@ fn run_federated(
         (0..n).map(|_| None).collect();
     let mut transfers: Vec<(f64, Money, u64)> = vec![(0.0, Money::ZERO, 0); n];
     let mut frag_bytes: Vec<u64> = vec![0; n];
+    let mut cache_hits = 0u32;
     let mut sim = SimCursor::new(n);
 
     for wave in 0..n_waves {
@@ -568,15 +660,27 @@ fn run_federated(
         // regardless of interleaving — throughput comparisons across
         // worker counts (and fragment-parallel modes) measure overlap,
         // not luck.
-        let run_one = |idx: usize| -> Result<(Table, WorkProfile), EngineError> {
+        let run_one = |idx: usize| -> Result<(Arc<Table>, WorkProfile, bool), EngineError> {
             let fragment = &query.fragments[idx];
             // Injected outage: the site refuses the fragment before a slot
-            // is even taken (a down site has no queue to wait in).
+            // is even taken (a down site has no queue to wait in) — and
+            // before the cache is consulted, so a fault schedule replays
+            // identically whether the cache is warm or cold.
             if let Some(f) = faults {
                 if f.site_down(fragment.site) {
                     return Err(EngineError::SiteUnavailable {
                         site: fragment.site,
                     });
+                }
+            }
+            // Cache hit: the fragment's output already exists — return it
+            // without taking a site slot, executing, or pacing. The cached
+            // table and work profile are bit-identical to what execution
+            // would produce, so everything downstream (simulation,
+            // billing, transfers) is unchanged.
+            if let (Some(binding), Some(key)) = (cache, &cache_keys[idx]) {
+                if let Some(hit) = binding.cache.get(key) {
+                    return Ok((Arc::clone(&hit.table), hit.work.clone(), true));
                 }
             }
             let capped = faults.is_some_and(|f| f.capped(fragment.site));
@@ -595,7 +699,19 @@ fn run_federated(
                 }
             }
             drop(permit);
-            result
+            let (table, work) = result?;
+            let table = Arc::new(table);
+            if let (Some(binding), Some(key)) = (cache, &cache_keys[idx]) {
+                binding.cache.insert(
+                    key.clone(),
+                    Arc::new(CachedFragment {
+                        table: Arc::clone(&table),
+                        work: work.clone(),
+                    }),
+                    binding.tenant,
+                );
+            }
+            Ok((table, work, false))
         };
         // Admission-aware LPT launch order: within a *parallel* wave, start
         // the fragment with the largest estimated relational input first.
@@ -620,7 +736,9 @@ fn run_federated(
         } else {
             members.clone()
         };
-        let results: Vec<Result<(Table, WorkProfile), EngineError>> =
+        // (table, work profile, served-from-cache) per fragment.
+        type FragmentRun = Result<(Arc<Table>, WorkProfile, bool), EngineError>;
+        let results: Vec<FragmentRun> =
             if parallel && launch_order.len() > 1 {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = launch_order
@@ -647,7 +765,7 @@ fn run_federated(
         let mut collected: Vec<_> = launch_order.into_iter().zip(results).collect();
         collected.sort_by_key(|(idx, _)| *idx);
         for (idx, result) in collected {
-            let (table, work) = match result {
+            let (table, work, hit) = match result {
                 Ok(ok) => ok,
                 Err(e) => {
                     sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale, faults);
@@ -658,7 +776,7 @@ fn run_federated(
                 sim.advance(env, federation, query, &mut executed, &mut shapes, &transfers, work_scale, faults);
                 return Err(shapes[idx].take().expect("staged").unwrap_err());
             }
-            let table = Arc::new(table);
+            cache_hits += hit as u32;
             frag_bytes[idx] = table.estimated_bytes();
             catalog.insert_shared(format!("@frag{idx}"), Arc::clone(&table));
             executed[idx] = Some((table, work));
@@ -681,6 +799,7 @@ fn run_federated(
         intermediate_bytes: sim.total_intermediate,
         catalog_shared_bytes,
         catalog_cloned_bytes,
+        cache_hits,
         fragments: sim.outcomes,
     })
 }
@@ -1143,6 +1262,85 @@ mod tests {
             Err(EngineError::UnknownTable(t)) => assert_eq!(t, "ghost0"),
             other => panic!("expected UnknownTable(ghost0), got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_to_cold_and_skips_execution() {
+        let (fed, a, b) = example_federation();
+        let q = two_fragment_query(a, b);
+        let tables = base_tables(300);
+        // Table identities for the binding — any stable ids work at this
+        // layer; the runtime supplies `CatalogVersion::table_ids()`.
+        let ids: HashMap<String, u64> =
+            [("left".to_string(), 1), ("right".to_string(), 2)].into();
+        let cache = FragmentResultCache::new(16 << 20);
+        let mk_env = || {
+            let mut env = SimulationEnv::new();
+            for site in fed.site_ids() {
+                env.register_site(site, 42, DriftIntensity::Mild);
+            }
+            Mutex::new(env)
+        };
+        let admission = SiteAdmission::unmetered();
+        let binding = ResultCacheBinding {
+            cache: &cache,
+            scope: CacheScope::FederationGlobal,
+            tenant: "h-A",
+            table_ids: &ids,
+        };
+        let env_cold = mk_env();
+        let cold = SharedExecutor::new(&fed, &env_cold, &admission)
+            .with_result_cache(binding)
+            .run(&q, &tables)
+            .unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        let env_warm = mk_env();
+        let warm = SharedExecutor::new(&fed, &env_warm, &admission)
+            .with_result_cache(binding)
+            .run(&q, &tables)
+            .unwrap();
+        // Every fragment served from cache; outcome bit-identical.
+        assert_eq!(warm.cache_hits, 2);
+        assert_eq!(warm.result, cold.result);
+        assert_eq!(
+            warm.result.fingerprint(),
+            cold.result.fingerprint()
+        );
+        assert_eq!(warm.elapsed_s.to_bits(), cold.elapsed_s.to_bits());
+        assert_eq!(warm.money, cold.money);
+        for (w, c) in warm.fragments.iter().zip(&cold.fragments) {
+            assert_eq!(w.work, c.work);
+            assert_eq!(w.elapsed_s.to_bits(), c.elapsed_s.to_bits());
+            assert_eq!(w.ingress_bytes, c.ingress_bytes);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.insertions, 2);
+        // A different tenant under PerTenant scope misses everything.
+        let scoped = ResultCacheBinding {
+            scope: CacheScope::PerTenant,
+            tenant: "h-B",
+            ..binding
+        };
+        let env_other = mk_env();
+        let other = SharedExecutor::new(&fed, &env_other, &admission)
+            .with_result_cache(scoped)
+            .run(&q, &tables)
+            .unwrap();
+        assert_eq!(other.cache_hits, 0);
+        // A changed table identity (a publish) also misses.
+        let ids2: HashMap<String, u64> =
+            [("left".to_string(), 1), ("right".to_string(), 99)].into();
+        let stale = ResultCacheBinding {
+            table_ids: &ids2,
+            ..binding
+        };
+        let env_stale = mk_env();
+        let refreshed = SharedExecutor::new(&fed, &env_stale, &admission)
+            .with_result_cache(stale)
+            .run(&q, &tables)
+            .unwrap();
+        assert_eq!(refreshed.cache_hits, 0);
     }
 
     #[test]

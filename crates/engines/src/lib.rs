@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod catalog;
 pub mod data;
 pub mod engine;
@@ -37,11 +38,15 @@ pub mod placement;
 pub mod sim;
 pub mod version;
 
+pub use cache::{
+    CacheKey, CacheScope, CacheStats, CachedFragment, FragmentResultCache, PlanFingerprint,
+    ScopedCache,
+};
 pub use catalog::Catalog;
 pub use data::{Column, ColumnData, DataType, Table, Value};
 pub use engine::{EngineKind, EngineProfile};
 pub use error::EngineError;
-pub use exec::{ExecutionOutcome, Executor, QepConfig, SharedExecutor};
+pub use exec::{ExecutionOutcome, Executor, QepConfig, ResultCacheBinding, SharedExecutor};
 pub use expr::Expr;
 pub use fused::{
     execute_fused, execute_fused_versioned, execute_fused_with_partitions, MORSEL_ROWS,

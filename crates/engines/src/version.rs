@@ -34,7 +34,16 @@ use crate::data::Table;
 use crate::error::EngineError;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Source of process-unique [`ChunkedTable`] identities (see
+/// [`ChunkedTable::id`]).
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_table_id() -> u64 {
+    NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Byte accounting of one delta append (see the module docs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +68,8 @@ impl AppendStats {
 /// An append-only table: immutable chunks sharing one schema.
 pub struct ChunkedTable {
     name: String,
+    /// Process-unique content identity (see [`ChunkedTable::id`]).
+    id: u64,
     chunks: Vec<Arc<Table>>,
     n_rows: usize,
     /// The compacted single-table view, materialized at most once per
@@ -87,6 +98,7 @@ impl ChunkedTable {
         let _ = snapshot.set(Arc::clone(&table));
         ChunkedTable {
             name: name.into(),
+            id: next_table_id(),
             chunks: vec![table],
             n_rows,
             snapshot,
@@ -126,10 +138,23 @@ impl ChunkedTable {
         let n_rows = chunks.iter().map(|c| c.n_rows()).sum();
         Ok(ChunkedTable {
             name,
+            id: next_table_id(),
             chunks,
             n_rows,
             snapshot,
         })
+    }
+
+    /// Process-unique identity of this table's *content state*.
+    ///
+    /// A fresh id is minted whenever a `ChunkedTable` is constructed — and
+    /// appending builds a new table — so two handles share an id iff they
+    /// are the same `Arc`'d table carried across versions untouched (which
+    /// copy-on-write publishes guarantee is content-identical). That makes
+    /// `(name, id)` a sound cache-key component: equal ids imply equal
+    /// rows, and any publish that touches a table retires its id.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The table's logical name (chunk tables may carry their own names).
@@ -193,6 +218,7 @@ impl ChunkedTable {
         Ok((
             ChunkedTable {
                 name: self.name.clone(),
+                id: next_table_id(),
                 chunks,
                 n_rows,
                 snapshot: OnceLock::new(),
@@ -293,6 +319,18 @@ impl CatalogVersion {
     /// Registered table names in arbitrary order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.tables.keys().map(String::as_str)
+    }
+
+    /// The `(name → id)` identity map of this version's tables — the
+    /// table-identity component of result-cache keys (see
+    /// [`ChunkedTable::id`]). Tables untouched since an earlier version
+    /// keep their id, so content-identical pins key identically across
+    /// versions.
+    pub fn table_ids(&self) -> HashMap<String, u64> {
+        self.tables
+            .iter()
+            .map(|(name, table)| (name.clone(), table.id()))
+            .collect()
     }
 
     /// Lends this version out as a plain execution [`Catalog`]: one
@@ -402,6 +440,18 @@ impl VersionedCatalog {
         &self,
         deltas: Vec<(String, Table)>,
     ) -> Result<IngestReceipt, EngineError> {
+        self.append_batch_traced(deltas).map(|(receipt, _)| receipt)
+    }
+
+    /// [`VersionedCatalog::append_batch`], additionally returning the
+    /// `(name, id)` pairs of the table states this publish *superseded* —
+    /// exactly what a result cache keyed on table identity must
+    /// invalidate. Captured inside the head lock, so the trace is
+    /// race-free against concurrent publishes.
+    pub fn append_batch_traced(
+        &self,
+        deltas: Vec<(String, Table)>,
+    ) -> Result<(IngestReceipt, Vec<(String, u64)>), EngineError> {
         let mut head = self
             .current
             .lock()
@@ -413,11 +463,13 @@ impl VersionedCatalog {
             .collect();
         let mut batch = AppendStats::default();
         let mut appends = 0u64;
+        let mut superseded = Vec::new();
         for (name, delta) in deltas {
             let existing = tables
                 .get(&name)
                 .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
             let (next, stats) = existing.append(delta)?;
+            superseded.push((name.clone(), existing.id()));
             batch.merge(stats);
             appends += 1;
             tables.insert(name, Arc::new(next));
@@ -434,10 +486,13 @@ impl VersionedCatalog {
         stats.rows_ingested += batch.delta_rows as u64;
         stats.bytes_ingested += batch.delta_bytes;
         stats.bytes_shared += batch.shared_bytes;
-        Ok(IngestReceipt {
-            version,
-            stats: batch,
-        })
+        Ok((
+            IngestReceipt {
+                version,
+                stats: batch,
+            },
+            superseded,
+        ))
     }
 
     /// Cumulative ingest accounting since construction.
@@ -496,6 +551,27 @@ mod tests {
         ));
         // The old version still sees the old rows.
         assert_eq!(v0.table_rows("t"), Some(10));
+    }
+
+    #[test]
+    fn table_ids_track_content_identity_across_versions() {
+        let versioned = VersionedCatalog::new(base());
+        let v0 = versioned.current();
+        let ids0 = v0.table_ids();
+        let (receipt, superseded) = versioned
+            .append_batch_traced(vec![("t".to_string(), table("t", 10, 12))])
+            .unwrap();
+        assert_eq!(receipt.version, 1);
+        // The publish reports exactly the superseded (name, id) pair.
+        assert_eq!(superseded, vec![("t".to_string(), ids0["t"])]);
+        let ids1 = versioned.current().table_ids();
+        // Appended table retires its id; untouched table keeps it — so
+        // cache entries over "fixed" keep hitting across the publish while
+        // entries over "t" can never be served to a v1 admission.
+        assert_ne!(ids1["t"], ids0["t"]);
+        assert_eq!(ids1["fixed"], ids0["fixed"]);
+        // Ids are unique across distinct tables too.
+        assert_ne!(ids0["t"], ids0["fixed"]);
     }
 
     #[test]

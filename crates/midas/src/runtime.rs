@@ -68,8 +68,11 @@
 
 use crate::system::{MidasReport, QueryPolicy};
 use midas_cloud::{Federation, SiteId};
+use midas_engines::cache::{
+    CacheKey, CacheScope, CacheStats, FragmentResultCache, PlanFingerprint, ScopedCache,
+};
 use midas_engines::data::Table;
-use midas_engines::exec::SharedExecutor;
+use midas_engines::exec::{ResultCacheBinding, SharedExecutor};
 use midas_engines::sim::{AdmissionStats, DriftIntensity, FaultPlan, SimulationEnv, SiteAdmission};
 use midas_engines::version::{CatalogVersion, IngestReceipt, IngestStats, VersionedCatalog};
 use midas_engines::{Catalog, EngineError, Placement};
@@ -142,6 +145,24 @@ pub struct RuntimeConfig {
     /// default: reports then carry only the version *number*, so retired
     /// catalog versions free as soon as their last in-flight job finishes.
     pub retain_pinned_snapshots: bool,
+    /// The sharing domain of the result/plan caches (see
+    /// [`CacheScope`]): `PerTenant` keeps every cached entry private to its
+    /// submitting tenant (the medical-privacy setting — no tenant can
+    /// observe, or even time, another tenant's cached work), `SiteLocal`
+    /// shares within a site boundary, `FederationGlobal` (the default)
+    /// shares federation-wide for maximum reuse.
+    pub cache_scope: CacheScope,
+    /// Byte budget of the shared fragment-result cache (identical prepare/
+    /// combine fragments across tenants share one `Arc`'d output instead
+    /// of recomputing). `0` disables the cache entirely. Eviction is
+    /// fair-share LRU; ingest publishes invalidate exactly the superseded
+    /// tables' entries. Results are bit-identical warm or cold — the cache
+    /// only removes wall-clock work.
+    pub fragment_cache_bytes: u64,
+    /// Byte budget of the plan/cost-model cache (`EnumerationSpace` +
+    /// `PlanCostModel` per query shape and pinned table identity, instead
+    /// of re-profiling the fragments on every admission). `0` disables it.
+    pub plan_cache_bytes: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -161,6 +182,9 @@ impl Default for RuntimeConfig {
             quarantine_threshold: 3,
             quarantine_cooloff: 8,
             retain_pinned_snapshots: false,
+            cache_scope: CacheScope::FederationGlobal,
+            fragment_cache_bytes: 64 << 20,
+            plan_cache_bytes: 8 << 20,
         }
     }
 }
@@ -217,6 +241,11 @@ pub struct TenantReport {
     /// Execution attempts the job took (1 = first try succeeded; each
     /// `SiteUnavailable` retry adds one).
     pub attempts: usize,
+    /// Fragments of the successful attempt served from the shared result
+    /// cache instead of executing (0 when caching is disabled or cold).
+    /// Cached fragments are bit-identical to recomputation — this only
+    /// tells you how much work the job *skipped*.
+    pub cache_hits: u32,
     /// The number of the catalog version the job pinned at admission.
     pub pinned_version: u64,
     /// The pinned catalog version itself — `Some` only under
@@ -249,6 +278,16 @@ pub struct TenantStats {
     pub money: f64,
 }
 
+/// Counters of the runtime's two cache tiers (all zeros when a tier is
+/// disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeCacheStats {
+    /// The shared fragment-result cache.
+    pub fragment: CacheStats,
+    /// The plan/cost-model cache.
+    pub plan: CacheStats,
+}
+
 /// What one [`FederationRuntime::run`] / [`FederationRuntime::serve`] call
 /// returns.
 #[derive(Debug, Clone)]
@@ -276,6 +315,9 @@ pub struct RuntimeReport {
     /// `Arc::clone` — the recurring cost is pin-time compaction, measured
     /// per version by `CatalogVersion::compaction_bytes`).
     pub ingest: IngestStats,
+    /// Hit/miss/eviction/residency counters of the two cache tiers,
+    /// cumulative across all calls on this runtime.
+    pub cache: RuntimeCacheStats,
 }
 
 /// One queued unit of admitted work: the job plus its pinned snapshot.
@@ -694,17 +736,20 @@ impl Ingress<'_, '_> {
 
     /// Appends one delta batch to `table` and publishes the successor
     /// catalog version (visible to admissions from now on; pinned jobs are
-    /// unaffected).
+    /// unaffected). Cached fragment results and plans over the superseded
+    /// table state are invalidated — entries over untouched tables
+    /// survive.
     pub fn ingest(&self, table: &str, delta: Table) -> Result<IngestReceipt, EngineError> {
-        self.runtime.catalog.append(table, delta)
+        self.runtime.publish(vec![(table.to_string(), delta)])
     }
 
-    /// Appends deltas to several tables as **one** atomic version bump.
+    /// Appends deltas to several tables as **one** atomic version bump
+    /// (with the same cache invalidation as [`Ingress::ingest`]).
     pub fn ingest_batch(
         &self,
         deltas: Vec<(String, Table)>,
     ) -> Result<IngestReceipt, EngineError> {
-        self.runtime.catalog.append_batch(deltas)
+        self.runtime.publish(deltas)
     }
 
     /// Blocks until every job admitted so far has completed or failed.
@@ -716,6 +761,21 @@ impl Ingress<'_, '_> {
     pub fn version(&self) -> u64 {
         self.runtime.catalog.version()
     }
+}
+
+/// One cached planning result: the enumerated QEP space plus the profiled
+/// cost model, both pure functions of (federation, placement, query shape,
+/// pinned table contents) — which is exactly what their cache key encodes.
+struct CachedPlan {
+    space: EnumerationSpace,
+    model: PlanCostModel,
+}
+
+/// What [`FederationRuntime::process`] hands back for one successful job.
+struct ProcessOutcome {
+    report: MidasReport,
+    attempts: usize,
+    cache_hits: u32,
 }
 
 /// The concurrent federation query service (see the module docs).
@@ -736,6 +796,13 @@ pub struct FederationRuntime<'a> {
     /// The quarantine ledger. Persists across `run`/`serve` calls — a
     /// tenant mid-cool-off stays quarantined into the next batch.
     health: Mutex<HashMap<String, TenantHealth>>,
+    /// The shared fragment-result cache (`None` when
+    /// [`RuntimeConfig::fragment_cache_bytes`] is 0). Persists across
+    /// `run`/`serve` calls — warm entries keep serving the next batch.
+    fragment_cache: Option<FragmentResultCache>,
+    /// The plan/cost-model cache (`None` when
+    /// [`RuntimeConfig::plan_cache_bytes`] is 0).
+    plan_cache: Option<ScopedCache<CacheKey, Arc<CachedPlan>>>,
 }
 
 impl<'a> FederationRuntime<'a> {
@@ -771,6 +838,10 @@ impl<'a> FederationRuntime<'a> {
             fault_plan: None,
             weights: Mutex::new(HashMap::new()),
             health: Mutex::new(HashMap::new()),
+            fragment_cache: (config.fragment_cache_bytes > 0)
+                .then(|| FragmentResultCache::new(config.fragment_cache_bytes)),
+            plan_cache: (config.plan_cache_bytes > 0)
+                .then(|| ScopedCache::new(config.plan_cache_bytes)),
         }
     }
 
@@ -813,9 +884,48 @@ impl<'a> FederationRuntime<'a> {
     }
 
     /// The runtime's copy-on-write data store (for out-of-band ingest and
-    /// inspection; in-band ingest goes through [`Ingress::ingest`]).
+    /// inspection; in-band ingest goes through [`Ingress::ingest`]). Note
+    /// that appends made directly on this handle bypass cache
+    /// invalidation; that is still *correct* — a publish mints new table
+    /// identities, so later admissions key differently and can never hit
+    /// the stale entries — it merely delays memory reclamation until the
+    /// orphaned entries age out of the LRU.
     pub fn versioned_catalog(&self) -> &VersionedCatalog {
         &self.catalog
+    }
+
+    /// Publishes one atomic delta batch *and* eagerly drops every cached
+    /// fragment result and plan computed over the superseded table states.
+    /// Entries over untouched tables (and over *other* versions of the
+    /// appended tables) survive — invalidation is exact, keyed by the
+    /// `(name, id)` identities the publish retired.
+    fn publish(&self, deltas: Vec<(String, Table)>) -> Result<IngestReceipt, EngineError> {
+        let (receipt, superseded) = self.catalog.append_batch_traced(deltas)?;
+        if let Some(cache) = &self.fragment_cache {
+            cache.invalidate_tables(&superseded);
+        }
+        if let Some(cache) = &self.plan_cache {
+            cache.invalidate_matching(|key| {
+                superseded.iter().any(|(name, id)| key.reads_table(name, *id))
+            });
+        }
+        Ok(receipt)
+    }
+
+    /// Counters of both cache tiers (zeros for disabled tiers).
+    pub fn cache_stats(&self) -> RuntimeCacheStats {
+        RuntimeCacheStats {
+            fragment: self
+                .fragment_cache
+                .as_ref()
+                .map(FragmentResultCache::stats)
+                .unwrap_or_default(),
+            plan: self
+                .plan_cache
+                .as_ref()
+                .map(ScopedCache::stats)
+                .unwrap_or_default(),
+        }
     }
 
     /// The currently published catalog version number.
@@ -926,7 +1036,7 @@ impl<'a> FederationRuntime<'a> {
     /// and site-exhausted failures count toward quarantine; a success (or
     /// any other error kind) resets the streak; quarantine rejections
     /// leave the ledger untouched.
-    fn record_health(&self, tenant: &str, outcome: &Result<(MidasReport, usize), RuntimeError>) {
+    fn record_health(&self, tenant: &str, outcome: &Result<ProcessOutcome, RuntimeError>) {
         let threshold = self.config.quarantine_threshold;
         let mut health = lock_recover(&self.health);
         let h = health.entry(tenant.to_string()).or_default();
@@ -960,7 +1070,7 @@ impl<'a> FederationRuntime<'a> {
         while let Some(admitted) = queue.pop() {
             let dequeued = Instant::now();
             let tenant = admitted.job.tenant.clone();
-            let outcome: Result<(MidasReport, usize), RuntimeError> =
+            let outcome: Result<ProcessOutcome, RuntimeError> =
                 match self.quarantine_gate(&tenant) {
                     Some(rejected) => Err(rejected),
                     None => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -980,13 +1090,18 @@ impl<'a> FederationRuntime<'a> {
                 let completion = sink.completions;
                 sink.completions += 1;
                 match outcome {
-                    Ok((report, attempts)) => sink.completed.push(TenantReport {
+                    Ok(ProcessOutcome {
+                        report,
+                        attempts,
+                        cache_hits,
+                    }) => sink.completed.push(TenantReport {
                         sequence: admitted.sequence,
                         completion,
                         tenant: tenant.clone(),
                         worker,
                         wall_latency_s: dequeued.elapsed().as_secs_f64(),
                         attempts,
+                        cache_hits,
                         pinned_version: admitted.pinned.version(),
                         pinned: self
                             .config
@@ -1047,6 +1162,7 @@ impl<'a> FederationRuntime<'a> {
             tenants,
             catalog_version: self.catalog.version(),
             ingest: self.catalog.stats(),
+            cache: self.cache_stats(),
         }
     }
 
@@ -1056,7 +1172,7 @@ impl<'a> FederationRuntime<'a> {
     /// the resilience loop: up to [`RuntimeConfig::max_attempts`] attempts,
     /// re-planning with failed sites marked hot between them. Returns the
     /// report plus the number of attempts taken.
-    fn process(&self, admitted: &AdmittedJob) -> Result<(MidasReport, usize), RuntimeError> {
+    fn process(&self, admitted: &AdmittedJob) -> Result<ProcessOutcome, RuntimeError> {
         let job = &admitted.job;
         let query = &job.query;
         let scheduler_err =
@@ -1064,18 +1180,70 @@ impl<'a> FederationRuntime<'a> {
         // The pinned snapshot as a plain execution catalog: compacted at
         // most once per version, then shared — seeding below is Arc::clone.
         let catalog = admitted.pinned.pin();
+        // The pinned tables' identities — the table component of every
+        // cache key this job forms. Computed once per job; None when both
+        // cache tiers are off.
+        let table_ids = (self.fragment_cache.is_some() || self.plan_cache.is_some())
+            .then(|| admitted.pinned.table_ids());
         // Plan once: enumerate the QEP space and profile the fragments.
         // Pure CPU — runs fully in parallel. Retries re-*select* from the
-        // same space under hot-site pressure; they do not re-profile.
-        let space = EnumerationSpace::for_query(
-            self.federation,
-            self.placement,
-            query,
-            self.config.max_vms,
-        )
-        .map_err(|e| scheduler_err(SchedulerError::Engine(e)))?;
-        let base_model = PlanCostModel::build(self.placement, query, &catalog)
-            .map_err(|e| scheduler_err(SchedulerError::Engine(e)))?;
+        // same space under hot-site pressure; they do not re-profile. Both
+        // halves are pure functions of (federation, placement, query
+        // shape, pinned table contents), so the plan cache serves them by
+        // (scope, prepare/combine fingerprints, pinned table identities) —
+        // an ingest publish retires the identities and forces a rebuild.
+        let plan_key = self.plan_cache.as_ref().and(table_ids.as_ref()).and_then(|ids| {
+            let left_id = *ids.get(&query.left_table)?;
+            let right_id = *ids.get(&query.right_table)?;
+            // Planning has no execution site: the scope key degrades to
+            // tenant-private vs shared (SiteLocal shares — plans carry no
+            // tenant data, only table-derived work profiles).
+            let scope = match self.config.cache_scope {
+                CacheScope::PerTenant => format!("tenant:{}", job.tenant),
+                CacheScope::SiteLocal | CacheScope::FederationGlobal => String::new(),
+            };
+            let fingerprint = PlanFingerprint::of_plans([
+                &query.left_prepare,
+                &query.right_prepare,
+                &query.combine,
+            ]);
+            Some(CacheKey::new(
+                scope,
+                fingerprint,
+                vec![
+                    (query.left_table.clone(), left_id),
+                    (query.right_table.clone(), right_id),
+                ],
+            ))
+        });
+        let cached_plan = match (&self.plan_cache, &plan_key) {
+            (Some(cache), Some(key)) => cache.get(key),
+            _ => None,
+        };
+        let planned = match cached_plan {
+            Some(hit) => hit,
+            None => {
+                let space = EnumerationSpace::for_query(
+                    self.federation,
+                    self.placement,
+                    query,
+                    self.config.max_vms,
+                )
+                .map_err(|e| scheduler_err(SchedulerError::Engine(e)))?;
+                let model = PlanCostModel::build(self.placement, query, &catalog)
+                    .map_err(|e| scheduler_err(SchedulerError::Engine(e)))?;
+                let entry = Arc::new(CachedPlan { space, model });
+                if let (Some(cache), Some(key)) = (&self.plan_cache, &plan_key) {
+                    // Nominal footprint: the space's candidate list plus a
+                    // flat allowance for the model's work profiles.
+                    let bytes = 512 + entry.space.len() as u64 * 64;
+                    cache.insert(key.clone(), Arc::clone(&entry), bytes, &job.tenant);
+                }
+                entry
+            }
+        };
+        let space = &planned.space;
+        let base_model = &planned.model;
         let weights = WeightedSumModel::new(&job.policy.weights);
         let left_rows = base_rows(&catalog, &query.left_table).map_err(scheduler_err)?;
         let right_rows = base_rows(&catalog, &query.right_table).map_err(scheduler_err)?;
@@ -1094,7 +1262,7 @@ impl<'a> FederationRuntime<'a> {
                     .with_hot_sites(&hot_sites, self.config.hot_site_penalty)
             };
             let outcome = moqp_exhaustive(
-                &space,
+                space,
                 &model,
                 self.federation,
                 &weights,
@@ -1112,6 +1280,19 @@ impl<'a> FederationRuntime<'a> {
                 .with_pacing(self.config.pacing)
                 .with_parallel_fragments(self.config.parallel_fragments)
                 .with_partition_degree(self.config.partition_degree);
+            if let Some(binding) = self
+                .fragment_cache
+                .as_ref()
+                .zip(table_ids.as_ref())
+                .map(|(cache, ids)| ResultCacheBinding {
+                    cache,
+                    scope: self.config.cache_scope,
+                    tenant: &job.tenant,
+                    table_ids: ids,
+                })
+            {
+                executor = executor.with_result_cache(binding);
+            }
             if let Some(plan) = &self.fault_plan {
                 executor =
                     executor.with_faults(plan, admitted.sequence as u64 + attempt as u64);
@@ -1165,8 +1346,8 @@ impl<'a> FederationRuntime<'a> {
                 .observe(query.class(), &features, &costs)
                 .map_err(|e| scheduler_err(SchedulerError::Estimation(e)))?;
 
-            return Ok((
-                MidasReport {
+            return Ok(ProcessOutcome {
+                report: MidasReport {
                     label: query.label.clone(),
                     space_size: space.len(),
                     pareto_size: outcome.pareto.len(),
@@ -1178,8 +1359,9 @@ impl<'a> FederationRuntime<'a> {
                     catalog_cloned_bytes: executed.catalog_cloned_bytes,
                     chosen: outcome.chosen,
                 },
-                attempt + 1,
-            ));
+                attempts: attempt + 1,
+                cache_hits: executed.cache_hits,
+            });
         }
         unreachable!("the attempt loop returns on its final iteration")
     }

@@ -59,6 +59,15 @@
 #      than unfused; and — on >= 4 CPUs — >= 1.5x fused speedup on at
 #      least two of the four queries (skipped with the measured numbers
 #      recorded on smaller hosts). A 10-minute timeout bounds the stage.
+#   9. the multi-tenant cache run, which records BENCH_cache_hit.json
+#      (target/repro/ and repo root): a 16-tenant repeated medical
+#      workload served twice by a cache-disabled and a cache-enabled
+#      runtime from identically seeded states. Gates: the warm
+#      (all-hits) pass is bit-identical to the cold pass — including the
+#      simulated cost vectors at 1 worker, plans/rows/fingerprints at 4
+#      workers — and clears a >= 5x warm/cold qps speedup at 1 worker;
+#      a budget-halved run keeps evicting without ever exceeding its
+#      byte budget.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,5 +94,8 @@ cargo run -q --release --offline -p midas-bench --bin repro_bench_fault_resilien
 
 echo "==> SF 1 scale smoke (BENCH_engine_sf1.json)"
 timeout 600 cargo run -q --release --offline -p midas-bench --bin repro_bench_engine_sf1
+
+echo "==> multi-tenant cache (BENCH_cache_hit.json)"
+cargo run -q --release --offline -p midas-bench --bin repro_bench_cache
 
 echo "verify: OK"

@@ -37,6 +37,22 @@
 //! equal keys imply bit-identical outputs: a cache hit returns exactly
 //! what recomputation would have.
 //!
+//! # Pressure and the plan cache
+//!
+//! Congestion-aware planning raises an aliasing hazard the key must not
+//! be asked to solve: a plan selected under one transient pressure state
+//! is wrong to serve under another, yet pressure changes far too often to
+//! be a useful key component (keying on it would shatter the cache into
+//! single-use entries). The runtime resolves this **by construction**
+//! rather than by key: a cached planning entry stores only the enumerated
+//! QEP space and the *pressure-free* base cost model — both pure
+//! functions of the key's (scope, plan fingerprint, table identity) —
+//! and every job applies its own admission-time pressure sample to a
+//! clone of the retrieved model *after* lookup/insertion. Transient
+//! congestion therefore never enters a cached value, hits stay correct
+//! under any pressure state, and no quantized-pressure key component (or
+//! bypass-when-pressured mode) is needed.
+//!
 //! # Invalidation
 //!
 //! Entries never go stale *logically* — a publish mints new table ids, so

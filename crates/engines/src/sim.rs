@@ -380,6 +380,10 @@ impl FaultPlan {
 }
 
 /// Aggregate contention statistics of one site's admission gate.
+///
+/// The first three fields are monotone counters; `in_use` and `waiting`
+/// are instantaneous gauges snapshotted when the stats were read — the
+/// raw observations behind [`SiteAdmission::pressure`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AdmissionStats {
     /// Fragments admitted so far.
@@ -388,6 +392,10 @@ pub struct AdmissionStats {
     pub total_wait_s: f64,
     /// Largest number of fragments ever waiting at once.
     pub peak_queue: u32,
+    /// Execution slots occupied at the moment the stats were sampled.
+    pub in_use: u32,
+    /// Fragments queued for a slot at the moment the stats were sampled.
+    pub waiting: u32,
 }
 
 #[derive(Debug, Default)]
@@ -519,16 +527,40 @@ impl SiteAdmission {
         self.gates.get(&site).map(|g| g.capacity)
     }
 
-    /// Contention statistics per metered site.
+    /// Contention statistics per metered site. The counter fields are
+    /// cumulative; the `in_use`/`waiting` gauges are snapshotted at the
+    /// moment of this call.
     pub fn stats(&self) -> Vec<(SiteId, AdmissionStats)> {
         let mut out: Vec<(SiteId, AdmissionStats)> = self
             .gates
             .iter()
             .map(|(site, gate)| {
-                (
-                    *site,
-                    lock_gate(&gate.state).stats,
-                )
+                let state = lock_gate(&gate.state);
+                let mut stats = state.stats;
+                stats.in_use = state.in_use;
+                stats.waiting = state.waiting;
+                (*site, stats)
+            })
+            .collect();
+        out.sort_by_key(|(site, _)| *site);
+        out
+    }
+
+    /// Instantaneous congestion score per metered site, sorted by site id:
+    /// `(in_use + waiting) / capacity` — `0.0` for an idle gate, `1.0` when
+    /// every slot is occupied with nobody queued, and `> 1.0` once a queue
+    /// has formed (a backlog of 2×capacity scores `3.0`). This is the load
+    /// signal the planner's continuous pressure penalty consumes
+    /// (`PlanCostModel::with_site_pressure` in `midas-ires`): a pure read
+    /// of the gate gauges, no tickets drawn, no waiters woken.
+    pub fn pressure(&self) -> Vec<(SiteId, f64)> {
+        let mut out: Vec<(SiteId, f64)> = self
+            .gates
+            .iter()
+            .map(|(site, gate)| {
+                let state = lock_gate(&gate.state);
+                let backlog = state.in_use + state.waiting;
+                (*site, f64::from(backlog) / f64::from(gate.capacity.max(1)))
             })
             .collect();
         out.sort_by_key(|(site, _)| *site);
@@ -718,6 +750,43 @@ mod tests {
         let _a = admission.acquire(SiteId(0));
         let _b = admission.acquire(SiteId(0));
         assert_eq!(admission.stats()[0].1.admitted, 7);
+    }
+
+    #[test]
+    fn pressure_tracks_occupancy_and_queue_depth() {
+        let admission = SiteAdmission::new([(SiteId(0), 2), (SiteId(1), 4)]);
+        // Idle gates read zero on every site.
+        assert_eq!(admission.pressure(), vec![(SiteId(0), 0.0), (SiteId(1), 0.0)]);
+
+        // One of two slots held: pressure 0.5; the other site stays idle.
+        let p0 = admission.acquire(SiteId(0));
+        assert_eq!(admission.pressure(), vec![(SiteId(0), 0.5), (SiteId(1), 0.0)]);
+
+        // Both slots held: full occupancy scores exactly 1.0.
+        let p1 = admission.acquire(SiteId(0));
+        assert_eq!(admission.pressure()[0], (SiteId(0), 1.0));
+        // The gauges behind the score surface in the stats snapshot too.
+        let stats = admission.stats();
+        assert_eq!((stats[0].1.in_use, stats[0].1.waiting), (2, 0));
+
+        // A queued waiter pushes the score past 1.0: (2 in use + 1
+        // waiting) / 2 slots = 1.5.
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| drop(admission.acquire(SiteId(0))));
+            while admission.stats()[0].1.waiting == 0 {
+                std::thread::yield_now();
+            }
+            assert_eq!(admission.pressure()[0], (SiteId(0), 1.5));
+            drop(p0);
+            waiter.join().unwrap();
+        });
+
+        // Draining the gate drains the score — pressure is a gauge, not a
+        // counter.
+        drop(p1);
+        assert_eq!(admission.pressure()[0], (SiteId(0), 0.0));
+        // Unmetered federations report no gauges at all.
+        assert!(SiteAdmission::unmetered().pressure().is_empty());
     }
 
     #[test]

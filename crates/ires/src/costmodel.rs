@@ -17,6 +17,44 @@ use midas_engines::version::CatalogVersion;
 use midas_engines::{Catalog, EngineError, EngineKind, Placement};
 use midas_tpch::TwoTableQuery;
 
+/// A penalty argument the pressure mechanism refuses to fold in.
+///
+/// Penalties multiply both cost axes, so a NaN would silently corrupt
+/// every downstream Pareto comparison and a negative value would turn
+/// "pressure" into a discount. Both are rejected typed instead of being
+/// clamped away; see [`PlanCostModel::with_hot_sites`] for the (documented)
+/// clamping that *does* happen for well-formed sub-1.0 penalties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModelError {
+    /// The penalty was NaN or negative.
+    InvalidPenalty {
+        /// The offending value.
+        penalty: f64,
+    },
+}
+
+impl std::fmt::Display for CostModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostModelError::InvalidPenalty { penalty } => {
+                write!(f, "invalid pressure penalty {penalty}: must be finite and >= 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostModelError {}
+
+/// Validates a penalty argument: NaN and negative values are typed errors
+/// (infinity is allowed — "never place here" is a legitimate instruction).
+fn check_penalty(penalty: f64) -> Result<f64, CostModelError> {
+    if penalty.is_nan() || penalty < 0.0 {
+        Err(CostModelError::InvalidPenalty { penalty })
+    } else {
+        Ok(penalty)
+    }
+}
+
 /// A reusable cost evaluator for one query over one database.
 #[derive(Debug, Clone)]
 pub struct PlanCostModel {
@@ -29,12 +67,15 @@ pub struct PlanCostModel {
     work_combine: WorkProfile,
     left_bytes: u64,
     right_bytes: u64,
-    /// Sites under admission pressure (e.g. sites that returned
-    /// `SiteUnavailable` on an earlier attempt of the same job). Candidates
-    /// joining at a hot site pay [`PlanCostModel::hot_penalty`] on both cost
-    /// axes, so re-planning routes the join around the trouble.
-    hot_sites: Vec<SiteId>,
-    hot_penalty: f64,
+    /// Per-site multiplicative pressure factors, each `>= 1`. A candidate
+    /// placing its join at a listed site pays that site's factor on both
+    /// cost axes; unlisted sites cost exactly what the unpressured model
+    /// says. The discrete hot-site penalty
+    /// ([`PlanCostModel::with_hot_sites`]) and the continuous congestion
+    /// penalty ([`PlanCostModel::with_site_pressure`]) both compile down to
+    /// entries here, and compose multiplicatively when applied in
+    /// sequence.
+    site_factors: Vec<(SiteId, f64)>,
 }
 
 impl PlanCostModel {
@@ -69,21 +110,87 @@ impl PlanCostModel {
             work_combine,
             left_bytes,
             right_bytes,
-            hot_sites: Vec::new(),
-            hot_penalty: 1.0,
+            site_factors: Vec::new(),
         })
     }
 
+    /// Multiplies `factor` into a site's pressure entry (creating it at
+    /// 1.0 first), keeping the factor list deduplicated per site.
+    fn compose_factor(&mut self, site: SiteId, factor: f64) {
+        if factor == 1.0 {
+            return;
+        }
+        match self.site_factors.iter_mut().find(|(s, _)| *s == site) {
+            Some((_, f)) => *f *= factor,
+            None => self.site_factors.push((site, factor)),
+        }
+    }
+
     /// Marks `sites` as hot: any candidate placing its join at one of them
-    /// has both cost axes multiplied by `penalty` (values below 1 are
-    /// clamped to 1 — pressure never makes a site cheaper). Used by the
-    /// runtime's retry path: after a `SiteUnavailable`, the failed site is
-    /// marked hot and the placement re-enumerated, so the retry's join
-    /// routes around the outage whenever any alternative exists.
-    pub fn with_hot_sites(mut self, sites: &[SiteId], penalty: f64) -> Self {
-        self.hot_sites = sites.to_vec();
-        self.hot_penalty = penalty.max(1.0);
-        self
+    /// has both cost axes multiplied by `penalty`. Used by the runtime's
+    /// retry path: after a `SiteUnavailable`, the failed site is marked hot
+    /// and the placement re-enumerated, so the retry's join routes around
+    /// the outage whenever any alternative exists.
+    ///
+    /// **Clamping contract:** well-formed penalties in `[0, 1)` clamp to
+    /// `1.0` — pressure marks a site as *worse*, never cheaper, so a
+    /// sub-unit penalty degrades to a no-op rather than turning a failed
+    /// site into a bargain. NaN and negative penalties are rejected with
+    /// [`CostModelError::InvalidPenalty`] instead of being clamped: they
+    /// are caller bugs, not soft preferences (a NaN would poison every
+    /// Pareto comparison downstream). Applying hot sites on top of
+    /// existing pressure (or repeatedly) composes multiplicatively per
+    /// site. This is the discrete special case of
+    /// [`PlanCostModel::with_site_pressure`] — every listed site at
+    /// indicator pressure.
+    pub fn with_hot_sites(
+        mut self,
+        sites: &[SiteId],
+        penalty: f64,
+    ) -> Result<Self, CostModelError> {
+        let factor = check_penalty(penalty)?.max(1.0);
+        for &site in sites {
+            self.compose_factor(site, factor);
+        }
+        Ok(self)
+    }
+
+    /// Folds **continuous congestion scores** into the model: each
+    /// `(site, score)` gauge (e.g. from `SiteAdmission::pressure` — queue
+    /// depth plus slot occupancy over capacity, `0.0` = idle) multiplies
+    /// both cost axes of candidates joining at that site by
+    /// `1 + penalty × score`. An idle site is untouched *bit-for-bit*; a
+    /// site with a deep admission queue prices itself out of the
+    /// placement, and by a degree proportional to how congested it
+    /// actually is — the generalized, continuous form of the binary
+    /// [`PlanCostModel::with_hot_sites`] penalty (`score = 1` with
+    /// `penalty = hot − 1` reproduces it exactly).
+    ///
+    /// `penalty` follows the same contract as `with_hot_sites`: NaN or
+    /// negative is a typed error, and a resulting factor can never fall
+    /// below 1. Non-finite or negative *scores* are treated as 0 (gauges
+    /// are trusted but sanitized — a torn read must not veto a plan).
+    /// Composes multiplicatively with prior factors.
+    pub fn with_site_pressure(
+        mut self,
+        pressure: &[(SiteId, f64)],
+        penalty: f64,
+    ) -> Result<Self, CostModelError> {
+        let penalty = check_penalty(penalty)?;
+        for &(site, score) in pressure {
+            let score = if score.is_finite() && score > 0.0 { score } else { 0.0 };
+            self.compose_factor(site, (1.0 + penalty * score).max(1.0));
+        }
+        Ok(self)
+    }
+
+    /// The pressure factor a join at `site` would pay (`1.0` when the site
+    /// carries no pressure entry).
+    pub fn pressure_factor(&self, site: SiteId) -> f64 {
+        self.site_factors
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map_or(1.0, |(_, f)| *f)
     }
 
     /// [`PlanCostModel::build`] against a pinned catalog version — the
@@ -174,11 +281,7 @@ impl PlanCostModel {
             .instance_cost(shape, config.vm_count.max(1), t_join + t_transfer);
         let money = money_left + money_right + money_join + egress;
 
-        let pressure = if self.hot_sites.contains(&config.join_site) {
-            self.hot_penalty
-        } else {
-            1.0
-        };
+        let pressure = self.pressure_factor(config.join_site);
         vec![time * pressure, money.as_dollars() * pressure]
     }
 }
@@ -247,7 +350,7 @@ mod tests {
     fn hot_sites_penalize_only_their_own_joins() {
         let (fed, placement, query, db) = setup();
         let cold = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
-        let hot = cold.clone().with_hot_sites(&[SiteId(1)], 8.0);
+        let hot = cold.clone().with_hot_sites(&[SiteId(1)], 8.0).unwrap();
         let mk = |site| CandidateConfig {
             join_site: site,
             join_engine: EngineKind::PostgreSql,
@@ -262,8 +365,101 @@ mod tests {
         // Joining elsewhere is bit-identical to the unpressured model.
         assert_eq!(hot.cost(&fed, &mk(SiteId(0))), cold.cost(&fed, &mk(SiteId(0))));
         // Sub-1 penalties clamp: pressure never discounts a site.
-        let clamped = cold.clone().with_hot_sites(&[SiteId(1)], 0.25);
+        let clamped = cold.clone().with_hot_sites(&[SiteId(1)], 0.25).unwrap();
         assert_eq!(clamped.cost(&fed, &mk(SiteId(1))), cold_hot_site);
+    }
+
+    #[test]
+    fn malformed_penalties_are_typed_errors_not_silent_clamps() {
+        let (_, placement, query, db) = setup();
+        let model = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
+        // NaN and negative penalties are caller bugs on both entry points.
+        for bad in [f64::NAN, -0.5, f64::NEG_INFINITY] {
+            let err = model.clone().with_hot_sites(&[SiteId(0)], bad).unwrap_err();
+            assert!(matches!(err, CostModelError::InvalidPenalty { .. }), "{bad}");
+            let err = model
+                .clone()
+                .with_site_pressure(&[(SiteId(0), 1.0)], bad)
+                .unwrap_err();
+            assert!(matches!(err, CostModelError::InvalidPenalty { .. }), "{bad}");
+        }
+        // NaN does not compare equal to itself, so pin the payload's bits.
+        let err = model.clone().with_hot_sites(&[], f64::NAN).unwrap_err();
+        let CostModelError::InvalidPenalty { penalty } = err;
+        assert!(penalty.is_nan());
+        assert!(err.to_string().contains("must be finite and >= 0"));
+        // The documented edges of the valid range: 0 and +inf both pass
+        // (0 clamps up to the no-op factor, +inf means "never place here").
+        assert!(model.clone().with_hot_sites(&[SiteId(0)], 0.0).is_ok());
+        let banned = model.clone().with_hot_sites(&[SiteId(0)], f64::INFINITY).unwrap();
+        assert_eq!(banned.pressure_factor(SiteId(0)), f64::INFINITY);
+    }
+
+    #[test]
+    fn continuous_pressure_scales_with_the_observed_score() {
+        let (fed, placement, query, db) = setup();
+        let cold = PlanCostModel::build(&placement, &query, db.catalog()).unwrap();
+        let mk = |site| CandidateConfig {
+            join_site: site,
+            join_engine: EngineKind::PostgreSql,
+            instance_idx: 0,
+            vm_count: 1,
+        };
+        let base = cold.cost(&fed, &mk(SiteId(1)));
+
+        // factor = 1 + penalty × score, continuously.
+        let half = cold
+            .clone()
+            .with_site_pressure(&[(SiteId(1), 0.5)], 4.0)
+            .unwrap();
+        assert_eq!(half.pressure_factor(SiteId(1)), 3.0);
+        assert_eq!(half.cost(&fed, &mk(SiteId(1)))[0], base[0] * 3.0);
+        let deep = cold
+            .clone()
+            .with_site_pressure(&[(SiteId(1), 2.0)], 4.0)
+            .unwrap();
+        assert_eq!(deep.cost(&fed, &mk(SiteId(1)))[0], base[0] * 9.0);
+
+        // Zero score (an idle site) and zero penalty (feedback disabled)
+        // both leave every cost bit-identical to the cold model.
+        let idle = cold
+            .clone()
+            .with_site_pressure(&[(SiteId(1), 0.0)], 4.0)
+            .unwrap();
+        assert_eq!(idle.cost(&fed, &mk(SiteId(1))), base);
+        let off = cold
+            .clone()
+            .with_site_pressure(&[(SiteId(1), 3.0)], 0.0)
+            .unwrap();
+        assert_eq!(off.cost(&fed, &mk(SiteId(1))), base);
+        // Malformed gauges sanitize to idle instead of vetoing the site.
+        let torn = cold
+            .clone()
+            .with_site_pressure(&[(SiteId(1), f64::NAN), (SiteId(0), -2.0)], 4.0)
+            .unwrap();
+        assert_eq!(torn.cost(&fed, &mk(SiteId(1))), base);
+        assert_eq!(torn.pressure_factor(SiteId(0)), 1.0);
+
+        // with_hot_sites(p) is exactly with_site_pressure(score=1, p−1) —
+        // the discrete special case of the continuous form.
+        let discrete = cold.clone().with_hot_sites(&[SiteId(1)], 8.0).unwrap();
+        let continuous = cold
+            .clone()
+            .with_site_pressure(&[(SiteId(1), 1.0)], 7.0)
+            .unwrap();
+        assert_eq!(
+            discrete.cost(&fed, &mk(SiteId(1))),
+            continuous.cost(&fed, &mk(SiteId(1)))
+        );
+
+        // Sequential application composes multiplicatively per site.
+        let stacked = cold
+            .clone()
+            .with_site_pressure(&[(SiteId(1), 0.5)], 4.0)
+            .unwrap()
+            .with_hot_sites(&[SiteId(1)], 2.0)
+            .unwrap();
+        assert_eq!(stacked.pressure_factor(SiteId(1)), 6.0);
     }
 
     #[test]

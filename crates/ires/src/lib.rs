@@ -27,7 +27,7 @@ pub mod modelling;
 pub mod optimizer;
 pub mod scheduler;
 
-pub use costmodel::PlanCostModel;
+pub use costmodel::{CostModelError, PlanCostModel};
 pub use enumerate::{assemble, CandidateConfig, EnumerationSpace};
 pub use modelling::{EstimatorFactory, Modelling, ModellingRegistry};
 pub use optimizer::{moqp_ga, moqp_wsm, MoqpOutcome};

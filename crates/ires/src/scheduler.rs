@@ -62,6 +62,10 @@ pub enum SchedulerError {
     Engine(EngineError),
     /// Estimation failed.
     Estimation(EstimationError),
+    /// Cost-model pressure configuration was malformed (NaN/negative
+    /// penalty knobs — see
+    /// [`CostModelError`](crate::costmodel::CostModelError)).
+    CostModel(crate::costmodel::CostModelError),
     /// A query referenced a base table the data catalog does not hold.
     ///
     /// Historically this was swallowed by treating the missing table as
@@ -78,6 +82,7 @@ impl std::fmt::Display for SchedulerError {
         match self {
             SchedulerError::Engine(e) => write!(f, "engine: {e}"),
             SchedulerError::Estimation(e) => write!(f, "estimation: {e}"),
+            SchedulerError::CostModel(e) => write!(f, "cost model: {e}"),
             SchedulerError::MissingTable { table } => {
                 write!(f, "table {table:?} is not in the data catalog")
             }
@@ -96,6 +101,12 @@ impl From<EngineError> for SchedulerError {
 impl From<EstimationError> for SchedulerError {
     fn from(e: EstimationError) -> Self {
         SchedulerError::Estimation(e)
+    }
+}
+
+impl From<crate::costmodel::CostModelError> for SchedulerError {
+    fn from(e: crate::costmodel::CostModelError) -> Self {
+        SchedulerError::CostModel(e)
     }
 }
 

@@ -30,7 +30,7 @@ pub mod runtime;
 pub mod system;
 
 pub use runtime::{
-    FailedJob, FederationRuntime, Ingress, RuntimeCacheStats, RuntimeConfig, RuntimeError,
-    RuntimeJob, RuntimeReport, TenantReport, TenantStats,
+    FailedJob, FederationRuntime, Ingress, LatencyStats, RuntimeCacheStats, RuntimeConfig,
+    RuntimeError, RuntimeJob, RuntimeReport, TenantQueueStats, TenantReport, TenantStats,
 };
 pub use system::{Midas, MidasReport, MidasSession, QueryPolicy};

@@ -133,6 +133,27 @@ pub struct RuntimeConfig {
     /// Cost multiplier applied to candidates joining at a site that failed
     /// earlier in the same job (see [`PlanCostModel::with_hot_sites`]).
     pub hot_site_penalty: f64,
+    /// Weight of **live congestion** in planning: each job samples the
+    /// per-site admission gauges (queue depth + slot occupancy over
+    /// capacity, see [`SiteAdmission::pressure`]) when it is queued, and
+    /// candidates joining at a site with score `p` pay a
+    /// `1 + pressure_penalty × p` factor on both cost axes
+    /// ([`PlanCostModel::with_site_pressure`]) — the optimizer routes
+    /// join/combine fragments away from congested sites in proportion to
+    /// how congested they are. `0.0` (the default) disables pressure
+    /// feedback *entirely*: no gauges are sampled, no re-planning runs,
+    /// and every outcome is bit-identical to the blind planner.
+    pub pressure_penalty: f64,
+    /// Speculative re-planning trigger, active only when
+    /// `pressure_penalty > 0`: when a job's observed admission wait on the
+    /// simulated clock exceeds `replan_threshold ×` its chosen plan's
+    /// predicted execution time, the admission-time pressure sample is
+    /// considered stale — selection (Algorithm 2) re-runs against *current*
+    /// pressure and the job switches plans if the fresh choice predicts a
+    /// strictly earlier completion. Re-plan evaluations and actual switches
+    /// are counted in [`RuntimeReport::replans`] /
+    /// [`RuntimeReport::plan_switches`]. Non-finite disables the trigger.
+    pub replan_threshold: f64,
     /// Consecutive panicked/site-exhausted jobs from one tenant before it
     /// is quarantined. `0` disables quarantine.
     pub quarantine_threshold: usize,
@@ -179,6 +200,8 @@ impl Default for RuntimeConfig {
             max_attempts: 3,
             backoff_base_s: 0.0,
             hot_site_penalty: 8.0,
+            pressure_penalty: 0.0,
+            replan_threshold: 1.0,
             quarantine_threshold: 3,
             quarantine_cooloff: 8,
             retain_pinned_snapshots: false,
@@ -238,6 +261,27 @@ pub struct TenantReport {
     pub worker: usize,
     /// Wall-clock seconds from dequeue to completion.
     pub wall_latency_s: f64,
+    /// Wall-clock seconds the job spent in the tenant queue (submit to
+    /// dequeue) — the per-job view of
+    /// [`TenantQueueStats::total_wait_s`].
+    pub queue_wait_s: f64,
+    /// Simulated clock when the job was queued (admitted to the tenant
+    /// queue, pinning its catalog version).
+    pub queued_s: f64,
+    /// Simulated clock when a worker dequeued it (planning starts).
+    pub admitted_s: f64,
+    /// Simulated clock when it completed. `completed_s − queued_s` is the
+    /// completion latency the tail-latency percentiles aggregate.
+    pub completed_s: f64,
+    /// The per-site pressure gauges sampled when the job was queued —
+    /// exactly the scores its congestion-aware plan was costed under, so a
+    /// replay can reproduce the plan without re-observing live gates.
+    /// Empty when pressure feedback is off (nothing was sampled).
+    pub pressure: Vec<(SiteId, f64)>,
+    /// Speculative re-plan evaluations this job triggered.
+    pub replans: u32,
+    /// Whether a re-plan actually switched the executed plan.
+    pub plan_switched: bool,
     /// Execution attempts the job took (1 = first try succeeded; each
     /// `SiteUnavailable` retry adds one).
     pub attempts: usize,
@@ -265,8 +309,65 @@ impl TenantReport {
     }
 }
 
-/// Per-tenant service aggregates.
+/// Nearest-rank percentile summary of completion latency on the
+/// **simulated** clock (`completed_s − queued_s` per job), so the tail
+/// numbers are deterministic under replay and independent of host speed.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Jobs aggregated (completed jobs only; failures have no completion
+    /// latency).
+    pub count: usize,
+    /// Median completion latency (simulated seconds).
+    pub p50_s: f64,
+    /// 95th-percentile completion latency (simulated seconds).
+    pub p95_s: f64,
+    /// 99th-percentile completion latency (simulated seconds).
+    pub p99_s: f64,
+    /// Worst completion latency (simulated seconds).
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over a latency sample. The sample need not
+    /// be sorted; an empty sample yields all zeros.
+    fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let count = samples.len();
+        let rank = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * count as f64).ceil() as usize;
+            samples[idx.clamp(1, count) - 1]
+        };
+        Self {
+            count,
+            p50_s: rank(50.0),
+            p95_s: rank(95.0),
+            p99_s: rank(99.0),
+            max_s: samples[count - 1],
+        }
+    }
+}
+
+/// Per-tenant queue-depth and wait accounting, maintained by [`JobQueue`]
+/// across the tenant's whole lifetime (it survives tenant retirement, so a
+/// drained queue still reports what happened).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantQueueStats {
+    /// Jobs ever submitted to this tenant's queue.
+    pub submitted: usize,
+    /// Jobs ever dequeued by a worker.
+    pub served: usize,
+    /// Deepest the tenant's backlog ever got (jobs waiting at once).
+    pub peak_depth: usize,
+    /// Total wall-clock seconds jobs spent waiting in the queue (submit to
+    /// dequeue, summed across served jobs).
+    pub total_wait_s: f64,
+}
+
+/// Per-tenant service aggregates.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TenantStats {
     /// Completed queries.
     pub queries: usize,
@@ -276,6 +377,11 @@ pub struct TenantStats {
     pub sim_time_s: f64,
     /// Total simulated dollars billed to the tenant.
     pub money: f64,
+    /// Tail-latency percentiles of this tenant's completed jobs on the
+    /// simulated clock.
+    pub latency: LatencyStats,
+    /// Queue-depth and wait counters from the admission queue.
+    pub queue: TenantQueueStats,
 }
 
 /// Counters of the runtime's two cache tiers (all zeros when a tier is
@@ -318,13 +424,30 @@ pub struct RuntimeReport {
     /// Hit/miss/eviction/residency counters of the two cache tiers,
     /// cumulative across all calls on this runtime.
     pub cache: RuntimeCacheStats,
+    /// Speculative re-plan evaluations across the whole call (always 0 when
+    /// [`RuntimeConfig::pressure_penalty`] is 0).
+    pub replans: u64,
+    /// Re-plans that actually switched the executed plan.
+    pub plan_switches: u64,
+    /// Federation-wide tail-latency percentiles over all completed jobs.
+    pub latency: LatencyStats,
 }
 
-/// One queued unit of admitted work: the job plus its pinned snapshot.
+/// One queued unit of admitted work: the job plus its pinned snapshot and
+/// the admission-time observations its plan will be costed under.
 struct AdmittedJob {
     sequence: usize,
     pinned: Arc<CatalogVersion>,
     job: RuntimeJob,
+    /// Simulated clock at submission (starts the completion-latency timer).
+    queued_clock_s: f64,
+    /// Wall-clock instant at submission (measures real queue wait).
+    queued_at: Instant,
+    /// Per-site pressure sampled at submission — recorded here so the plan
+    /// the job gets is a deterministic function of the job record, not of
+    /// whatever the gates look like when a worker happens to dequeue it.
+    /// Empty when pressure feedback is disabled.
+    pressure: Vec<(SiteId, f64)>,
 }
 
 /// Why one admitted job failed. Failures are per job: the runtime records
@@ -501,6 +624,10 @@ struct QueueState {
     next_sequence: usize,
     /// Jobs submitted but not yet completed or failed.
     outstanding: usize,
+    /// Per-tenant depth/wait counters, kept here (not in [`TenantQueue`])
+    /// so they survive tenant retirement and the final report can still
+    /// describe a drained queue.
+    stats: HashMap<String, TenantQueueStats>,
 }
 
 impl QueueState {
@@ -552,10 +679,18 @@ struct JobQueue {
 }
 
 impl JobQueue {
-    /// Admits a job (with its pinned catalog version and its tenant's
-    /// service weight); returns its admission sequence number. A
+    /// Admits a job (with its pinned catalog version, its tenant's service
+    /// weight, the simulated clock at submission, and the admission-time
+    /// pressure sample); returns its admission sequence number. A
     /// resubmitting tenant's weight updates to the latest value.
-    fn submit(&self, job: RuntimeJob, pinned: Arc<CatalogVersion>, weight: u64) -> usize {
+    fn submit(
+        &self,
+        job: RuntimeJob,
+        pinned: Arc<CatalogVersion>,
+        weight: u64,
+        queued_clock_s: f64,
+        pressure: Vec<(SiteId, f64)>,
+    ) -> usize {
         let mut guard = lock_recover(&self.state);
         let state = &mut *guard;
         let sequence = state.next_sequence;
@@ -581,7 +716,14 @@ impl JobQueue {
             sequence,
             pinned,
             job,
+            queued_clock_s,
+            queued_at: Instant::now(),
+            pressure,
         });
+        let depth = state.tenants[slot].jobs.len();
+        let stats = state.stats.entry(state.tenants[slot].name.clone()).or_default();
+        stats.submitted += 1;
+        stats.peak_depth = stats.peak_depth.max(depth);
         drop(guard);
         self.ready.notify_all();
         sequence
@@ -625,6 +767,9 @@ impl JobQueue {
                     // burst continues once this job completes.
                     state.cursor = t;
                 }
+                let stats = state.stats.entry(job.job.tenant.clone()).or_default();
+                stats.served += 1;
+                stats.total_wait_s += job.queued_at.elapsed().as_secs_f64();
                 return Some(job);
             }
             if state.closed && state.tenants.iter().all(|t| t.jobs.is_empty()) {
@@ -671,6 +816,19 @@ impl JobQueue {
     fn close(&self) {
         lock_recover(&self.state).closed = true;
         self.ready.notify_all();
+    }
+
+    /// Snapshot of every tenant's queue counters (including retired
+    /// tenants), sorted by tenant name.
+    fn tenant_stats(&self) -> Vec<(String, TenantQueueStats)> {
+        let state = lock_recover(&self.state);
+        let mut out: Vec<_> = state
+            .stats
+            .iter()
+            .map(|(name, stats)| (name.clone(), *stats))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 
@@ -731,7 +889,9 @@ impl Ingress<'_, '_> {
     pub fn submit(&self, job: RuntimeJob) -> usize {
         let pinned = self.runtime.catalog.current();
         let weight = self.runtime.tenant_weight(&job.tenant);
-        self.queue.submit(job, pinned, weight)
+        let clock_s = self.runtime.clock_s();
+        let pressure = self.runtime.sample_pressure();
+        self.queue.submit(job, pinned, weight, clock_s, pressure)
     }
 
     /// Appends one delta batch to `table` and publishes the successor
@@ -776,6 +936,10 @@ struct ProcessOutcome {
     report: MidasReport,
     attempts: usize,
     cache_hits: u32,
+    /// Speculative re-plan evaluations this job ran.
+    replans: u32,
+    /// Whether a re-plan switched the executed configuration.
+    plan_switched: bool,
 }
 
 /// The concurrent federation query service (see the module docs).
@@ -963,7 +1127,14 @@ impl<'a> FederationRuntime<'a> {
         let queue = JobQueue::default();
         for job in jobs {
             let weight = self.tenant_weight(&job.tenant);
-            queue.submit(job, self.catalog.current(), weight);
+            // Batch admission happens before any worker runs, so the
+            // submit-time pressure sample is necessarily all-idle; in this
+            // mode congestion feedback flows through speculative re-plans
+            // (which re-sample live pressure), keeping batch admission a
+            // pure function of the job list.
+            let clock_s = self.clock_s();
+            let pressure = self.sample_pressure();
+            queue.submit(job, self.catalog.current(), weight, clock_s, pressure);
         }
         queue.close();
         let started = Instant::now();
@@ -974,10 +1145,12 @@ impl<'a> FederationRuntime<'a> {
                 scope.spawn(move || self.worker_loop(worker, queue, sink));
             }
         });
+        let queue_stats = queue.tenant_stats();
         self.finish(
             started,
             sink.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
+            queue_stats,
         )
     }
 
@@ -1007,12 +1180,29 @@ impl<'a> FederationRuntime<'a> {
             let _closer = CloseOnDrop(&queue);
             producer(&ingress)
         });
+        let queue_stats = queue.tenant_stats();
         let report = self.finish(
             started,
             sink.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
+            queue_stats,
         );
         (value, report)
+    }
+
+    /// Samples every admission gate's instantaneous pressure score —
+    /// `(in use + waiting) / capacity` per metered site — **iff**
+    /// congestion feedback is enabled. With
+    /// [`RuntimeConfig::pressure_penalty`] at 0 this returns an empty
+    /// vector without touching the gates, so the blind planner's lock
+    /// traffic (and therefore its timing and outputs) is exactly what it
+    /// was before pressure feedback existed.
+    fn sample_pressure(&self) -> Vec<(SiteId, f64)> {
+        if self.config.pressure_penalty > 0.0 {
+            self.admission.pressure()
+        } else {
+            Vec::new()
+        }
     }
 
     /// Checks the quarantine gate for one popped job: `Some(error)` when
@@ -1069,12 +1259,19 @@ impl<'a> FederationRuntime<'a> {
     fn worker_loop(&self, worker: usize, queue: &JobQueue, sink: &Mutex<ResultSink>) {
         while let Some(admitted) = queue.pop() {
             let dequeued = Instant::now();
+            let queue_wait_s = dequeued.duration_since(admitted.queued_at).as_secs_f64();
+            let admitted_s = self.clock_s();
+            // Admission wait on the *simulated* clock: how much federation
+            // time elapsed while this job sat in the queue. Drives the
+            // speculative-re-plan trigger, so the trigger is deterministic
+            // under replay (unlike the wall-clock wait above).
+            let waited_s = admitted_s - admitted.queued_clock_s;
             let tenant = admitted.job.tenant.clone();
             let outcome: Result<ProcessOutcome, RuntimeError> =
                 match self.quarantine_gate(&tenant) {
                     Some(rejected) => Err(rejected),
                     None => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.process(&admitted)
+                        self.process(&admitted, waited_s)
                     })) {
                         Ok(result) => result,
                         Err(payload) => {
@@ -1094,12 +1291,21 @@ impl<'a> FederationRuntime<'a> {
                         report,
                         attempts,
                         cache_hits,
+                        replans,
+                        plan_switched,
                     }) => sink.completed.push(TenantReport {
                         sequence: admitted.sequence,
                         completion,
                         tenant: tenant.clone(),
                         worker,
                         wall_latency_s: dequeued.elapsed().as_secs_f64(),
+                        queue_wait_s,
+                        queued_s: admitted.queued_clock_s,
+                        admitted_s,
+                        completed_s: self.clock_s(),
+                        pressure: admitted.pressure.clone(),
+                        replans,
+                        plan_switched,
                         attempts,
                         cache_hits,
                         pinned_version: admitted.pinned.version(),
@@ -1120,8 +1326,14 @@ impl<'a> FederationRuntime<'a> {
         }
     }
 
-    /// Builds the service report from a drained sink.
-    fn finish(&self, started: Instant, sink: ResultSink) -> RuntimeReport {
+    /// Builds the service report from a drained sink and the ingress
+    /// queue's per-tenant counters.
+    fn finish(
+        &self,
+        started: Instant,
+        sink: ResultSink,
+        queue_stats: Vec<(String, TenantQueueStats)>,
+    ) -> RuntimeReport {
         let ResultSink {
             mut completed,
             mut failed,
@@ -1132,17 +1344,39 @@ impl<'a> FederationRuntime<'a> {
 
         let wall_s = started.elapsed().as_secs_f64();
         let mut tenants: HashMap<String, TenantStats> = HashMap::new();
+        let mut latencies: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut replans: u64 = 0;
+        let mut plan_switches: u64 = 0;
         for r in &completed {
             let t = tenants.entry(r.tenant.clone()).or_default();
             t.queries += 1;
             t.mean_latency_s += r.wall_latency_s;
             t.sim_time_s += r.report.actual_costs[0];
             t.money += r.report.actual_costs[1];
+            latencies
+                .entry(r.tenant.clone())
+                .or_default()
+                .push(r.completed_s - r.queued_s);
+            replans += u64::from(r.replans);
+            plan_switches += u64::from(r.plan_switched);
         }
+        // Queue counters cover every tenant that ever submitted, including
+        // ones whose jobs all failed — register them so the report shows
+        // their queue story too.
+        for (name, _) in &queue_stats {
+            tenants.entry(name.clone()).or_default();
+        }
+        let all_samples: Vec<f64> = latencies.values().flatten().copied().collect();
         let mut tenants: Vec<(String, TenantStats)> = tenants
             .into_iter()
             .map(|(name, mut stats)| {
                 stats.mean_latency_s /= stats.queries.max(1) as f64;
+                stats.latency = LatencyStats::from_samples(
+                    latencies.remove(&name).unwrap_or_default(),
+                );
+                if let Some((_, queue)) = queue_stats.iter().find(|(n, _)| n == &name) {
+                    stats.queue = *queue;
+                }
                 (name, stats)
             })
             .collect();
@@ -1154,6 +1388,7 @@ impl<'a> FederationRuntime<'a> {
             } else {
                 0.0
             },
+            latency: LatencyStats::from_samples(all_samples),
             completed,
             failed,
             wall_s,
@@ -1163,6 +1398,8 @@ impl<'a> FederationRuntime<'a> {
             catalog_version: self.catalog.version(),
             ingest: self.catalog.stats(),
             cache: self.cache_stats(),
+            replans,
+            plan_switches,
         }
     }
 
@@ -1172,7 +1409,13 @@ impl<'a> FederationRuntime<'a> {
     /// the resilience loop: up to [`RuntimeConfig::max_attempts`] attempts,
     /// re-planning with failed sites marked hot between them. Returns the
     /// report plus the number of attempts taken.
-    fn process(&self, admitted: &AdmittedJob) -> Result<ProcessOutcome, RuntimeError> {
+    ///
+    /// `waited_s` is the job's admission wait on the simulated clock; when
+    /// it exceeds [`RuntimeConfig::replan_threshold`] × the predicted
+    /// execution time (and pressure feedback is on), the selection is
+    /// speculatively re-run against *live* gate pressure — see the re-plan
+    /// block below.
+    fn process(&self, admitted: &AdmittedJob, waited_s: f64) -> Result<ProcessOutcome, RuntimeError> {
         let job = &admitted.job;
         let query = &job.query;
         let scheduler_err =
@@ -1244,30 +1487,83 @@ impl<'a> FederationRuntime<'a> {
         };
         let space = &planned.space;
         let base_model = &planned.model;
+        // Congestion-aware costing: fold the job's admission-time pressure
+        // sample into the costing model. The cached `base_model` above is
+        // always pressure-free — pressure is applied to this per-job clone
+        // *after* cache insertion/retrieval, so transient congestion can
+        // never poison the shared plan cache. With pressure feedback off
+        // the sample is empty and this is exactly `base_model.clone()`.
+        let pressured_base = base_model
+            .clone()
+            .with_site_pressure(&admitted.pressure, self.config.pressure_penalty.max(0.0))
+            .map_err(|e| scheduler_err(SchedulerError::CostModel(e)))?;
         let weights = WeightedSumModel::new(&job.policy.weights);
         let left_rows = base_rows(&catalog, &query.left_table).map_err(scheduler_err)?;
         let right_rows = base_rows(&catalog, &query.right_table).map_err(scheduler_err)?;
 
         let max_attempts = self.config.max_attempts.max(1);
         let mut hot_sites: Vec<SiteId> = Vec::new();
+        let mut replans: u32 = 0;
+        let mut plan_switched = false;
         for attempt in 0..max_attempts {
             // Select: multi-objective choice under the tenant's policy,
             // with sites that failed earlier attempts penalized so the
             // join routes around them.
             let model = if hot_sites.is_empty() {
-                base_model.clone()
+                pressured_base.clone()
             } else {
-                base_model
+                pressured_base
                     .clone()
                     .with_hot_sites(&hot_sites, self.config.hot_site_penalty)
+                    .map_err(|e| scheduler_err(SchedulerError::CostModel(e)))?
             };
-            let outcome = moqp_exhaustive(
+            let mut outcome = moqp_exhaustive(
                 space,
                 &model,
                 self.federation,
                 &weights,
                 &job.policy.constraints,
             );
+
+            // Speculative re-planning: the job waited so long (relative to
+            // its predicted execution time) that its admission-time
+            // pressure sample is stale — the federation has had time to
+            // change shape. Re-select against *live* gate pressure and
+            // switch only when the fresh choice is a different
+            // configuration that strictly beats the stale one on predicted
+            // time **under the same fresh model** (apples to apples — the
+            // stale plan is re-costed with current pressure, not compared
+            // across incompatible models).
+            if self.config.pressure_penalty > 0.0
+                && self.config.replan_threshold.is_finite()
+                && waited_s > self.config.replan_threshold * outcome.chosen_costs[0]
+            {
+                replans += 1;
+                let live = self.admission.pressure();
+                let mut fresh_model = base_model
+                    .clone()
+                    .with_site_pressure(&live, self.config.pressure_penalty)
+                    .map_err(|e| scheduler_err(SchedulerError::CostModel(e)))?;
+                if !hot_sites.is_empty() {
+                    fresh_model = fresh_model
+                        .with_hot_sites(&hot_sites, self.config.hot_site_penalty)
+                        .map_err(|e| scheduler_err(SchedulerError::CostModel(e)))?;
+                }
+                let fresh = moqp_exhaustive(
+                    space,
+                    &fresh_model,
+                    self.federation,
+                    &weights,
+                    &job.policy.constraints,
+                );
+                let stale_under_fresh = fresh_model.cost(self.federation, &outcome.chosen);
+                if fresh.chosen != outcome.chosen
+                    && fresh.chosen_costs[0] < stale_under_fresh[0]
+                {
+                    plan_switched = true;
+                    outcome = fresh;
+                }
+            }
 
             // Execute: per-site admission + shared drifting environment,
             // over the pinned snapshot (seeded per query by Arc::clone).
@@ -1361,6 +1657,8 @@ impl<'a> FederationRuntime<'a> {
                 },
                 attempts: attempt + 1,
                 cache_hits: executed.cache_hits,
+                replans,
+                plan_switched,
             });
         }
         unreachable!("the attempt loop returns on its final iteration")
@@ -1394,7 +1692,7 @@ mod tests {
         let q = JobQueue::default();
         for (tenant, n) in [("a", 3usize), ("b", 1), ("c", 2)] {
             for _ in 0..n {
-                q.submit(job(tenant), pinned(), 1);
+                q.submit(job(tenant), pinned(), 1, 0.0, Vec::new());
             }
         }
         q.close();
@@ -1414,10 +1712,10 @@ mod tests {
     fn weighted_tenants_get_proportional_service() {
         let q = JobQueue::default();
         for _ in 0..6 {
-            q.submit(job("heavy"), pinned(), 3);
+            q.submit(job("heavy"), pinned(), 3, 0.0, Vec::new());
         }
         for _ in 0..3 {
-            q.submit(job("light"), pinned(), 1);
+            q.submit(job("light"), pinned(), 1, 0.0, Vec::new());
         }
         q.close();
         let mut order = Vec::new();
@@ -1435,9 +1733,9 @@ mod tests {
     #[test]
     fn in_flight_tenants_are_skipped_until_completion() {
         let q = JobQueue::default();
-        q.submit(job("a"), pinned(), 1);
-        q.submit(job("a"), pinned(), 1);
-        q.submit(job("b"), pinned(), 1);
+        q.submit(job("a"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("a"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
         q.close();
         // A's first job is in flight; the next pop must skip to b even
         // though a's FIFO still holds a job.
@@ -1457,10 +1755,10 @@ mod tests {
     #[test]
     fn retirement_rebases_the_cursor_onto_the_next_survivor() {
         let q = JobQueue::default();
-        q.submit(job("a"), pinned(), 1);
-        q.submit(job("b"), pinned(), 1);
-        q.submit(job("c"), pinned(), 1);
-        q.submit(job("c"), pinned(), 1);
+        q.submit(job("a"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("c"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("c"), pinned(), 1, 0.0, Vec::new());
         // Serve a and b while open (cursor now points at c)…
         assert_eq!(pop_complete(&q).unwrap(), "a");
         assert_eq!(pop_complete(&q).unwrap(), "b");
@@ -1482,9 +1780,9 @@ mod tests {
     #[test]
     fn retirement_repoints_the_index_at_survivors_compacted_slots() {
         let q = JobQueue::default();
-        q.submit(job("a"), pinned(), 1);
-        q.submit(job("b"), pinned(), 1);
-        q.submit(job("b"), pinned(), 1);
+        q.submit(job("a"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
         assert_eq!(pop_complete(&q).unwrap(), "a");
         q.close();
         // Retirement drops a (slot 0) and compacts b from slot 1 to 0.
@@ -1496,7 +1794,7 @@ mod tests {
         }
         // A submission routed through the index after compaction must land
         // in b's (moved) FIFO, not panic on a stale slot.
-        q.submit(job("b"), pinned(), 1);
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
         assert_eq!(pop_complete(&q).unwrap(), "b");
         assert_eq!(pop_complete(&q).unwrap(), "b");
         assert!(q.pop().is_none());
@@ -1506,7 +1804,7 @@ mod tests {
     fn one_shot_tenants_do_not_accumulate_after_close() {
         let q = JobQueue::default();
         for i in 0..100 {
-            q.submit(job(&format!("tenant-{i}")), pinned(), 1);
+            q.submit(job(&format!("tenant-{i}")), pinned(), 1, 0.0, Vec::new());
         }
         assert_eq!(lock_recover(&q.state).tenants.len(), 100);
         q.close();

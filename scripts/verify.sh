@@ -68,6 +68,18 @@
 #      workers — and clears a >= 5x warm/cold qps speedup at 1 worker;
 #      a budget-halved run keeps evicting without ever exceeding its
 #      byte budget.
+#  10. the adaptive-planning tail run, which records
+#      BENCH_adaptive_tail.json (target/repro/ and repo root): a skewed
+#      four-tenant workload streamed in bursts while the blind planner's
+#      favorite join site is congested (admission flap + 20x slowdown),
+#      served blind (pressure_penalty = 0) and congestion-aware. Gates:
+#      the aware run re-plans (replans > 0) and routes joins away from
+#      the hot site while the blind run never re-plans, and the
+#      pressure_penalty = 0 per-job outcome ledger is bit-identical at
+#      1 and 4 workers (pressure feedback off changes nothing). On
+#      >= 4 CPUs the aware run must also strictly improve wall-clock
+#      p95/p99 completion latency with a >= 1.3x p99 speedup; on smaller
+#      hosts those ratios are recorded in the JSON but not asserted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -97,5 +109,8 @@ timeout 600 cargo run -q --release --offline -p midas-bench --bin repro_bench_en
 
 echo "==> multi-tenant cache (BENCH_cache_hit.json)"
 cargo run -q --release --offline -p midas-bench --bin repro_bench_cache
+
+echo "==> adaptive planning tails (BENCH_adaptive_tail.json)"
+cargo run -q --release --offline -p midas-bench --bin repro_bench_adaptive
 
 echo "verify: OK"

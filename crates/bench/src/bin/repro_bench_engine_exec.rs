@@ -48,6 +48,7 @@ fn median_secs_n(samples: usize, mut run: impl FnMut()) -> f64 {
     run(); // warmup
     let mut times: Vec<f64> = (0..samples)
         .map(|_| {
+            // LINT: wall-clock — this bench measures real executor time.
             let t0 = Instant::now();
             run();
             t0.elapsed().as_secs_f64()

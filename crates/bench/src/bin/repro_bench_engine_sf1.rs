@@ -66,6 +66,7 @@ fn interleaved_stats(runs: &mut [&mut dyn FnMut()]) -> Vec<(f64, f64)> {
     let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(SAMPLES); runs.len()];
     for _ in 0..SAMPLES {
         for (i, run) in runs.iter_mut().enumerate() {
+            // LINT: wall-clock — this bench measures real executor time.
             let t0 = Instant::now();
             run();
             times[i].push(t0.elapsed().as_secs_f64());
@@ -82,9 +83,11 @@ fn interleaved_stats(runs: &mut [&mut dyn FnMut()]) -> Vec<(f64, f64)> {
 
 fn main() {
     let config = GenConfig::sf_1gib(2);
+    // LINT: wall-clock — generation timings are reported, not simulated.
     let t0 = Instant::now();
     let flat = TpchDb::generate(config);
     let gen_flat_s = t0.elapsed().as_secs_f64();
+    // LINT: wall-clock — generation timings are reported, not simulated.
     let t0 = Instant::now();
     let chunked = TpchDb::generate_chunked(config, CHUNK_ROWS);
     let gen_chunked_s = t0.elapsed().as_secs_f64();

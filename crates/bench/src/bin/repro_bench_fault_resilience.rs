@@ -196,6 +196,8 @@ fn main() {
         match &f.error {
             RuntimeError::WorkerPanicked(_) => panics += 1,
             RuntimeError::Quarantined { .. } => quarantined += 1,
+            // LINT: panic-ok — bench gate: any other failure kind fails
+            // the verification run loudly.
             other => panic!("unexpected rogue failure: {other:?}"),
         }
     }

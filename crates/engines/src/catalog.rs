@@ -23,6 +23,7 @@
 //! else.
 
 use crate::data::Table;
+use crate::error::EngineError;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -62,6 +63,16 @@ impl Catalog {
     /// The table registered under `name`, borrowed through its `Arc`.
     pub fn get(&self, name: &str) -> Option<&Table> {
         self.tables.get(name).map(Arc::as_ref)
+    }
+
+    /// The table registered under `name`, or a typed
+    /// [`EngineError::UnknownTable`] when absent — the fallible lookup
+    /// callers use when a missing table is the *input's* fault rather than
+    /// a programming error. (The panicking `Index<&str>` impl this
+    /// replaces turned every typo into a process abort.)
+    pub fn try_get(&self, name: &str) -> Result<&Table, EngineError> {
+        self.get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 
     /// The shared handle registered under `name` (for `Arc::clone` seeding
@@ -136,15 +147,6 @@ impl FromIterator<(String, Arc<Table>)> for Catalog {
     }
 }
 
-impl std::ops::Index<&str> for Catalog {
-    type Output = Table;
-
-    fn index(&self, name: &str) -> &Table {
-        self.get(name)
-            .unwrap_or_else(|| panic!("table {name:?} is not in the catalog"))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,9 +168,13 @@ mod tests {
         assert_eq!(cat.len(), 1);
         assert!(cat.contains("t"));
         assert_eq!(cat.get("t").unwrap().n_rows(), 4);
-        assert_eq!(cat["t"].n_rows(), 4);
+        assert_eq!(cat.try_get("t").unwrap().n_rows(), 4);
         assert_eq!(cat.remove("t").unwrap().n_rows(), 4);
         assert!(cat.get("t").is_none());
+        assert_eq!(
+            cat.try_get("t"),
+            Err(EngineError::UnknownTable("t".to_string()))
+        );
     }
 
     #[test]

@@ -613,6 +613,8 @@ impl Table {
                     for part in &parts {
                         match &part.data {
                             ColumnData::$variant(v) => out.extend_from_slice(v),
+                            // LINT: panic-ok — concat verifies every part
+                            // shares the schema before splicing.
                             _ => unreachable!("schema checked above"),
                         }
                     }

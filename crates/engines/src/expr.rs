@@ -359,7 +359,9 @@ fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
                     }
                     x / y
                 }
-                _ => unreachable!(),
+                // LINT: panic-ok — this arm is only entered for the four
+                // arithmetic operators matched by the enclosing branch.
+                _ => unreachable!("arith op"),
             };
             // Integer arithmetic stays integral except division.
             match (&l, &r, op) {
@@ -373,6 +375,8 @@ fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
             let ord = compare_values(&l, &r)?;
             Ok(Value::Bool(ord_matches(op, ord)))
         }
+        // LINT: panic-ok — eval_bin dispatches And/Or to the short-circuit
+        // path before calling this numeric/comparison tail.
         And | Or => unreachable!("handled above"),
     }
 }
@@ -393,6 +397,7 @@ fn ord_matches(op: BinOp, ord: std::cmp::Ordering) -> bool {
         BinOp::Le => ord != Ordering::Greater,
         BinOp::Gt => ord == Ordering::Greater,
         BinOp::Ge => ord != Ordering::Less,
+        // LINT: panic-ok — every caller guards with cmp_op(op).
         _ => unreachable!("not a comparison"),
     }
 }
@@ -855,6 +860,7 @@ fn arith_batch(
             Sub => x - y,
             Mul => x * y,
             Div => x / y,
+            // LINT: panic-ok — arith_batch is only called with Add/Sub/Mul/Div.
             _ => unreachable!("arith op"),
         };
         return Ok(BatchVals::ConstNum { val, ty: out_ty });
@@ -874,6 +880,8 @@ fn arith_batch(
                         }
                         x / y
                     }
+                    // LINT: panic-ok — arith_batch is only called with
+                    // Add/Sub/Mul/Div.
                     _ => unreachable!("arith op"),
                 };
             }
@@ -944,6 +952,8 @@ fn cmp_batch(
                 }
             }
         }
+        // LINT: panic-ok — the mixed-family arm above returns (error or
+        // all-NULL) before this exhaustive same-family dispatch.
         _ => unreachable!("mixed families handled above"),
     }
     Ok(BatchVals::Bools { vals, valid })

@@ -575,6 +575,8 @@ fn merge_parts(name: &str, parts: Vec<Part>) -> Result<Column, EngineError> {
                 _ => Column::new(name, data),
             });
         }
+        // LINT: panic-ok — the any_valid check above guarantees at least
+        // one typed data part when exactly one part exists.
         unreachable!("any_valid implies the sole part is typed data");
     }
     // A fixed (expr, input schema) pair always yields the same part type
@@ -672,6 +674,8 @@ fn project_slab_morsels(
                     scratch.recycle(bv);
                     part
                 }
+                // LINT: panic-ok — the run list is built by this module
+                // with kernel runs only; other run kinds never enqueue.
                 _ => unreachable!("only kernel runs are morselized"),
             };
             run.parts.push(part);

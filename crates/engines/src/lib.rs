@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod cache;
 pub mod catalog;
 pub mod data;
@@ -38,6 +39,10 @@ pub mod placement;
 pub mod sim;
 pub mod version;
 
+pub use analyze::{
+    analyze_federated, analyze_fragment_plans, analyze_plan, DiagnosticKind, FederatedAnalysis,
+    PlanAnalysis, PlanDiagnostic, PlanSchema, SchemaCatalog, Severity,
+};
 pub use cache::{
     CacheKey, CacheScope, CacheStats, CachedFragment, FragmentResultCache, PlanFingerprint,
     ScopedCache,

@@ -726,6 +726,9 @@ fn step_agg(state: &mut AggState, agg: &AggExpr, t: &Table, row: usize) -> Resul
                 *m = Some(m.map_or(x, |cur: f64| cur.max(x)));
             }
         }
+        // LINT: panic-ok — states are built by agg_states() from the same
+        // agg list iterated here; a mismatched pairing cannot be produced
+        // by any public input, only by a bug in this file.
         _ => unreachable!("state/agg pairing is fixed at construction"),
     }
     Ok(())

@@ -496,6 +496,8 @@ impl SiteAdmission {
             return AdmissionPermit { gate: None };
         };
         let capacity = if capped { 1 } else { gate.capacity };
+        // LINT: wall-clock — measures the real thread-blocking queue wait
+        // for the AdmissionStats gauges; simulated outcomes never read it.
         let queued_at = Instant::now();
         let mut state = lock_gate(&gate.state);
         let ticket = state.next_ticket;

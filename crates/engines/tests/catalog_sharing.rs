@@ -226,7 +226,8 @@ fn federated_seeding_is_arc_clone_only() {
 
     // Zero bytes deep-copied; the referenced volume is both base tables.
     assert_eq!(out.catalog_cloned_bytes, 0, "base tables were deep-copied");
-    let expected_shared = catalog["lineitem"].estimated_bytes() + catalog["orders"].estimated_bytes();
+    let expected_shared = catalog.try_get("lineitem").expect("seeded").estimated_bytes()
+        + catalog.try_get("orders").expect("seeded").estimated_bytes();
     assert_eq!(out.catalog_shared_bytes, expected_shared);
     // The per-query catalog released its references on completion.
     assert_eq!(Arc::strong_count(catalog.get_shared("lineitem").unwrap()), 1);

@@ -75,6 +75,13 @@ pub enum SchedulerError {
         /// The table the query asked for.
         table: String,
     },
+    /// The static plan analyzer rejected the assembled federated query
+    /// before execution: schema/type/DAG defects that would have surfaced
+    /// as runtime `EngineError`s (or a dispatch panic) mid-flight.
+    InvalidPlan {
+        /// The error-severity diagnostics, in discovery order.
+        diagnostics: Vec<midas_engines::PlanDiagnostic>,
+    },
 }
 
 impl std::fmt::Display for SchedulerError {
@@ -85,6 +92,13 @@ impl std::fmt::Display for SchedulerError {
             SchedulerError::CostModel(e) => write!(f, "cost model: {e}"),
             SchedulerError::MissingTable { table } => {
                 write!(f, "table {table:?} is not in the data catalog")
+            }
+            SchedulerError::InvalidPlan { diagnostics } => {
+                write!(f, "plan rejected by static analysis:")?;
+                for d in diagnostics {
+                    write!(f, " [{d}]")?;
+                }
+                Ok(())
             }
         }
     }
@@ -166,6 +180,18 @@ impl<'a> Scheduler<'a> {
         let federated = assemble(self.federation, &self.placement, query, config)?;
         let left_rows = base_rows(tables, &query.left_table)?;
         let right_rows = base_rows(tables, &query.right_table)?;
+        // Static validation before execution: a plan that would surface a
+        // schema/type/DAG error mid-flight is rejected here with the full
+        // diagnostic set instead of the first runtime error it happens to
+        // hit. (Placement errors stay `Engine` — `assemble` above fails
+        // first for unplaced tables.)
+        let schemas = midas_engines::SchemaCatalog::from_catalog(tables);
+        let analysis = midas_engines::analyze_federated(&federated, &schemas, self.federation);
+        if !analysis.is_valid() {
+            return Err(SchedulerError::InvalidPlan {
+                diagnostics: analysis.errors(),
+            });
+        }
         let outcome = self
             .executor
             .run_with_scale(&federated, tables, self.work_scale)?;

@@ -58,6 +58,7 @@ pub fn run_example31(
     let model = PlanCostModel::build(&placement, &query, db.catalog())?;
 
     let n_instances = fed.site(a).catalog.instances().len();
+    // LINT: wall-clock — the experiment reports real fit/enumeration time.
     let start = Instant::now();
     let mut acc = 0.0f64;
     for i in 0..pool_configurations {
@@ -82,12 +83,14 @@ pub fn run_example31(
             .expect("fixed arity");
     }
 
+    // LINT: wall-clock — the experiment reports real fit/enumeration time.
     let start = Instant::now();
     let mut dream = DreamEstimator::paper_defaults(2);
     let report = dream.fit(&history)?;
     let dream_fit_seconds = start.elapsed().as_secs_f64();
     let dream_window = report.window_used;
 
+    // LINT: wall-clock — the experiment reports real fit/enumeration time.
     let start = Instant::now();
     let mut bml = BmlEstimator::new(WindowSpec::All, 2);
     bml.fit(&history)?;

@@ -448,6 +448,12 @@ struct AdmittedJob {
     /// whatever the gates look like when a worker happens to dequeue it.
     /// Empty when pressure feedback is disabled.
     pressure: Vec<(SiteId, f64)>,
+    /// `Some` when the static plan analyzer rejected the query at
+    /// admission. The job still flows through the queue (so sequencing,
+    /// fairness accounting and the per-tenant in-flight discipline are
+    /// unchanged), but the worker fails it immediately — no quarantine
+    /// gate, no planning, no cache, no site slot.
+    rejection: Option<RuntimeError>,
 }
 
 /// Why one admitted job failed. Failures are per job: the runtime records
@@ -486,6 +492,18 @@ pub enum RuntimeError {
         /// Attempts made before the overrun.
         attempts: usize,
     },
+    /// The static plan analyzer rejected the job's query at admission —
+    /// **before** planning, enumeration, the plan cache or any site slot
+    /// was touched. The diagnostics name every schema/type/DAG defect the
+    /// execution stack would otherwise have surfaced mid-flight as an
+    /// `EngineError` (or a dispatch panic). Terminal and non-countable:
+    /// an invalid plan is the query's fault, not the tenant's health.
+    InvalidPlan {
+        /// The submitting tenant.
+        tenant: String,
+        /// The error-severity diagnostics, in discovery order.
+        diagnostics: Vec<midas_engines::PlanDiagnostic>,
+    },
     /// The tenant is in quarantine cool-off: the job was rejected *before*
     /// planning or execution (no environment draws, no site slots).
     Quarantined {
@@ -522,6 +540,21 @@ impl std::fmt::Display for RuntimeError {
                 "tenant {tenant}: deadline {deadline_s}s exceeded \
                  (simulated {elapsed_s}s over {attempts} attempts)"
             ),
+            RuntimeError::InvalidPlan {
+                tenant,
+                diagnostics,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant}: plan rejected by static analysis \
+                     ({} diagnostics):",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, " [{d}]")?;
+                }
+                Ok(())
+            }
             RuntimeError::Quarantined {
                 tenant,
                 failures,
@@ -690,6 +723,7 @@ impl JobQueue {
         weight: u64,
         queued_clock_s: f64,
         pressure: Vec<(SiteId, f64)>,
+        rejection: Option<RuntimeError>,
     ) -> usize {
         let mut guard = lock_recover(&self.state);
         let state = &mut *guard;
@@ -717,8 +751,11 @@ impl JobQueue {
             pinned,
             job,
             queued_clock_s,
+            // LINT: wall-clock — real queue-wait metric for TenantReport;
+            // deterministic replay reads queued_clock_s instead.
             queued_at: Instant::now(),
             pressure,
+            rejection,
         });
         let depth = state.tenants[slot].jobs.len();
         let stats = state.stats.entry(state.tenants[slot].name.clone()).or_default();
@@ -891,7 +928,9 @@ impl Ingress<'_, '_> {
         let weight = self.runtime.tenant_weight(&job.tenant);
         let clock_s = self.runtime.clock_s();
         let pressure = self.runtime.sample_pressure();
-        self.queue.submit(job, pinned, weight, clock_s, pressure)
+        let rejection = self.runtime.validate_admission(&job, &pinned);
+        self.queue
+            .submit(job, pinned, weight, clock_s, pressure, rejection)
     }
 
     /// Appends one delta batch to `table` and publishes the successor
@@ -1134,9 +1173,12 @@ impl<'a> FederationRuntime<'a> {
             // pure function of the job list.
             let clock_s = self.clock_s();
             let pressure = self.sample_pressure();
-            queue.submit(job, self.catalog.current(), weight, clock_s, pressure);
+            let pinned = self.catalog.current();
+            let rejection = self.validate_admission(&job, &pinned);
+            queue.submit(job, pinned, weight, clock_s, pressure, rejection);
         }
         queue.close();
+        // LINT: wall-clock — service wall time for the qps report only.
         let started = Instant::now();
         let sink = Mutex::new(ResultSink::default());
         std::thread::scope(|scope| {
@@ -1163,6 +1205,7 @@ impl<'a> FederationRuntime<'a> {
     /// service report.
     pub fn serve<R>(&self, producer: impl FnOnce(&Ingress<'_, 'a>) -> R) -> (R, RuntimeReport) {
         let queue = JobQueue::default();
+        // LINT: wall-clock — service wall time for the qps report only.
         let started = Instant::now();
         let sink = Mutex::new(ResultSink::default());
         let value = std::thread::scope(|scope| {
@@ -1205,6 +1248,42 @@ impl<'a> FederationRuntime<'a> {
         }
     }
 
+    /// Statically validates a job's query against its pinned catalog
+    /// version at admission time: schema inference and type checking over
+    /// the three fragment plans (left prepare, right prepare, combine with
+    /// its `@frag` wiring). Returns the typed rejection for an invalid
+    /// plan, `None` when the job may proceed to planning.
+    ///
+    /// Runs on the submitting thread, **before** the job enters the queue
+    /// — so a rejected job never contends for an admission slot, never
+    /// touches the plan or fragment caches, and never reaches the
+    /// enumeration stack. Schema extraction reads chunk metadata only
+    /// (no `pin()`, no compaction), keeping admission O(plan size).
+    fn validate_admission(
+        &self,
+        job: &RuntimeJob,
+        pinned: &CatalogVersion,
+    ) -> Option<RuntimeError> {
+        let schemas = midas_engines::SchemaCatalog::from_version(pinned);
+        let q = &job.query;
+        let analyses = midas_engines::analyze_fragment_plans(
+            &[&q.left_prepare, &q.right_prepare, &q.combine],
+            &schemas,
+        );
+        let diagnostics: Vec<midas_engines::PlanDiagnostic> = analyses
+            .iter()
+            .flat_map(|a| a.errors().cloned())
+            .collect();
+        if diagnostics.is_empty() {
+            None
+        } else {
+            Some(RuntimeError::InvalidPlan {
+                tenant: job.tenant.clone(),
+                diagnostics,
+            })
+        }
+    }
+
     /// Checks the quarantine gate for one popped job: `Some(error)` when
     /// the tenant is mid-cool-off (the rejection itself consumes one
     /// cool-off unit), `None` when the job may proceed.
@@ -1239,7 +1318,12 @@ impl<'a> FederationRuntime<'a> {
                     h.consecutive_failures = 0;
                 }
             }
-            Err(RuntimeError::Quarantined { .. }) => {}
+            // Admission-time rejections never touched the execution stack:
+            // like quarantine rejections they leave the ledger untouched —
+            // a malformed query must neither count toward quarantine nor
+            // launder away a real failure streak.
+            Err(RuntimeError::Quarantined { .. })
+            | Err(RuntimeError::InvalidPlan { .. }) => {}
             _ => h.consecutive_failures = 0,
         }
     }
@@ -1258,6 +1342,8 @@ impl<'a> FederationRuntime<'a> {
     /// guarantee the poison-recovering lock helpers rely on.
     fn worker_loop(&self, worker: usize, queue: &JobQueue, sink: &Mutex<ResultSink>) {
         while let Some(admitted) = queue.pop() {
+            // LINT: wall-clock — real per-job latency metric; the
+            // deterministic path uses the simulated clock below.
             let dequeued = Instant::now();
             let queue_wait_s = dequeued.duration_since(admitted.queued_at).as_secs_f64();
             let admitted_s = self.clock_s();
@@ -1267,8 +1353,12 @@ impl<'a> FederationRuntime<'a> {
             // under replay (unlike the wall-clock wait above).
             let waited_s = admitted_s - admitted.queued_clock_s;
             let tenant = admitted.job.tenant.clone();
-            let outcome: Result<ProcessOutcome, RuntimeError> =
-                match self.quarantine_gate(&tenant) {
+            let outcome: Result<ProcessOutcome, RuntimeError> = match &admitted.rejection {
+                // Statically rejected at admission: fail immediately —
+                // before the quarantine gate (the rejection is not a
+                // health event) and before any planning or slot traffic.
+                Some(rejected) => Err(rejected.clone()),
+                None => match self.quarantine_gate(&tenant) {
                     Some(rejected) => Err(rejected),
                     None => match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         self.process(&admitted, waited_s)
@@ -1278,7 +1368,8 @@ impl<'a> FederationRuntime<'a> {
                             Err(RuntimeError::WorkerPanicked(panic_message(payload.as_ref())))
                         }
                     },
-                };
+                },
+            };
             // Ledger first, then sink, then release the tenant's in-flight
             // slot: the tenant's next job must observe this one's verdict.
             self.record_health(&tenant, &outcome);
@@ -1661,6 +1752,9 @@ impl<'a> FederationRuntime<'a> {
                 plan_switched,
             });
         }
+        // LINT: panic-ok — the loop body returns Ok or Err on its final
+        // iteration (attempt == max_attempts - 1); falling out is a bug in
+        // this function, not a reachable input state.
         unreachable!("the attempt loop returns on its final iteration")
     }
 }
@@ -1692,7 +1786,7 @@ mod tests {
         let q = JobQueue::default();
         for (tenant, n) in [("a", 3usize), ("b", 1), ("c", 2)] {
             for _ in 0..n {
-                q.submit(job(tenant), pinned(), 1, 0.0, Vec::new());
+                q.submit(job(tenant), pinned(), 1, 0.0, Vec::new(), None);
             }
         }
         q.close();
@@ -1712,10 +1806,10 @@ mod tests {
     fn weighted_tenants_get_proportional_service() {
         let q = JobQueue::default();
         for _ in 0..6 {
-            q.submit(job("heavy"), pinned(), 3, 0.0, Vec::new());
+            q.submit(job("heavy"), pinned(), 3, 0.0, Vec::new(), None);
         }
         for _ in 0..3 {
-            q.submit(job("light"), pinned(), 1, 0.0, Vec::new());
+            q.submit(job("light"), pinned(), 1, 0.0, Vec::new(), None);
         }
         q.close();
         let mut order = Vec::new();
@@ -1733,9 +1827,9 @@ mod tests {
     #[test]
     fn in_flight_tenants_are_skipped_until_completion() {
         let q = JobQueue::default();
-        q.submit(job("a"), pinned(), 1, 0.0, Vec::new());
-        q.submit(job("a"), pinned(), 1, 0.0, Vec::new());
-        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("a"), pinned(), 1, 0.0, Vec::new(), None);
+        q.submit(job("a"), pinned(), 1, 0.0, Vec::new(), None);
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new(), None);
         q.close();
         // A's first job is in flight; the next pop must skip to b even
         // though a's FIFO still holds a job.
@@ -1755,10 +1849,10 @@ mod tests {
     #[test]
     fn retirement_rebases_the_cursor_onto_the_next_survivor() {
         let q = JobQueue::default();
-        q.submit(job("a"), pinned(), 1, 0.0, Vec::new());
-        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
-        q.submit(job("c"), pinned(), 1, 0.0, Vec::new());
-        q.submit(job("c"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("a"), pinned(), 1, 0.0, Vec::new(), None);
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new(), None);
+        q.submit(job("c"), pinned(), 1, 0.0, Vec::new(), None);
+        q.submit(job("c"), pinned(), 1, 0.0, Vec::new(), None);
         // Serve a and b while open (cursor now points at c)…
         assert_eq!(pop_complete(&q).unwrap(), "a");
         assert_eq!(pop_complete(&q).unwrap(), "b");
@@ -1780,9 +1874,9 @@ mod tests {
     #[test]
     fn retirement_repoints_the_index_at_survivors_compacted_slots() {
         let q = JobQueue::default();
-        q.submit(job("a"), pinned(), 1, 0.0, Vec::new());
-        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
-        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("a"), pinned(), 1, 0.0, Vec::new(), None);
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new(), None);
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new(), None);
         assert_eq!(pop_complete(&q).unwrap(), "a");
         q.close();
         // Retirement drops a (slot 0) and compacts b from slot 1 to 0.
@@ -1794,7 +1888,7 @@ mod tests {
         }
         // A submission routed through the index after compaction must land
         // in b's (moved) FIFO, not panic on a stale slot.
-        q.submit(job("b"), pinned(), 1, 0.0, Vec::new());
+        q.submit(job("b"), pinned(), 1, 0.0, Vec::new(), None);
         assert_eq!(pop_complete(&q).unwrap(), "b");
         assert_eq!(pop_complete(&q).unwrap(), "b");
         assert!(q.pop().is_none());
@@ -1804,7 +1898,7 @@ mod tests {
     fn one_shot_tenants_do_not_accumulate_after_close() {
         let q = JobQueue::default();
         for i in 0..100 {
-            q.submit(job(&format!("tenant-{i}")), pinned(), 1, 0.0, Vec::new());
+            q.submit(job(&format!("tenant-{i}")), pinned(), 1, 0.0, Vec::new(), None);
         }
         assert_eq!(lock_recover(&q.state).tenants.len(), 100);
         q.close();

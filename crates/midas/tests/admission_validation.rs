@@ -1,0 +1,159 @@
+//! Admission-time plan validation in the [`FederationRuntime`]:
+//!
+//! * a malformed job is rejected with a typed
+//!   [`RuntimeError::InvalidPlan`] carrying the analyzer's structured
+//!   diagnostics — it never takes a site slot, never executes, and never
+//!   touches either cache tier;
+//! * valid jobs in the same batch are unaffected and still complete;
+//! * every rejection still lands in the report (`completed + failed`
+//!   covers the whole batch — rejection is an outcome, not a lost job).
+
+use midas::runtime::{RuntimeError, RuntimeJob};
+use midas::{Midas, QueryPolicy};
+use midas_engines::{DiagnosticKind, Expr, PhysicalPlan};
+use midas_tpch::medical::{generate_medical, medical_query};
+use midas_tpch::queries::TwoTableQuery;
+
+fn deployment() -> (Midas, midas_engines::Catalog) {
+    let (midas, _, _) = Midas::example_deployment(&["patient"], &["generalinfo"]);
+    (midas, generate_medical(400, 0.4, 7))
+}
+
+/// The medical query with its combine fragment scanning a ghost table.
+fn ghost_combine() -> TwoTableQuery {
+    let mut q = medical_query(None);
+    q.combine = PhysicalPlan::Scan {
+        table: "no_such_table".to_string(),
+    };
+    q.label = "Medical(ghost-combine)".to_string();
+    q
+}
+
+/// The medical query probing a column past its left input's width.
+fn misnumbered_left() -> TwoTableQuery {
+    let mut q = medical_query(None);
+    q.left_prepare = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::Scan {
+            table: "patient".to_string(),
+        }),
+        exprs: vec![("x".to_string(), Expr::col(99))],
+    };
+    q.label = "Medical(col-99)".to_string();
+    q
+}
+
+#[test]
+fn malformed_jobs_are_rejected_before_any_slot_or_cache() {
+    let (midas, tables) = deployment();
+    let runtime = midas.runtime(&tables, 2);
+    let jobs = vec![
+        RuntimeJob::new("clinic-bad", ghost_combine(), QueryPolicy::balanced()),
+        RuntimeJob::new("clinic-bad", misnumbered_left(), QueryPolicy::balanced()),
+        RuntimeJob::new("clinic-bad", ghost_combine(), QueryPolicy::fastest()),
+    ];
+    let report = runtime.run(jobs);
+
+    assert!(report.completed.is_empty());
+    assert_eq!(report.failed.len(), 3, "every rejection must be reported");
+    for failed in &report.failed {
+        assert_eq!(failed.tenant, "clinic-bad");
+        match &failed.error {
+            RuntimeError::InvalidPlan { tenant, diagnostics } => {
+                assert_eq!(tenant, "clinic-bad");
+                assert!(!diagnostics.is_empty());
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+    }
+
+    // The first job's diagnostics name the ghost table.
+    match &report.failed[0].error {
+        RuntimeError::InvalidPlan { diagnostics, .. } => {
+            assert!(diagnostics
+                .iter()
+                .any(|d| d.kind == DiagnosticKind::UnknownTable
+                    && d.message.contains("no_such_table")));
+        }
+        _ => unreachable!(),
+    }
+    match &report.failed[1].error {
+        RuntimeError::InvalidPlan { diagnostics, .. } => {
+            assert!(diagnostics
+                .iter()
+                .any(|d| d.kind == DiagnosticKind::ColumnOutOfBounds));
+        }
+        _ => unreachable!(),
+    }
+
+    // No simulated execution happened and neither cache tier was probed:
+    // rejection precedes slot admission, planning and execution.
+    assert_eq!(report.sim_clock_s, 0.0);
+    assert_eq!(report.cache.fragment.hits + report.cache.fragment.misses, 0);
+    assert_eq!(report.cache.fragment.insertions, 0);
+    assert_eq!(report.cache.plan.hits + report.cache.plan.misses, 0);
+    assert_eq!(report.cache.plan.insertions, 0);
+}
+
+#[test]
+fn valid_jobs_complete_alongside_rejections() {
+    let (midas, tables) = deployment();
+    let runtime = midas.runtime(&tables, 1);
+    let jobs = vec![
+        RuntimeJob::new("clinic-ok", medical_query(None), QueryPolicy::balanced()),
+        RuntimeJob::new("clinic-bad", ghost_combine(), QueryPolicy::balanced()),
+        RuntimeJob::new("clinic-ok", medical_query(Some("CT")), QueryPolicy::balanced()),
+        RuntimeJob::new("clinic-bad", misnumbered_left(), QueryPolicy::balanced()),
+    ];
+    let report = runtime.run(jobs);
+
+    assert_eq!(report.completed.len(), 2);
+    assert_eq!(report.failed.len(), 2);
+    for completed in &report.completed {
+        assert_eq!(completed.tenant, "clinic-ok");
+        assert!(completed.report.result_rows > 0, "{}", completed.report.label);
+    }
+    // Rejections carry their admission sequence: the malformed jobs were
+    // submitted second and fourth.
+    let mut rejected: Vec<usize> = report.failed.iter().map(|f| f.sequence).collect();
+    rejected.sort_unstable();
+    assert_eq!(rejected, vec![1, 3]);
+    for failed in &report.failed {
+        assert!(matches!(failed.error, RuntimeError::InvalidPlan { .. }));
+    }
+}
+
+#[test]
+fn rejections_do_not_poison_later_valid_runs() {
+    // Rejections must not count toward failure streaks (quarantine) or
+    // perturb the learned cost models: a runtime that first served a
+    // rejection-only batch must then serve a valid batch bit-identically
+    // to a fresh runtime that never saw the malformed jobs.
+    let (midas, tables) = deployment();
+
+    let poisoned = midas.runtime(&tables, 1);
+    let rejected = poisoned.run(vec![
+        RuntimeJob::new("clinic-ok", ghost_combine(), QueryPolicy::balanced());
+        6
+    ]);
+    assert_eq!(rejected.failed.len(), 6);
+    let after = poisoned.run(vec![RuntimeJob::new(
+        "clinic-ok",
+        medical_query(None),
+        QueryPolicy::balanced(),
+    )]);
+
+    let fresh = midas.runtime(&tables, 1);
+    let baseline = fresh.run(vec![RuntimeJob::new(
+        "clinic-ok",
+        medical_query(None),
+        QueryPolicy::balanced(),
+    )]);
+
+    assert_eq!(after.completed.len(), 1);
+    assert_eq!(baseline.completed.len(), 1);
+    let (a, b) = (&after.completed[0].report, &baseline.completed[0].report);
+    assert_eq!(a.chosen, b.chosen, "rejections changed the chosen plan");
+    assert_eq!(a.predicted_costs, b.predicted_costs);
+    assert_eq!(a.actual_costs, b.actual_costs);
+    assert_eq!(a.result_fingerprint, b.result_fingerprint);
+}

@@ -54,6 +54,8 @@ pub fn days_in_month(year: i32, month: u32) -> u32 {
                 28
             }
         }
+        // LINT: panic-ok — callers pass months produced by modulo-12
+        // arithmetic; 1..=12 is exhaustive above.
         _ => unreachable!("month out of range"),
     }
 }

@@ -896,10 +896,14 @@ fn gen_lineitem_chunks<'o>(
     for orders in orders_chunks {
         let okeys = match &orders.column_by_name("o_orderkey").expect("schema").data {
             ColumnData::Int64(v) => v,
+            // LINT: panic-ok — the orders generator in this file fixes the
+            // column type.
             _ => unreachable!("o_orderkey is Int64"),
         };
         let odates = match &orders.column_by_name("o_orderdate").expect("schema").data {
             ColumnData::Date(v) => v,
+            // LINT: panic-ok — the orders generator in this file fixes the
+            // column type.
             _ => unreachable!("o_orderdate is Date"),
         };
         for (okey, odate) in okeys.iter().zip(odates.iter()) {
@@ -1049,16 +1053,16 @@ mod tests {
         let db = tiny();
         let snap = db.snapshot(0.5);
         assert_eq!(
-            snap["orders"].n_rows(),
+            snap.try_get("orders").unwrap().n_rows(),
             (db.table("orders").unwrap().n_rows() as f64 * 0.5).round() as usize
         );
-        assert_eq!(snap["nation"].n_rows(), 25);
-        assert_eq!(snap["region"].n_rows(), 5);
+        assert_eq!(snap.try_get("nation").unwrap().n_rows(), 25);
+        assert_eq!(snap.try_get("region").unwrap().n_rows(), 5);
         // Clamping.
-        assert_eq!(db.snapshot(2.0)["orders"].n_rows(), db.table("orders").unwrap().n_rows());
-        assert_eq!(db.snapshot(-1.0)["orders"].n_rows(), 0);
+        assert_eq!(db.snapshot(2.0).try_get("orders").unwrap().n_rows(), db.table("orders").unwrap().n_rows());
+        assert_eq!(db.snapshot(-1.0).try_get("orders").unwrap().n_rows(), 0);
         // A prefix: first rows agree.
-        assert_eq!(snap["customer"].row(0), db.table("customer").unwrap().row(0));
+        assert_eq!(snap.try_get("customer").unwrap().row(0), db.table("customer").unwrap().row(0));
     }
 
     #[test]

@@ -195,8 +195,8 @@ mod tests {
     #[test]
     fn generator_produces_linked_tables() {
         let tables = generate_medical(500, 0.4, 11);
-        let p = &tables["patient"];
-        let g = &tables["generalinfo"];
+        let p = tables.try_get("patient").unwrap();
+        let g = tables.try_get("generalinfo").unwrap();
         assert_eq!(p.n_rows(), 500);
         assert!(g.n_rows() > 100, "coverage 0.4 should share >100 records");
         // Every generalinfo UID references an existing patient.
@@ -276,6 +276,6 @@ mod tests {
     fn deterministic_generation() {
         let a = generate_medical(100, 0.3, 9);
         let b = generate_medical(100, 0.3, 9);
-        assert_eq!(a["generalinfo"], b["generalinfo"]);
+        assert_eq!(a.try_get("generalinfo").unwrap(), b.try_get("generalinfo").unwrap());
     }
 }

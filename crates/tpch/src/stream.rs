@@ -184,6 +184,8 @@ mod tests {
                 ) => {
                     assert_eq!(da, db_);
                 }
+                // LINT: panic-ok — replay-oracle assertion in a test
+                // helper: two identically seeded tapes must agree.
                 _ => panic!("tapes diverged in event kind"),
             }
         }

@@ -1,0 +1,70 @@
+//! Every shipped query template must validate cleanly through the
+//! pre-execution analyzer — zero diagnostics, warnings included — against
+//! the schemas its generator produces. This is the regression net that
+//! keeps the analyzer and the query library in lockstep: a template edit
+//! that misnumbers a column, and an analyzer change that starts
+//! false-positive-ing on real plans, both fail here.
+
+use midas_engines::{analyze_fragment_plans, PhysicalPlan, SchemaCatalog};
+use midas_tpch::gen::{GenConfig, TpchDb};
+use midas_tpch::medical::{generate_medical, medical_query};
+use midas_tpch::queries::{q12, q13, q14, q17, TwoTableQuery};
+
+fn assert_clean(schemas: &SchemaCatalog, q: &TwoTableQuery) {
+    let plans: Vec<&PhysicalPlan> = vec![&q.left_prepare, &q.right_prepare, &q.combine];
+    let analyses = analyze_fragment_plans(&plans, schemas);
+    for (i, a) in analyses.iter().enumerate() {
+        assert!(
+            a.diagnostics.is_empty(),
+            "{} fragment {i} is not diagnostic-clean: {:?}",
+            q.label,
+            a.diagnostics
+        );
+        assert!(
+            a.schema.is_some(),
+            "{} fragment {i} schema must be derivable",
+            q.label
+        );
+    }
+}
+
+#[test]
+fn tpch_query_templates_validate_cleanly() {
+    let db = TpchDb::generate(GenConfig::new(0.002, 7));
+    let schemas = SchemaCatalog::from_catalog(db.catalog());
+    for q in [
+        q12("MAIL", "SHIP", 1994),
+        q13("special", "requests"),
+        q14(1995, 9),
+        q17("Brand#23", "MED BOX"),
+    ] {
+        assert_clean(&schemas, &q);
+    }
+}
+
+#[test]
+fn medical_query_templates_validate_cleanly() {
+    let catalog = generate_medical(500, 0.4, 7);
+    let schemas = SchemaCatalog::from_catalog(&catalog);
+    assert_clean(&schemas, &medical_query(None));
+    assert_clean(&schemas, &medical_query(Some("CT")));
+}
+
+#[test]
+fn a_misnumbered_template_would_be_caught() {
+    // The same medical combine but probing a column past the join output:
+    // the exact defect class this net exists to catch.
+    let catalog = generate_medical(100, 0.4, 7);
+    let schemas = SchemaCatalog::from_catalog(&catalog);
+    let mut q = medical_query(None);
+    if let PhysicalPlan::Project { exprs, .. } = &mut q.combine {
+        exprs[0].1 = midas_engines::Expr::col(40);
+    } else {
+        panic!("medical combine is a Project");
+    }
+    let plans: Vec<&PhysicalPlan> = vec![&q.left_prepare, &q.right_prepare, &q.combine];
+    let analyses = analyze_fragment_plans(&plans, &schemas);
+    assert!(analyses[2]
+        .errors()
+        .any(|d| d.kind == midas_engines::DiagnosticKind::ColumnOutOfBounds));
+}

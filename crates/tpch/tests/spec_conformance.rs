@@ -107,7 +107,7 @@ fn snapshot_per_table_is_independent() {
     });
     let li_full = db.table("lineitem").expect("generated").n_rows();
     let cust_full = db.table("customer").expect("generated").n_rows();
-    assert_eq!(snap["orders"].n_rows(), db.table("orders").expect("generated").n_rows());
-    assert_eq!(snap["lineitem"].n_rows(), (li_full as f64 * 0.5).round() as usize);
-    assert_eq!(snap["customer"].n_rows(), (cust_full as f64 * 0.25).round() as usize);
+    assert_eq!(snap.try_get("orders").expect("snapshot").n_rows(), db.table("orders").expect("generated").n_rows());
+    assert_eq!(snap.try_get("lineitem").expect("snapshot").n_rows(), (li_full as f64 * 0.5).round() as usize);
+    assert_eq!(snap.try_get("customer").expect("snapshot").n_rows(), (cust_full as f64 * 0.25).round() as usize);
 }

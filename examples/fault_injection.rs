@@ -102,6 +102,7 @@ fn main() {
             RuntimeError::DeadlineExceeded { .. } => "deadline",
             RuntimeError::WorkerPanicked(_) => "panic",
             RuntimeError::Scheduler(_) => "scheduler",
+            RuntimeError::InvalidPlan { .. } => "rejected at admission",
         };
         println!("  seq {} [{kind}] {}", f.sequence, f.error);
     }

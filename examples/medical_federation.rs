@@ -26,8 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tables = generate_medical(5_000, 0.4, 7);
     println!(
         "patient registry: {} patients, {} shared general-info records",
-        tables["patient"].n_rows(),
-        tables["generalinfo"].n_rows()
+        tables.try_get("patient")?.n_rows(),
+        tables.try_get("generalinfo")?.n_rows()
     );
 
     let mut session = midas.session();

@@ -1,0 +1,134 @@
+//! Static plan analysis: catching schema, type and DAG errors before a
+//! query takes a federation slot.
+//!
+//! The pre-execution analyzer (`engines::analyze`) type-checks a physical
+//! plan against the catalog's schemas and validates the fragment DAG —
+//! `@frag` references, acyclicity, site placement — producing structured
+//! [`PlanDiagnostic`]s instead of mid-flight `EngineError`s. The
+//! [`FederationRuntime`] runs the same analysis at admission: a malformed
+//! job is rejected with a typed `RuntimeError::InvalidPlan` before it
+//! touches a slot, a cache tier, or the simulated clock.
+//!
+//! This example walks all three views:
+//!
+//! 1. a clean medical query — zero diagnostics, derived output schemas;
+//! 2. three malformed variants — each diagnostic with its node path,
+//!    severity, kind, and what the executor would have done;
+//! 3. the runtime rejecting a malformed job at admission while valid
+//!    jobs in the same batch complete untouched.
+//!
+//! ```text
+//! cargo run --release --example plan_analysis
+//! ```
+//!
+//! [`PlanDiagnostic`]: midas_engines::PlanDiagnostic
+//! [`FederationRuntime`]: midas::runtime::FederationRuntime
+
+use midas_repro::engines::ops::PhysicalPlan;
+use midas_repro::engines::{analyze_fragment_plans, Expr, SchemaCatalog};
+use midas_repro::midas::runtime::{RuntimeError, RuntimeJob};
+use midas_repro::midas::{Midas, QueryPolicy};
+use midas_repro::tpch::medical::{generate_medical, medical_query};
+use midas_repro::tpch::queries::TwoTableQuery;
+
+fn report(schemas: &SchemaCatalog, q: &TwoTableQuery) {
+    let plans = [&q.left_prepare, &q.right_prepare, &q.combine];
+    let refs: Vec<&PhysicalPlan> = plans.to_vec();
+    let analyses = analyze_fragment_plans(&refs, schemas);
+    println!("{}:", q.label);
+    for (i, a) in analyses.iter().enumerate() {
+        let name = ["left_prepare", "right_prepare", "combine"][i];
+        if a.diagnostics.is_empty() {
+            let schema = a
+                .schema
+                .as_ref()
+                .map(|s| {
+                    s.columns
+                        .iter()
+                        .map(|(n, t)| format!("{n}: {t:?}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .unwrap_or_else(|| "<opaque>".to_string());
+            println!("  {name:13} clean  -> [{schema}]");
+        } else {
+            for d in &a.diagnostics {
+                println!("  {name:13} {d}");
+            }
+        }
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tables = generate_medical(1_000, 0.4, 7);
+    let schemas = SchemaCatalog::from_catalog(&tables);
+
+    // 1. The paper's Example 2.1 query validates cleanly; the analyzer
+    //    derives each fragment's output schema, `@frag` refs included.
+    report(&schemas, &medical_query(Some("CT")));
+
+    // 2. Three ways to break it.
+    let mut ghost = medical_query(None);
+    ghost.combine = PhysicalPlan::Scan {
+        table: "generalinfo_2019".to_string(),
+    };
+    ghost.label = "variant: combine scans a table that does not exist".to_string();
+    report(&schemas, &ghost);
+
+    let mut misnumbered = medical_query(None);
+    misnumbered.left_prepare = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::Scan {
+            table: "patient".to_string(),
+        }),
+        exprs: vec![
+            ("UID".to_string(), Expr::col(0)),
+            ("PatientSex".to_string(), Expr::col(7)),
+        ],
+    };
+    misnumbered.label = "variant: projection past the patient schema".to_string();
+    report(&schemas, &misnumbered);
+
+    let mut mistyped = medical_query(None);
+    mistyped.right_prepare = PhysicalPlan::Filter {
+        input: Box::new(PhysicalPlan::Scan {
+            table: "generalinfo".to_string(),
+        }),
+        // UID is Int64; comparing it to a string is the classic
+        // stringly-typed federation bug.
+        predicate: Expr::col(0).eq(Expr::str("PAT-000017")),
+    };
+    mistyped.label = "variant: Int64 UID compared against a string".to_string();
+    report(&schemas, &mistyped);
+
+    // 3. The runtime runs the same analysis at admission.
+    let (midas, _a, _b) = Midas::example_deployment(&["patient"], &["generalinfo"]);
+    let runtime = midas.runtime(&tables, 2);
+    let batch = runtime.run(vec![
+        RuntimeJob::new("clinic-ok", medical_query(None), QueryPolicy::balanced()),
+        RuntimeJob::new("clinic-bad", ghost, QueryPolicy::balanced()),
+        RuntimeJob::new("clinic-ok", medical_query(Some("MR")), QueryPolicy::balanced()),
+    ]);
+    println!(
+        "runtime batch: {} completed, {} rejected at admission",
+        batch.completed.len(),
+        batch.failed.len()
+    );
+    for f in &batch.failed {
+        match &f.error {
+            RuntimeError::InvalidPlan { tenant, diagnostics } => {
+                println!("  rejected {tenant} (job #{}):", f.sequence);
+                for d in diagnostics {
+                    println!("    {d}");
+                }
+            }
+            other => println!("  unexpected failure: {other}"),
+        }
+    }
+    println!(
+        "cache traffic came only from the completed jobs: plan lookups = {}, fragment lookups = {}",
+        batch.cache.plan.hits + batch.cache.plan.misses,
+        batch.cache.fragment.hits + batch.cache.fragment.misses,
+    );
+    Ok(())
+}

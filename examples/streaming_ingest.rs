@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = generate_medical(base_patients, 0.4, 7);
     println!(
         "version 0: {} patients, {} shared general-info records\n",
-        catalog["patient"].n_rows(),
-        catalog["generalinfo"].n_rows()
+        catalog.try_get("patient")?.n_rows(),
+        catalog.try_get("generalinfo")?.n_rows()
     );
 
     let runtime = FederationRuntime::new(

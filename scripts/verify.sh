@@ -80,6 +80,18 @@
 #      >= 4 CPUs the aware run must also strictly improve wall-clock
 #      p95/p99 completion latency with a >= 1.3x p99 speedup; on smaller
 #      hosts those ratios are recorded in the JSON but not asserted.
+#  11. the static-analysis run, which records BENCH_static_analysis.json
+#      (target/repro/ and repo root): the workspace determinism lint
+#      (repro_lint) walks every non-stub crate's sources and gates at
+#      **zero findings** — no wall-clock (`Instant::now`/`SystemTime`),
+#      `.lock().unwrap()`, or `panic!`/`unreachable!` site survives in
+#      execution code without a `// LINT:` justification naming the guard
+#      that discharges it. The same binary validates the Q12/Q13/Q14/Q17
+#      and medical plans through the engines::analyze pre-execution
+#      analyzer (all must be diagnostic-clean), checks a corpus of
+#      malformed plans is fully rejected, and gates admission-time
+#      validation cost at < 1% of mean per-job service time on a mixed
+#      64-job medical workload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -112,5 +124,8 @@ cargo run -q --release --offline -p midas-bench --bin repro_bench_cache
 
 echo "==> adaptive planning tails (BENCH_adaptive_tail.json)"
 cargo run -q --release --offline -p midas-bench --bin repro_bench_adaptive
+
+echo "==> static analysis + determinism lint (BENCH_static_analysis.json)"
+cargo run -q --release --offline -p midas-bench --bin repro_lint
 
 echo "verify: OK"

@@ -155,9 +155,9 @@ proptest! {
         let sa = db.snapshot(lo);
         let sb = db.snapshot(hi);
         for name in ["lineitem", "orders", "customer", "part"] {
-            prop_assert!(sa[name].n_rows() <= sb[name].n_rows());
+            prop_assert!(sa.try_get(name).expect("snapshot").n_rows() <= sb.try_get(name).expect("snapshot").n_rows());
         }
         let full = db.snapshot(1.0);
-        prop_assert_eq!(full["orders"].n_rows(), db.table("orders").expect("generated").n_rows());
+        prop_assert_eq!(full.try_get("orders").expect("snapshot").n_rows(), db.table("orders").expect("generated").n_rows());
     }
 }
